@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Evaluation of the paper's un-evaluated suggestion (§4.3): unroll a
+ * loop by the cache-line length so that one instance of each spatially-
+ * local load always misses and the rest always hit, letting the
+ * threshold mechanism promote exactly the missing instance instead of
+ * all-or-nothing.
+ *
+ * Runs the su2cor and turb3d suites (their inner trips divide the
+ * factors) at unroll factors 1/2/4/8 on the 2-cluster machine with
+ * realistic buses, RMCA at thresholds 0.75 and 0.00.
+ */
+
+#include <cstdio>
+
+#include "cme/solver.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "ddg/ddg.hh"
+#include "ir/transform.hh"
+#include "machine/presets.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    const auto machine = withLimitedBuses(makeTwoCluster(), 1, 1);
+    std::printf("machine: %s\n\n", machine.summary().c_str());
+
+    TextTable table({"suite", "unroll", "thr", "mean II/elem",
+                     "promoted", "compute", "stall", "total"});
+    table.setTitle("Unrolling x binding prefetching (RMCA)");
+
+    for (const char *suite : {"su2cor", "turb3d"}) {
+        const auto bench = workloads::benchmarkByName(suite);
+        for (int factor : {1, 2, 4, 8}) {
+            for (double thr : {0.75, 0.0}) {
+                Cycle compute = 0;
+                Cycle stall = 0;
+                double ii_per_elem = 0;
+                int promoted = 0;
+                int counted = 0;
+                for (const auto &loop : bench.loops) {
+                    if (loop.innerTripCount() % factor != 0)
+                        continue;
+                    const auto unrolled =
+                        ir::unrollInner(loop, factor);
+                    const auto g =
+                        ddg::Ddg::build(unrolled, machine);
+                    cme::CmeAnalysis cme(unrolled);
+                    auto r = sched::scheduleRmca(g, machine, thr, cme);
+                    if (!r.ok) {
+                        std::printf("  %s x%d failed: %s\n",
+                                    loop.name().c_str(), factor,
+                                    r.error.c_str());
+                        continue;
+                    }
+                    const auto sim = sim::simulateLoop(g, r.schedule,
+                                                       machine);
+                    compute += sim.computeCycles;
+                    stall += sim.stallCycles;
+                    ii_per_elem +=
+                        static_cast<double>(r.schedule.ii()) / factor;
+                    promoted += r.stats.missScheduledLoads;
+                    ++counted;
+                }
+                table.addRow({suite, std::to_string(factor),
+                              fmtDouble(thr, 2),
+                              fmtDouble(ii_per_elem / counted, 2),
+                              std::to_string(promoted),
+                              std::to_string(compute),
+                              std::to_string(stall),
+                              std::to_string(compute + stall)});
+            }
+        }
+        table.addRule();
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Reading the table: at threshold 0.75 the un-unrolled loops "
+        "promote nothing\n(spatial loads miss only 12-25%% of the "
+        "time), so stalls stay; unrolling by the\nline length "
+        "concentrates the misses in one instance whose ratio ~100%% "
+        "crosses\nany threshold -- stalls drop without paying the miss "
+        "latency on every copy.\n");
+    return 0;
+}

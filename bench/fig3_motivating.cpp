@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Reproduction of Figure 3 (the motivating example of Section 3).
+ *
+ * Schedules the example loop with the register-only baseline (the
+ * paper's partition (a)) and with RMCA (partition (b)), prints both
+ * modulo reservation tables and compares the measured cycle counts with
+ * the paper's closed-form derivation:
+ *
+ *   (a) NCYCLE = NTIMES*(15N + 9)     II=3, stall 12/iteration
+ *   (b) NCYCLE = NTIMES*(10N + 8)     II=4, 2 comms, ~1.5x faster
+ */
+
+#include <cstdio>
+
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "harness/motivating.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    const auto nest = harness::motivatingLoop();
+    const auto machine = harness::motivatingMachine();
+    const auto graph = ddg::Ddg::build(nest, machine);
+    cme::CmeAnalysis cme(nest);
+
+    std::printf("machine: %s\n\n%s\n", machine.summary().c_str(),
+                nest.toString().c_str());
+
+    struct Variant
+    {
+        const char *label;
+        bool rmca;
+    };
+    sim::SimResult results[2];
+    for (int i = 0; const Variant v : {Variant{"(a) register-optimal "
+                                               "(Baseline)", false},
+                                       Variant{"(b) memory-aware (RMCA)",
+                                               true}}) {
+        sched::SchedulerOptions opt;
+        opt.memoryAware = v.rmca;
+        opt.missThreshold = 1.0;
+        opt.locality = &cme;
+        auto r = sched::ClusteredModuloScheduler(graph, machine, opt)
+                     .run();
+        if (!r.ok) {
+            std::printf("scheduling failed: %s\n", r.error.c_str());
+            return 1;
+        }
+        const auto sim = sim::simulateLoop(graph, r.schedule, machine);
+        results[i++] = sim;
+        std::printf("%s\n%s", v.label,
+                    r.schedule.toString(graph, machine).c_str());
+        const double iters = static_cast<double>(sim.iterations);
+        std::printf("  NCYCLE_compute = %lld   NCYCLE_stall = %lld   "
+                    "total = %lld\n",
+                    static_cast<long long>(sim.computeCycles),
+                    static_cast<long long>(sim.stallCycles),
+                    static_cast<long long>(sim.totalCycles()));
+        std::printf("  per-iteration: compute %.2f, stall %.2f "
+                    "(paper: (a) 3+12, (b) 4+6)\n",
+                    static_cast<double>(sim.computeCycles) / iters,
+                    static_cast<double>(sim.stallCycles) / iters);
+        std::printf("  line fills/iteration: %.2f\n\n",
+                    static_cast<double>(
+                        sim.memStats.value("memory_fills")) / iters);
+    }
+
+    std::printf("speedup (a)->(b): %.2fx  (paper derives 1.5x charging "
+                "every miss the full penalty;\nthe non-blocking caches "
+                "overlap schedule (b)'s sparse misses, so the measured "
+                "win is larger)\n",
+                static_cast<double>(results[0].totalCycles()) /
+                    static_cast<double>(results[1].totalCycles()));
+    return 0;
+}

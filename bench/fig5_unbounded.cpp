@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Reproduction of Figure 5: an unbounded number of register and memory
+ * buses, sweeping the bus latencies.
+ *
+ * Axes, exactly as in the paper:
+ *  - configurations: Unified, 2-cluster, 4-cluster (Table 1)
+ *  - register-bus latency LRB in {1, 2, 4} (clustered only)
+ *  - memory-bus latency LMB in {1, 2, 4}
+ *  - scheduler: Baseline vs RMCA
+ *  - cache-miss threshold in {1.00, 0.75, 0.25, 0.00}
+ *
+ * Each paper bar = one row here: NCYCLE_compute and NCYCLE_stall summed
+ * over the eight benchmark suites, normalised to the Unified machine at
+ * threshold 1.00. The paper's claims to check:
+ *  - RMCA <= Baseline everywhere;
+ *  - lower thresholds raise compute and cut stall; at 0.00 stall ~ 0;
+ *  - at threshold 0.00 clustered totals approach the unified ones.
+ */
+
+#include <cstdio>
+
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "harness/experiment.hh"
+#include "machine/presets.hh"
+
+using namespace mvp;
+using harness::RunConfig;
+using harness::SchedKind;
+
+namespace
+{
+
+const double THRESHOLDS[] = {1.00, 0.75, 0.25, 0.00};
+
+} // namespace
+
+int
+main()
+{
+    harness::Workbench bench;
+
+    // Normaliser: unified machine, threshold 1.00.
+    RunConfig base_cfg;
+    base_cfg.machine = withUnboundedBuses(makeUnified(), 1, 1);
+    base_cfg.sched = SchedKind::Rmca;
+    base_cfg.threshold = 1.0;
+    const auto base = runSuite(bench, base_cfg);
+    const double norm = static_cast<double>(base.total());
+
+    TextTable table({"config", "LRB", "LMB", "sched", "thr", "compute",
+                     "stall", "total", "norm"});
+    table.setTitle(
+        "Figure 5: unbounded buses, cycles normalised to unified@1.00");
+
+    auto emit = [&](const MachineConfig &machine, Cycle lrb, Cycle lmb,
+                    SchedKind sched, double thr) {
+        RunConfig cfg;
+        cfg.machine = machine;
+        cfg.sched = sched;
+        cfg.threshold = thr;
+        const auto res = runSuite(bench, cfg);
+        table.addRow({machine.isClustered()
+                          ? std::to_string(machine.nClusters) + "-cluster"
+                          : "unified",
+                      machine.isClustered() ? std::to_string(lrb) : "-",
+                      std::to_string(lmb),
+                      std::string(schedKindName(sched)),
+                      fmtDouble(thr, 2),
+                      std::to_string(res.compute),
+                      std::to_string(res.stall),
+                      std::to_string(res.total()),
+                      fmtDouble(static_cast<double>(res.total()) / norm,
+                                3)});
+    };
+
+    // Unified: the four threshold bars (scheduler identical for one
+    // cluster; bus latencies are irrelevant to register traffic).
+    for (double thr : THRESHOLDS)
+        emit(withUnboundedBuses(makeUnified(), 1, 1), 1, 1,
+             SchedKind::Rmca, thr);
+    table.addRule();
+
+    for (int clusters : {2, 4}) {
+        for (Cycle lrb : {1, 2, 4}) {
+            for (Cycle lmb : {1, 2, 4}) {
+                const auto machine = withUnboundedBuses(
+                    makeConfig(clusters), lrb, lmb);
+                for (SchedKind sched :
+                     {SchedKind::Baseline, SchedKind::Rmca})
+                    for (double thr : THRESHOLDS)
+                        emit(machine, lrb, lmb, sched, thr);
+                table.addRule();
+            }
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    // Paper-claim summary at the reference point LRB=1, LMB=1.
+    std::printf("checks (LRB=1, LMB=1):\n");
+    for (int clusters : {2, 4}) {
+        const auto machine =
+            withUnboundedBuses(makeConfig(clusters), 1, 1);
+        RunConfig b{machine, SchedKind::Baseline, 0.0};
+        RunConfig r{machine, SchedKind::Rmca, 0.0};
+        RunConfig r1{machine, SchedKind::Rmca, 1.0};
+        const auto rb = runSuite(bench, b);
+        const auto rr = runSuite(bench, r);
+        const auto rr1 = runSuite(bench, r1);
+        std::printf("  %d-cluster thr=0.00: RMCA/Baseline = %.3f "
+                    "(<= 1 expected), stall share = %.1f%% "
+                    "(~0 expected), thr 1.00 -> 0.00 stall %.0f%% -> "
+                    "%.0f%%\n",
+                    clusters,
+                    static_cast<double>(rr.total()) /
+                        static_cast<double>(rb.total()),
+                    100.0 * static_cast<double>(rr.stall) /
+                        static_cast<double>(rr.total()),
+                    100.0 * static_cast<double>(rr1.stall) /
+                        static_cast<double>(rr1.total()),
+                    100.0 * static_cast<double>(rr.stall) /
+                        static_cast<double>(rr.total()));
+    }
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks (experiment E7): the compile-time
+ * cost of the pieces the paper claims are cheap — CME queries ("a few
+ * seconds per loop" in 2000; microseconds here), full scheduling runs,
+ * and the lockstep simulator's cycle throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cme/oracle.hh"
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "harness/motivating.hh"
+#include "machine/presets.hh"
+#include "sched/ordering.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace mvp;
+
+namespace
+{
+
+const ir::LoopNest &
+bigLoop()
+{
+    static const auto bench = workloads::makeTomcatv();
+    return bench.loops[0];   // the 10-op stencil loop
+}
+
+void
+BM_DdgBuild(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeFourCluster();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ddg::Ddg::build(nest, machine));
+}
+BENCHMARK(BM_DdgBuild);
+
+void
+BM_RecMii(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeFourCluster();
+    for (auto _ : state) {
+        const auto g = ddg::Ddg::build(nest, machine);
+        benchmark::DoNotOptimize(g.recMii());
+    }
+}
+BENCHMARK(BM_RecMii);
+
+void
+BM_Ordering(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeFourCluster();
+    const auto g = ddg::Ddg::build(nest, machine);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched::computeOrdering(g, g.recMii()));
+}
+BENCHMARK(BM_Ordering);
+
+void
+BM_CmeMissRatio_Fresh(benchmark::State &state)
+{
+    // Un-memoised CME query cost (new analysis each iteration).
+    const auto &nest = bigLoop();
+    const auto mem = nest.memoryOps();
+    const CacheGeom geom{2048, 32, 1};
+    for (auto _ : state) {
+        cme::CmeAnalysis cme(nest);
+        benchmark::DoNotOptimize(cme.missRatio(mem, mem[0], geom));
+    }
+}
+BENCHMARK(BM_CmeMissRatio_Fresh);
+
+void
+BM_CmeMissRatio_Memoised(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto mem = nest.memoryOps();
+    const CacheGeom geom{2048, 32, 1};
+    cme::CmeAnalysis cme(nest);
+    (void)cme.missRatio(mem, mem[0], geom);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cme.missRatio(mem, mem[0], geom));
+}
+BENCHMARK(BM_CmeMissRatio_Memoised);
+
+void
+BM_OracleExact(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto mem = nest.memoryOps();
+    const CacheGeom geom{2048, 32, 1};
+    for (auto _ : state) {
+        cme::CacheOracle oracle(nest);
+        benchmark::DoNotOptimize(oracle.missRatio(mem, mem[0], geom));
+    }
+}
+BENCHMARK(BM_OracleExact);
+
+void
+BM_ScheduleBaseline(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeConfig(static_cast<int>(state.range(0)));
+    const auto g = ddg::Ddg::build(nest, machine);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched::scheduleBaseline(g, machine));
+}
+BENCHMARK(BM_ScheduleBaseline)->Arg(1)->Arg(2)->Arg(4);
+
+void
+BM_ScheduleRmca(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeConfig(static_cast<int>(state.range(0)));
+    const auto g = ddg::Ddg::build(nest, machine);
+    cme::CmeAnalysis cme(nest);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::scheduleRmca(g, machine, 0.0, cme));
+}
+BENCHMARK(BM_ScheduleRmca)->Arg(2)->Arg(4);
+
+void
+BM_SimulateLoop(benchmark::State &state)
+{
+    const auto nest = harness::motivatingLoop(256, 2);
+    const auto machine = harness::motivatingMachine();
+    const auto g = ddg::Ddg::build(nest, machine);
+    const auto r = sched::scheduleBaseline(g, machine);
+    std::int64_t cycles = 0;
+    for (auto _ : state) {
+        const auto res = sim::simulateLoop(g, r.schedule, machine);
+        cycles += res.totalCycles();
+        benchmark::DoNotOptimize(res);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateLoop);
+
+} // namespace
+
+BENCHMARK_MAIN();

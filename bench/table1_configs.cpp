@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reproduction of Table 1: the three multiVLIWprocessor configurations
+ * and the operation latencies every experiment uses.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/strutil.hh"
+#include "machine/presets.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    TextTable table({"parameter", "unified", "2-cluster", "4-cluster"});
+    table.setTitle("Table 1: multiVLIWprocessor configurations");
+    const MachineConfig configs[3] = {makeUnified(), makeTwoCluster(),
+                                      makeFourCluster()};
+    auto row = [&](const char *name, auto get) {
+        table.addRow({name, get(configs[0]), get(configs[1]),
+                      get(configs[2])});
+    };
+    row("clusters",
+        [](const auto &m) { return std::to_string(m.nClusters); });
+    row("INT units / cluster",
+        [](const auto &m) { return std::to_string(m.intFusPerCluster); });
+    row("FP units / cluster",
+        [](const auto &m) { return std::to_string(m.fpFusPerCluster); });
+    row("MEM units / cluster",
+        [](const auto &m) { return std::to_string(m.memFusPerCluster); });
+    row("registers / cluster",
+        [](const auto &m) { return std::to_string(m.regsPerCluster); });
+    row("issue width",
+        [](const auto &m) { return std::to_string(m.issueWidth()); });
+    row("L1 / cluster (KB)", [](const auto &m) {
+        return fmtDouble(m.cacheBytesPerCluster() / 1024.0, 1);
+    });
+    row("L1 total (KB)", [](const auto &m) {
+        return std::to_string(m.totalCacheBytes / 1024);
+    });
+    row("line (B) / assoc / MSHR", [](const auto &m) {
+        return std::to_string(m.cacheLineBytes) + " / " +
+               std::to_string(m.cacheAssoc) + " / " +
+               std::to_string(m.mshrEntries);
+    });
+    std::printf("%s\n", table.render().c_str());
+
+    TextTable lat({"operation", "latency (cycles)"});
+    lat.setTitle("Operation latencies (uniform across configurations)");
+    const auto &m = configs[0];
+    lat.addRow({"INT arith", std::to_string(m.latInt)});
+    lat.addRow({"INT multiply", std::to_string(m.latIntMul)});
+    lat.addRow({"INT divide", std::to_string(m.latIntDiv)});
+    lat.addRow({"FP add/sub/mul/madd", std::to_string(m.latFp)});
+    lat.addRow({"FP divide", std::to_string(m.latFpDiv)});
+    lat.addRow({"load (local hit)", std::to_string(m.latCacheHit)});
+    lat.addRow({"store", std::to_string(m.latStore)});
+    lat.addRow({"main memory", std::to_string(m.latMainMemory)});
+    lat.addRow({"miss latency (hit+bus+mem)",
+                std::to_string(m.missLatency())});
+    std::printf("%s\n", lat.render().c_str());
+    return 0;
+}

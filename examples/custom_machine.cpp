@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Building a custom multiVLIWprocessor and exploring the bus trade-off.
+ *
+ * Defines a 3-cluster machine (not one of the Table-1 presets), runs one
+ * of the swim kernels over a sweep of register-bus counts and latencies,
+ * and prints how II, communications and total cycles respond — the kind
+ * of design-space probing the library's machine model is meant for.
+ */
+
+#include <cstdio>
+
+#include "cme/solver.hh"
+#include "common/table.hh"
+#include "common/strutil.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace mvp;
+
+namespace
+{
+
+MachineConfig
+threeClusterMachine()
+{
+    MachineConfig m;
+    m.name = "custom-3cluster";
+    m.nClusters = 3;
+    m.intFusPerCluster = 1;
+    m.fpFusPerCluster = 2;
+    m.memFusPerCluster = 1;
+    m.regsPerCluster = 24;
+    m.nRegBuses = 1;
+    m.regBusLatency = 1;
+    m.nMemBuses = 1;
+    m.memBusLatency = 2;
+    m.totalCacheBytes = 6144;   // 2 KB per cluster
+    m.cacheLineBytes = 32;
+    m.mshrEntries = 8;
+    m.validate();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto bench = workloads::makeSwim();
+    const auto &nest = bench.loops[2];   // calc2: 7 loads, 1 store
+    std::printf("loop: %s (%zu ops, %zu memory refs)\n\n",
+                nest.name().c_str(), nest.size(),
+                nest.memoryOps().size());
+
+    cme::CmeAnalysis cme(nest);
+    TextTable table({"reg buses", "bus latency", "II", "SC", "comms",
+                     "maxlive", "compute", "stall", "total"});
+    table.setTitle("swim.calc2 on a custom 3-cluster machine (RMCA, "
+                   "threshold 0.25)");
+
+    for (int buses : {1, 2, 3}) {
+        for (Cycle lat : {1, 2, 4}) {
+            auto machine = threeClusterMachine();
+            machine.nRegBuses = buses;
+            machine.regBusLatency = lat;
+            const auto graph = ddg::Ddg::build(nest, machine);
+            auto r = sched::scheduleRmca(graph, machine, 0.25, cme);
+            if (!r.ok) {
+                std::printf("  %d buses @%lld: %s\n", buses,
+                            static_cast<long long>(lat),
+                            r.error.c_str());
+                continue;
+            }
+            const auto sim =
+                sim::simulateLoop(graph, r.schedule, machine);
+            int max_live = 0;
+            for (int ml : r.schedule.maxLive())
+                max_live = std::max(max_live, ml);
+            table.addRow({std::to_string(buses), std::to_string(lat),
+                          std::to_string(r.schedule.ii()),
+                          std::to_string(r.schedule.stageCount()),
+                          std::to_string(r.schedule.numComms()),
+                          std::to_string(max_live),
+                          std::to_string(sim.computeCycles),
+                          std::to_string(sim.stallCycles),
+                          std::to_string(sim.totalCycles())});
+        }
+        table.addRule();
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading the table: more buses and shorter latencies "
+                "let the scheduler reach\nlower IIs before the bus "
+                "saturates; a 4-cycle bus forces II >= 4 per\n"
+                "concurrent transfer, exactly the reservation-table "
+                "behaviour of Section 2.1.\n");
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Using the Cache Miss Equations as a standalone analysis: for one
+ * tomcatv loop, enumerate every 2-cluster partition of its memory
+ * operations and rank them by predicted misses — then confirm the
+ * prediction against the exact trace oracle.
+ *
+ * This is the analysis the RMCA scheduler performs incrementally; seeing
+ * the whole partition space makes it obvious why cluster selection for
+ * memory instructions "can dramatically affect the final performance"
+ * (Section 3).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "cme/oracle.hh"
+#include "cme/solver.hh"
+#include "common/strutil.hh"
+#include "common/table.hh"
+#include "machine/presets.hh"
+#include "workloads/workloads.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    const auto bench = workloads::makeTomcatv();
+    const auto &nest = bench.loops[2];   // relax: X/RX/Y/RY read-update
+    const auto mem = nest.memoryOps();
+    std::printf("loop: %s, %zu memory operations\n%s\n",
+                nest.name().c_str(), mem.size(),
+                nest.toString().c_str());
+
+    const CacheGeom geom = makeTwoCluster().clusterCacheGeom();
+    cme::CmeAnalysis cme(nest);
+    cme::CacheOracle oracle(nest);
+
+    struct Partition
+    {
+        unsigned mask;
+        double cme_misses;
+        double oracle_misses;
+    };
+    std::vector<Partition> partitions;
+
+    // Every assignment of the memory ops to 2 clusters (up to symmetry).
+    const auto n = mem.size();
+    for (unsigned mask = 0; mask < (1u << (n - 1)); ++mask) {
+        std::vector<OpId> c0;
+        std::vector<OpId> c1;
+        for (std::size_t i = 0; i < n; ++i)
+            ((mask >> i) & 1 ? c1 : c0).push_back(mem[i]);
+        const double est = cme.missesPerIteration(c0, geom) +
+                           cme.missesPerIteration(c1, geom);
+        const double exact = oracle.missesPerIteration(c0, geom) +
+                             oracle.missesPerIteration(c1, geom);
+        partitions.push_back({mask, est, exact});
+    }
+    std::sort(partitions.begin(), partitions.end(),
+              [](const Partition &a, const Partition &b) {
+                  return a.cme_misses < b.cme_misses;
+              });
+
+    TextTable table({"cluster 0", "cluster 1", "CME est.", "oracle"});
+    table.setTitle("2-cluster partitions of " + nest.name() +
+                   " ranked by predicted misses/iteration");
+    auto names = [&](bool side, unsigned mask) {
+        std::vector<std::string> out;
+        for (std::size_t i = 0; i < n; ++i)
+            if (((mask >> i) & 1) == static_cast<unsigned>(side))
+                out.push_back(nest.op(mem[i]).name);
+        return join(out, " ");
+    };
+    for (std::size_t k = 0; k < partitions.size(); ++k) {
+        // Print the best three and the worst three.
+        if (k >= 3 && k + 3 < partitions.size())
+            continue;
+        if (k == 3 && partitions.size() > 6)
+            table.addRule();
+        const auto &p = partitions[k];
+        table.addRow({names(false, p.mask), names(true, p.mask),
+                      fmtDouble(p.cme_misses, 3),
+                      fmtDouble(p.oracle_misses, 3)});
+    }
+    std::printf("%s\n", table.render().c_str());
+
+    const auto &best = partitions.front();
+    const auto &worst = partitions.back();
+    std::printf("best/worst oracle ratio: %.1fx — the cluster "
+                "assignment alone changes the\nmiss traffic that much, "
+                "before any scheduling happens.\n",
+                worst.oracle_misses / std::max(best.oracle_misses, 1e-9));
+    return 0;
+}

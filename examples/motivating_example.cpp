@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Walk-through of the paper's Section 3 example (Figure 3), printing
+ * every intermediate artefact: the loop, the DDG, the CME analysis the
+ * RMCA scheduler consults, both schedules as modulo reservation tables,
+ * the generated VLIW code, and the simulated cycle breakdown.
+ *
+ * Run it after reading Section 3 of the paper: each block of output
+ * corresponds to one paragraph of the example.
+ */
+
+#include <cstdio>
+
+#include "cme/oracle.hh"
+#include "cme/reuse.hh"
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "harness/motivating.hh"
+#include "sched/mii.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "vliw/kernel.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    const auto nest = harness::motivatingLoop();
+    const auto machine = harness::motivatingMachine();
+
+    std::printf("=== the loop (DO I = 1, N, 2 : A(I) = B(I)*C(I) + "
+                "B(I+1)*C(I+1)) ===\n%s\n",
+                nest.toString().c_str());
+    std::printf("=== the machine ===\n%s\n\n", machine.summary().c_str());
+
+    const auto graph = ddg::Ddg::build(nest, machine);
+    std::printf("=== dependence graph ===\n%s\n",
+                graph.toString().c_str());
+    std::printf("ResMII = %lld (5 memory ops / 2 MEM units), "
+                "RecMII = %lld => mII = %lld\n\n",
+                static_cast<long long>(sched::resMii(nest, machine)),
+                static_cast<long long>(graph.recMii()),
+                static_cast<long long>(sched::minII(graph, machine)));
+
+    // --- What the CME analysis sees. ---
+    cme::CmeAnalysis cme(nest);
+    const CacheGeom geom = machine.clusterCacheGeom();
+    std::printf("=== CME analysis (per-cluster cache: %lld B, %d B "
+                "lines) ===\n",
+                static_cast<long long>(geom.capacityBytes),
+                geom.lineBytes);
+    std::printf("ping-pong set {LD1=B(I), LD2=C(I)} together: "
+                "%.2f misses/iteration\n",
+                cme.missesPerIteration({0, 1}, geom));
+    std::printf("grouped set   {LD1=B(I), LD3=B(I+1)} together: "
+                "%.2f misses/iteration\n",
+                cme.missesPerIteration({0, 2}, geom));
+    cme::ReuseAnalysis reuse(nest);
+    std::printf("LD1 inner stride: %lld B (self-%s)\n",
+                static_cast<long long>(reuse.innerStrideBytes(0)),
+                reuse.selfReuse(0, geom.lineBytes) ==
+                        cme::ReuseKind::SelfSpatial
+                    ? "spatial"
+                    : "other");
+    const auto pairs = reuse.groupPairs({0, 2}, geom.lineBytes);
+    if (!pairs.empty())
+        std::printf("LD1/LD3 group reuse: %s, distance %lld\n\n",
+                    std::string(reuseKindName(pairs[0].kind)).c_str(),
+                    static_cast<long long>(pairs[0].distance));
+
+    // --- Both schedules. ---
+    for (bool rmca : {false, true}) {
+        sched::SchedulerOptions opt;
+        opt.memoryAware = rmca;
+        opt.missThreshold = 1.0;
+        opt.locality = &cme;
+        auto r = sched::ClusteredModuloScheduler(graph, machine, opt)
+                     .run();
+        if (!r.ok) {
+            std::printf("scheduling failed: %s\n", r.error.c_str());
+            return 1;
+        }
+        std::printf("=== %s ===\n%s",
+                    rmca ? "Figure 3(b): RMCA" : "Figure 3(a): Baseline",
+                    r.schedule.toString(graph, machine).c_str());
+        const auto img =
+            vliw::KernelImage::generate(graph, r.schedule, machine);
+        std::printf("kernel utilisation %.0f%%, %zu instructions with "
+                    "prologue/epilogue\n",
+                    img.kernelUtilisation() * 100, img.codeSizeInstrs());
+        const auto sim = sim::simulateLoop(graph, r.schedule, machine);
+        std::printf("simulated: compute %lld + stall %lld = %lld "
+                    "cycles\n\n",
+                    static_cast<long long>(sim.computeCycles),
+                    static_cast<long long>(sim.stallCycles),
+                    static_cast<long long>(sim.totalCycles()));
+    }
+
+    std::printf("The second schedule trades one II (3 -> 4) and an "
+                "extra register\ncommunication for conflict-free "
+                "caches, which is the paper's point.\n");
+    return 0;
+}

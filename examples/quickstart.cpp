@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Quickstart: build a loop, schedule it with both schedulers on the
+ * 2-cluster machine, and simulate the result.
+ *
+ * The loop is a SAXPY-like kernel over two arrays that conflict in the
+ * direct-mapped caches, so the memory-aware scheduler (RMCA) produces a
+ * visibly different cluster assignment than the register-only baseline.
+ */
+
+#include <cstdio>
+
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "ir/builder.hh"
+#include "machine/presets.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "vliw/kernel.hh"
+
+using namespace mvp;
+
+int
+main()
+{
+    // --- 1. Describe the loop (what a compiler front-end would emit). ---
+    ir::LoopNestBuilder b("quickstart.saxpy2");
+    b.loop("rep", 0, 16);      // outer repetitions (NTIMES)
+    b.loop("i", 0, 512);       // the modulo-scheduled inner loop (NITER)
+    // X and Y are 8 KB apart: same cache set in every configuration.
+    const auto X = b.arrayAt("X", {512}, 0x10000);
+    const auto Y = b.arrayAt("Y", {512}, 0x12000);
+    const auto Z = b.arrayAt("Z", {512}, 0x14000);
+
+    const auto x = b.load(X, {ir::affineVar(1)}, "x");
+    const auto y = b.load(Y, {ir::affineVar(1)}, "y");
+    const auto ax = b.op(ir::Opcode::FMul, {ir::use(x), ir::liveIn()},
+                         "ax");
+    const auto s = b.op(ir::Opcode::FAdd, {ir::use(ax), ir::use(y)}, "s");
+    b.store(Z, {ir::affineVar(1)}, ir::use(s), "sz");
+    const ir::LoopNest nest = b.build();
+    std::printf("%s\n", nest.toString().c_str());
+
+    // --- 2. Pick a machine and build the dependence graph. ---
+    const MachineConfig machine = makeTwoCluster();
+    std::printf("machine: %s\n\n", machine.summary().c_str());
+    const auto graph = ddg::Ddg::build(nest, machine);
+    std::printf("%s\n", graph.toString().c_str());
+
+    // --- 3. Schedule: baseline vs RMCA. ---
+    cme::CmeAnalysis locality(nest);
+    auto base = sched::scheduleBaseline(graph, machine, 1.0, &locality);
+    auto rmca = sched::scheduleRmca(graph, machine, 0.0, locality);
+    if (!base.ok || !rmca.ok) {
+        std::printf("scheduling failed\n");
+        return 1;
+    }
+    std::printf("baseline schedule:\n%s\n",
+                base.schedule.toString(graph, machine).c_str());
+    std::printf("RMCA schedule (threshold 0.00, '*' = miss latency):\n%s\n",
+                rmca.schedule.toString(graph, machine).c_str());
+
+    // --- 4. Expand to VLIW code (Figure 2 format). ---
+    const auto img = vliw::KernelImage::generate(graph, rmca.schedule,
+                                                 machine);
+    std::printf("code: %zu instructions, kernel utilisation %.0f%%\n\n",
+                img.codeSizeInstrs(), img.kernelUtilisation() * 100);
+
+    // --- 5. Simulate both schedules on the lockstep machine. ---
+    const auto sim_base = sim::simulateLoop(graph, base.schedule, machine);
+    const auto sim_rmca = sim::simulateLoop(graph, rmca.schedule, machine);
+    std::printf("baseline: II=%lld compute=%lld stall=%lld total=%lld\n",
+                static_cast<long long>(base.schedule.ii()),
+                static_cast<long long>(sim_base.computeCycles),
+                static_cast<long long>(sim_base.stallCycles),
+                static_cast<long long>(sim_base.totalCycles()));
+    std::printf("RMCA:     II=%lld compute=%lld stall=%lld total=%lld\n",
+                static_cast<long long>(rmca.schedule.ii()),
+                static_cast<long long>(sim_rmca.computeCycles),
+                static_cast<long long>(sim_rmca.stallCycles),
+                static_cast<long long>(sim_rmca.totalCycles()));
+    std::printf("speedup: %.2fx\n",
+                static_cast<double>(sim_base.totalCycles()) /
+                    static_cast<double>(sim_rmca.totalCycles()));
+    return 0;
+}

@@ -1,0 +1,292 @@
+#include "cache/memsys.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mvp::cache
+{
+
+MemorySystem::MemorySystem(const MachineConfig &machine)
+    : machine_(machine), geom_(machine.clusterCacheGeom())
+{
+    clusters_.resize(static_cast<std::size_t>(machine.nClusters));
+    for (auto &cl : clusters_) {
+        cl.ways.assign(static_cast<std::size_t>(geom_.numSets()) *
+                           static_cast<std::size_t>(geom_.assoc),
+                       Way{});
+        cl.mshrBusyUntil.assign(
+            static_cast<std::size_t>(machine.mshrEntries), 0);
+    }
+    if (!machine.unboundedMemBuses)
+        busFreeAt_.assign(static_cast<std::size_t>(machine.nMemBuses), 0);
+}
+
+void
+MemorySystem::reset()
+{
+    for (auto &cl : clusters_) {
+        std::fill(cl.ways.begin(), cl.ways.end(), Way{});
+        std::fill(cl.mshrBusyUntil.begin(), cl.mshrBusyUntil.end(), 0);
+        cl.inflight.clear();
+    }
+    std::fill(busFreeAt_.begin(), busFreeAt_.end(), 0);
+    stats_.reset();
+}
+
+Cycle
+MemorySystem::acquireBus(Cycle ready)
+{
+    if (machine_.unboundedMemBuses)
+        return ready;
+    // Grant the bus that frees earliest; occupy it for the bus latency.
+    std::size_t best = 0;
+    for (std::size_t b = 1; b < busFreeAt_.size(); ++b)
+        if (busFreeAt_[b] < busFreeAt_[best])
+            best = b;
+    const Cycle grant = std::max(ready, busFreeAt_[best]);
+    busFreeAt_[best] = grant + machine_.memBusLatency;
+    stats_.counter("bus_wait_cycles") += grant - ready;
+    stats_.counter("bus_transactions") += 1;
+    return grant;
+}
+
+int
+MemorySystem::findWay(const Cluster &cl, std::int64_t set,
+                      std::int64_t line) const
+{
+    const auto base =
+        static_cast<std::size_t>(set) * static_cast<std::size_t>(
+                                            geom_.assoc);
+    for (int w = 0; w < geom_.assoc; ++w) {
+        const auto &way = cl.ways[base + static_cast<std::size_t>(w)];
+        if (way.state != LineState::Invalid && way.line == line)
+            return w;
+    }
+    return -1;
+}
+
+MemorySystem::Way
+MemorySystem::installLine(Cluster &cl, std::int64_t set, std::int64_t line,
+                          LineState state)
+{
+    const auto base =
+        static_cast<std::size_t>(set) * static_cast<std::size_t>(
+                                            geom_.assoc);
+    const Way victim = cl.ways[base + static_cast<std::size_t>(
+                                          geom_.assoc - 1)];
+    for (int w = geom_.assoc - 1; w > 0; --w)
+        cl.ways[base + static_cast<std::size_t>(w)] =
+            cl.ways[base + static_cast<std::size_t>(w - 1)];
+    cl.ways[base] = Way{line, state};
+    return victim;
+}
+
+void
+MemorySystem::invalidateRemote(std::int64_t line, ClusterId except)
+{
+    const std::int64_t set = line % geom_.numSets();
+    for (std::size_t c = 0; c < clusters_.size(); ++c) {
+        if (static_cast<ClusterId>(c) == except)
+            continue;
+        const int w = findWay(clusters_[c], set, line);
+        if (w >= 0) {
+            clusters_[c]
+                .ways[static_cast<std::size_t>(set) *
+                          static_cast<std::size_t>(geom_.assoc) +
+                      static_cast<std::size_t>(w)]
+                .state = LineState::Invalid;
+            stats_.counter("invalidations") += 1;
+        }
+    }
+}
+
+LineState
+MemorySystem::probe(ClusterId cluster, Addr addr) const
+{
+    const auto &cl = clusters_[static_cast<std::size_t>(cluster)];
+    const std::int64_t line = geom_.lineOf(addr);
+    const std::int64_t set = line % geom_.numSets();
+    const int w = findWay(cl, set, line);
+    if (w < 0)
+        return LineState::Invalid;
+    return cl
+        .ways[static_cast<std::size_t>(set) *
+                  static_cast<std::size_t>(geom_.assoc) +
+              static_cast<std::size_t>(w)]
+        .state;
+}
+
+MemAccessResult
+MemorySystem::access(ClusterId cluster, Addr addr, bool is_store,
+                     Cycle issue)
+{
+    auto &cl = clusters_[static_cast<std::size_t>(cluster)];
+    const std::int64_t line = geom_.lineOf(addr);
+    const std::int64_t set = line % geom_.numSets();
+    MemAccessResult res;
+    stats_.counter(is_store ? "stores" : "loads") += 1;
+
+    // A fill for this line still in flight? Merge before probing tags
+    // (the tag was installed eagerly when the fill was initiated, so the
+    // probe alone would mis-report an instant hit).
+    if (auto it = cl.inflight.find(line); it != cl.inflight.end()) {
+        if (it->second > issue) {
+            res.mergedInFlight = true;
+            stats_.counter("mshr_merges") += 1;
+            stats_.counter("local_misses") += 1;
+            res.completion =
+                std::max(it->second, issue + machine_.latCacheHit);
+            if (is_store) {
+                const int w = findWay(cl, set, line);
+                const bool shared =
+                    w < 0 ||
+                    cl.ways[static_cast<std::size_t>(set) *
+                                static_cast<std::size_t>(geom_.assoc) +
+                            static_cast<std::size_t>(w)]
+                            .state != LineState::Modified;
+                if (shared) {
+                    // Ownership needs an upgrade once the data arrives.
+                    const Cycle grant = acquireBus(res.completion);
+                    invalidateRemote(line, cluster);
+                    if (w >= 0)
+                        cl.ways[static_cast<std::size_t>(set) *
+                                    static_cast<std::size_t>(
+                                        geom_.assoc) +
+                                static_cast<std::size_t>(w)]
+                            .state = LineState::Modified;
+                    res.completion = grant + machine_.memBusLatency;
+                    stats_.counter("upgrades") += 1;
+                }
+            }
+            return res;
+        }
+        cl.inflight.erase(it);
+    }
+
+    const int way = findWay(cl, set, line);
+    if (way >= 0) {
+        const auto idx = static_cast<std::size_t>(set) *
+                             static_cast<std::size_t>(geom_.assoc) +
+                         static_cast<std::size_t>(way);
+        const LineState state = cl.ways[idx].state;
+        // Touch for LRU.
+        const Way touched = cl.ways[idx];
+        for (std::size_t w = idx;
+             w > static_cast<std::size_t>(set) *
+                     static_cast<std::size_t>(geom_.assoc);
+             --w)
+            cl.ways[w] = cl.ways[w - 1];
+        cl.ways[static_cast<std::size_t>(set) *
+                static_cast<std::size_t>(geom_.assoc)] = touched;
+        auto &mru = cl.ways[static_cast<std::size_t>(set) *
+                            static_cast<std::size_t>(geom_.assoc)];
+
+        if (!is_store || state == LineState::Modified) {
+            // Plain hit.
+            if (is_store)
+                mru.state = LineState::Modified;
+            res.localHit = true;
+            res.completion = issue + machine_.latCacheHit;
+            stats_.counter("local_hits") += 1;
+            return res;
+        }
+        // Store to a Shared line: upgrade (invalidation) transaction.
+        const Cycle grant = acquireBus(issue + machine_.latCacheHit);
+        invalidateRemote(line, cluster);
+        mru.state = LineState::Modified;
+        res.localHit = true;
+        res.completion = grant + machine_.memBusLatency;
+        stats_.counter("upgrades") += 1;
+        return res;
+    }
+
+    // --- Local miss. ---
+    stats_.counter("local_misses") += 1;
+
+    // Allocate an MSHR entry; a full MSHR stalls the machine at issue.
+    auto mshr = std::min_element(cl.mshrBusyUntil.begin(),
+                                 cl.mshrBusyUntil.end());
+    Cycle alloc = issue;
+    if (*mshr > issue) {
+        res.issueStall = *mshr - issue;
+        alloc = *mshr;
+        stats_.counter("mshr_full_stall_cycles") += res.issueStall;
+    }
+
+    // The local tag check discovered the miss; then arbitrate for a bus.
+    const Cycle ready = alloc + machine_.latCacheHit;
+    const Cycle grant = acquireBus(ready);
+
+    // Snoop the other clusters at grant time.
+    bool remote_dirty = false;
+    bool remote_has = false;
+    for (std::size_t c = 0; c < clusters_.size() && !remote_has; ++c) {
+        if (static_cast<ClusterId>(c) == cluster)
+            continue;
+        const int w = findWay(clusters_[c], set, line);
+        if (w >= 0) {
+            remote_has = true;
+            remote_dirty =
+                clusters_[c]
+                    .ways[static_cast<std::size_t>(set) *
+                              static_cast<std::size_t>(geom_.assoc) +
+                          static_cast<std::size_t>(w)]
+                    .state == LineState::Modified;
+        }
+    }
+
+    Cycle fill_done;
+    if (remote_has) {
+        // Cache-to-cache transfer: the bus transaction plus the remote
+        // cache's access time.
+        fill_done = grant + machine_.memBusLatency + machine_.latCacheHit;
+        res.remoteHit = true;
+        stats_.counter("remote_hits") += 1;
+        if (remote_dirty)
+            stats_.counter("dirty_supplies") += 1;
+        // Supplier downgrades (load) or invalidates (store below).
+        for (std::size_t c = 0; c < clusters_.size(); ++c) {
+            if (static_cast<ClusterId>(c) == cluster)
+                continue;
+            const int w = findWay(clusters_[c], set, line);
+            if (w >= 0)
+                clusters_[c]
+                    .ways[static_cast<std::size_t>(set) *
+                              static_cast<std::size_t>(geom_.assoc) +
+                          static_cast<std::size_t>(w)]
+                    .state = LineState::Shared;
+        }
+    } else {
+        fill_done = grant + machine_.memBusLatency + machine_.latMainMemory;
+        stats_.counter("memory_fills") += 1;
+    }
+
+    if (is_store)
+        invalidateRemote(line, cluster);
+
+    // Install the line, write back a dirty victim (write buffer: the
+    // writeback occupies a bus but does not delay this fill).
+    const Way victim = installLine(
+        cl, set, line, is_store ? LineState::Modified : LineState::Shared);
+    if (victim.state == LineState::Modified) {
+        acquireBus(fill_done);
+        stats_.counter("writebacks") += 1;
+    }
+
+    *mshr = fill_done;
+    cl.inflight[line] = fill_done;
+    // Retire completed in-flight markers lazily (keeps the map tiny;
+    // stale entries are also dropped on lookup).
+    for (auto it = cl.inflight.begin(); it != cl.inflight.end();) {
+        if (it->second < issue)
+            it = cl.inflight.erase(it);
+        else
+            ++it;
+    }
+
+    res.completion = fill_done;
+    return res;
+}
+
+} // namespace mvp::cache

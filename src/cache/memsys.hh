@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Timed model of the distributed memory system of a multiVLIWprocessor.
+ *
+ * Each cluster owns a direct-mapped (configurable associativity),
+ * non-blocking L1 data cache with an MSHR. The caches and main memory
+ * share one or more memory buses; coherence is a snoopy MSI protocol
+ * handled entirely in hardware (§2.1). The model computes, for every
+ * access, the completion cycle following the latency decomposition of
+ * §2.2:
+ *
+ *   LAT = LAT_cache + MISS_LC * (NC_waitEntry + NC_waitBus +
+ *         LAT_memoryBus + (MISS_RC ? LAT_mainMemory : LAT_remoteCache))
+ *
+ * with MSHR merging ("an earlier miss has already started loading the
+ * relevant cache line"), bus occupancy for coherence traffic (upgrades,
+ * writebacks) and write-allocate stores that fetch ownership.
+ */
+
+#ifndef MVP_CACHE_MEMSYS_HH
+#define MVP_CACHE_MEMSYS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "machine/machine.hh"
+
+namespace mvp::cache
+{
+
+/** MSI line states. */
+enum class LineState : std::uint8_t { Invalid, Shared, Modified };
+
+/** Timing and classification of one access. */
+struct MemAccessResult
+{
+    /** Cycle at which the loaded value is available / store retires. */
+    Cycle completion = 0;
+
+    /**
+     * Cycles the issuing instruction must stall *at issue* because no
+     * MSHR entry was free (the paper stalls the whole machine).
+     */
+    Cycle issueStall = 0;
+
+    bool localHit = false;
+    bool remoteHit = false;        ///< satisfied by another cluster's cache
+    bool mergedInFlight = false;   ///< folded into a pending fill
+};
+
+/**
+ * The complete distributed memory system.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const MachineConfig &machine);
+
+    /**
+     * Perform one access and return its timing. Accesses must be issued
+     * in non-decreasing @p issue order (the lockstep simulator
+     * guarantees this).
+     */
+    MemAccessResult access(ClusterId cluster, Addr addr, bool is_store,
+                           Cycle issue);
+
+    /** Forget all cached state and bus/MSHR occupancy. */
+    void reset();
+
+    /** Current MSI state of @p addr 's line in @p cluster (for tests). */
+    LineState probe(ClusterId cluster, Addr addr) const;
+
+    /** Event counters: hits, misses, waits, coherence traffic. */
+    const StatGroup &stats() const { return stats_; }
+
+    /** Mutable counters (the simulator merges them into its result). */
+    StatGroup &stats() { return stats_; }
+
+  private:
+    struct Way
+    {
+        std::int64_t line = -1;
+        LineState state = LineState::Invalid;
+    };
+
+    struct Cluster
+    {
+        std::vector<Way> ways;            ///< [set * assoc + way], MRU first
+        std::vector<Cycle> mshrBusyUntil; ///< one per MSHR entry
+        /** In-flight fills: line -> completion cycle. */
+        std::unordered_map<std::int64_t, Cycle> inflight;
+    };
+
+    /** Earliest cycle a bus grant is possible at or after @p ready. */
+    Cycle acquireBus(Cycle ready);
+
+    /** Look up a line; returns way index or -1. */
+    int findWay(const Cluster &cl, std::int64_t set, std::int64_t line)
+        const;
+
+    /** Install @p line MRU in @p set, returning the evicted way. */
+    Way installLine(Cluster &cl, std::int64_t set, std::int64_t line,
+                    LineState state);
+
+    /** Invalidate @p line in every cluster except @p except. */
+    void invalidateRemote(std::int64_t line, ClusterId except);
+
+    const MachineConfig &machine_;
+    CacheGeom geom_;
+    std::vector<Cluster> clusters_;
+    std::vector<Cycle> busFreeAt_;
+    StatGroup stats_;
+};
+
+} // namespace mvp::cache
+
+#endif // MVP_CACHE_MEMSYS_HH

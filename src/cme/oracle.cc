@@ -1,0 +1,123 @@
+#include "cme/oracle.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mvp::cme
+{
+
+namespace
+{
+
+std::vector<OpId>
+sortedSet(const std::vector<OpId> &set)
+{
+    std::vector<OpId> s = set;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    return s;
+}
+
+std::string
+setKey(const std::vector<OpId> &set, const CacheGeom &geom)
+{
+    std::string key = std::to_string(geom.capacityBytes) + "/" +
+                      std::to_string(geom.lineBytes) + "/" +
+                      std::to_string(geom.assoc) + "|";
+    for (OpId o : set)
+        key += std::to_string(o) + ",";
+    return key;
+}
+
+} // namespace
+
+CacheOracle::CacheOracle(const ir::LoopNest &nest) : nest_(nest) {}
+
+const CacheOracle::SimResult &
+CacheOracle::simulate(const std::vector<OpId> &set, const CacheGeom &geom)
+{
+    const std::string key = setKey(set, geom);
+    if (auto it = memo_.find(key); it != memo_.end())
+        return it->second;
+
+    const std::int64_t num_sets = geom.numSets();
+    const auto assoc = static_cast<std::size_t>(geom.assoc);
+    // tags[set * assoc + way], most-recently-used way first.
+    std::vector<std::int64_t> tags(
+        static_cast<std::size_t>(num_sets) * assoc, -1);
+
+    SimResult res;
+    for (OpId op : set)
+        res.misses[op] = 0;
+
+    const ir::IterationSpace space(nest_);
+    res.points = space.points();
+    std::vector<std::int64_t> ivs;
+    for (std::int64_t p = 0; p < space.points(); ++p) {
+        space.at(p, ivs);
+        for (OpId op_id : set) {
+            const auto &op = nest_.op(op_id);
+            const Addr addr = nest_.addressOf(*op.memRef, ivs);
+            const std::int64_t line = geom.lineOf(addr);
+            const auto set_idx =
+                static_cast<std::size_t>(line % num_sets) * assoc;
+
+            bool hit = false;
+            for (std::size_t w = 0; w < assoc; ++w) {
+                if (tags[set_idx + w] == line) {
+                    // Move to MRU position.
+                    for (std::size_t k = w; k > 0; --k)
+                        tags[set_idx + k] = tags[set_idx + k - 1];
+                    tags[set_idx] = line;
+                    hit = true;
+                    break;
+                }
+            }
+            if (!hit) {
+                ++res.misses[op_id];
+                for (std::size_t k = assoc - 1; k > 0; --k)
+                    tags[set_idx + k] = tags[set_idx + k - 1];
+                tags[set_idx] = line;
+            }
+        }
+    }
+
+    return memo_.emplace(key, std::move(res)).first->second;
+}
+
+double
+CacheOracle::missesPerIteration(const std::vector<OpId> &set,
+                                const CacheGeom &geom)
+{
+    if (set.empty())
+        return 0.0;
+    const auto s = sortedSet(set);
+    const SimResult &res = simulate(s, geom);
+    std::int64_t total = 0;
+    for (const auto &[op, misses] : res.misses)
+        total += misses;
+    return static_cast<double>(total) / static_cast<double>(res.points);
+}
+
+double
+CacheOracle::missRatio(const std::vector<OpId> &set, OpId op,
+                       const CacheGeom &geom)
+{
+    mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
+    std::vector<OpId> s = set;
+    s.push_back(op);
+    s = sortedSet(s);
+    const SimResult &res = simulate(s, geom);
+    return static_cast<double>(res.misses.at(op)) /
+           static_cast<double>(res.points);
+}
+
+std::unordered_map<OpId, std::int64_t>
+CacheOracle::missCounts(const std::vector<OpId> &set, const CacheGeom &geom)
+{
+    const auto s = sortedSet(set);
+    return simulate(s, geom).misses;
+}
+
+} // namespace mvp::cme

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exact trace-driven locality oracle.
+ *
+ * Simulates the complete access stream of a reference set through one
+ * cache (LRU within sets) and reports exact per-instruction miss ratios.
+ * Serves two purposes: property-testing the CME sampling solver, and
+ * acting as a drop-in LocalityAnalysis for the scheduler when exactness
+ * matters more than analysis speed.
+ */
+
+#ifndef MVP_CME_ORACLE_HH
+#define MVP_CME_ORACLE_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cme/locality.hh"
+
+namespace mvp::cme
+{
+
+/**
+ * Exact cache-behaviour oracle bound to one loop nest.
+ */
+class CacheOracle : public LocalityAnalysis
+{
+  public:
+    explicit CacheOracle(const ir::LoopNest &nest);
+
+    const ir::LoopNest &loop() const override { return nest_; }
+
+    double missesPerIteration(const std::vector<OpId> &set,
+                              const CacheGeom &geom) override;
+
+    double missRatio(const std::vector<OpId> &set, OpId op,
+                     const CacheGeom &geom) override;
+
+    /** Exact miss count of every op in @p set over the full nest. */
+    std::unordered_map<OpId, std::int64_t>
+    missCounts(const std::vector<OpId> &set, const CacheGeom &geom);
+
+  private:
+    struct SimResult
+    {
+        std::unordered_map<OpId, std::int64_t> misses;
+        std::int64_t points = 0;
+    };
+
+    const SimResult &simulate(const std::vector<OpId> &set,
+                              const CacheGeom &geom);
+
+    const ir::LoopNest &nest_;
+    std::unordered_map<std::string, SimResult> memo_;
+};
+
+} // namespace mvp::cme
+
+#endif // MVP_CME_ORACLE_HH

@@ -1,0 +1,122 @@
+#include "cme/reuse.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mvp::cme
+{
+
+std::string_view
+reuseKindName(ReuseKind kind)
+{
+    switch (kind) {
+      case ReuseKind::None: return "none";
+      case ReuseKind::SelfTemporal: return "self-temporal";
+      case ReuseKind::SelfSpatial: return "self-spatial";
+      case ReuseKind::GroupTemporal: return "group-temporal";
+      case ReuseKind::GroupSpatial: return "group-spatial";
+    }
+    mvp_panic("unknown ReuseKind");
+}
+
+ReuseAnalysis::ReuseAnalysis(const ir::LoopNest &nest) : nest_(nest) {}
+
+std::int64_t
+ReuseAnalysis::innerStrideBytes(OpId op_id) const
+{
+    const auto &op = nest_.op(op_id);
+    mvp_assert(op.isMemory(), "stride of a non-memory op");
+    const auto &ref = *op.memRef;
+    const auto &arr = nest_.array(ref.array);
+    const std::size_t inner = nest_.innerDepth();
+    const std::int64_t step = nest_.innerLoop().step;
+
+    // Row-major multiplier of each dimension.
+    std::int64_t stride_elems = 0;
+    std::int64_t mult = 1;
+    for (std::size_t d = ref.index.size(); d-- > 0;) {
+        stride_elems += ref.index[d].coeff(inner) * mult;
+        mult *= arr.dims[d];
+    }
+    return stride_elems * step * arr.elemSize;
+}
+
+ReuseKind
+ReuseAnalysis::selfReuse(OpId op, int line_bytes) const
+{
+    const std::int64_t stride = innerStrideBytes(op);
+    if (stride == 0)
+        return ReuseKind::SelfTemporal;
+    if (std::llabs(stride) < line_bytes)
+        return ReuseKind::SelfSpatial;
+    return ReuseKind::None;
+}
+
+std::optional<std::int64_t>
+ReuseAnalysis::byteDelta(OpId a, OpId b) const
+{
+    const auto &oa = nest_.op(a);
+    const auto &ob = nest_.op(b);
+    mvp_assert(oa.isMemory() && ob.isMemory(), "byteDelta of non-memory op");
+    const auto &ra = *oa.memRef;
+    const auto &rb = *ob.memRef;
+    if (!ra.uniformlyGeneratedWith(rb))
+        return std::nullopt;
+
+    const auto &arr = nest_.array(ra.array);
+    std::int64_t delta_elems = 0;
+    std::int64_t mult = 1;
+    for (std::size_t d = ra.index.size(); d-- > 0;) {
+        delta_elems +=
+            (ra.index[d].constant - rb.index[d].constant) * mult;
+        mult *= arr.dims[d];
+    }
+    return delta_elems * arr.elemSize;
+}
+
+std::vector<GroupReuse>
+ReuseAnalysis::groupPairs(const std::vector<OpId> &set,
+                          int line_bytes) const
+{
+    std::vector<GroupReuse> out;
+    for (std::size_t x = 0; x < set.size(); ++x) {
+        for (std::size_t y = x + 1; y < set.size(); ++y) {
+            const OpId a = set[x];
+            const OpId b = set[y];
+            const auto delta_opt = byteDelta(a, b);
+            if (!delta_opt)
+                continue;
+            const std::int64_t delta = *delta_opt;   // addr(a) - addr(b)
+            const std::int64_t stride = innerStrideBytes(a);
+
+            GroupReuse gr;
+            if (delta == 0) {
+                gr = {a, b, ReuseKind::GroupTemporal, 0};
+            } else if (stride != 0 && delta % stride == 0 &&
+                       std::llabs(delta / stride) <
+                           nest_.innerTripCount()) {
+                // One reference walks onto the other's past footprint.
+                const std::int64_t k = delta / stride;
+                // k > 0: b at iteration i touches what a touched at
+                // i - k, i.e. a leads.
+                gr = k > 0 ? GroupReuse{a, b, ReuseKind::GroupTemporal, k}
+                           : GroupReuse{b, a, ReuseKind::GroupTemporal, -k};
+            } else if (std::llabs(delta) < line_bytes) {
+                // Same or adjacent line at equal iterations: spatial
+                // group reuse; the leader is the one with the lower
+                // address for positive strides.
+                const bool a_leads = (stride >= 0) == (delta < 0);
+                gr = a_leads
+                         ? GroupReuse{a, b, ReuseKind::GroupSpatial, 0}
+                         : GroupReuse{b, a, ReuseKind::GroupSpatial, 0};
+            } else {
+                continue;
+            }
+            out.push_back(gr);
+        }
+    }
+    return out;
+}
+
+} // namespace mvp::cme

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reuse-vector analysis for affine references (Wolf & Lam style),
+ * restricted to what the CME framework and the tests need: self reuse of
+ * a single reference along the innermost loop, and group reuse between
+ * uniformly generated reference pairs.
+ */
+
+#ifndef MVP_CME_REUSE_HH
+#define MVP_CME_REUSE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/loop.hh"
+
+namespace mvp::cme
+{
+
+/** Kinds of reuse between or within references. */
+enum class ReuseKind
+{
+    None,           ///< no reuse along the innermost loop
+    SelfTemporal,   ///< same element revisited every iteration
+    SelfSpatial,    ///< same line revisited in consecutive iterations
+    GroupTemporal,  ///< another reference touches the same element
+    GroupSpatial,   ///< another reference touches the same line
+};
+
+/** Printable name. */
+std::string_view reuseKindName(ReuseKind kind);
+
+/** A group-reuse relation between two references. */
+struct GroupReuse
+{
+    OpId from = INVALID_ID;   ///< leading reference (touches data first)
+    OpId to = INVALID_ID;     ///< trailing reference (reuses it)
+    ReuseKind kind = ReuseKind::None;
+
+    /**
+     * Iteration distance of the reuse along the innermost loop
+     * (0 = same iteration).
+     */
+    std::int64_t distance = 0;
+};
+
+/**
+ * Reuse analysis bound to one loop nest.
+ */
+class ReuseAnalysis
+{
+  public:
+    explicit ReuseAnalysis(const ir::LoopNest &nest);
+
+    /**
+     * Byte stride of @p op 's address per innermost-loop iteration
+     * (constant because the reference is affine).
+     */
+    std::int64_t innerStrideBytes(OpId op) const;
+
+    /**
+     * Self reuse of @p op along the innermost loop for a given line
+     * size: SelfTemporal when the stride is 0, SelfSpatial when
+     * 0 < |stride| < line, otherwise None.
+     */
+    ReuseKind selfReuse(OpId op, int line_bytes) const;
+
+    /**
+     * Constant byte distance between two uniformly generated references
+     * (addr(a) - addr(b) at equal iteration points); nullopt when the
+     * pair is not uniformly generated.
+     */
+    std::optional<std::int64_t> byteDelta(OpId a, OpId b) const;
+
+    /**
+     * All group-reuse relations among @p set for the given line size.
+     * Pairs must be uniformly generated; the leading reference is the
+     * one that touches the line first in execution order.
+     */
+    std::vector<GroupReuse> groupPairs(const std::vector<OpId> &set,
+                                       int line_bytes) const;
+
+  private:
+    const ir::LoopNest &nest_;
+};
+
+} // namespace mvp::cme
+
+#endif // MVP_CME_REUSE_HH

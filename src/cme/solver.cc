@@ -1,0 +1,193 @@
+#include "cme/solver.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace mvp::cme
+{
+
+namespace
+{
+
+/** FNV-1a over a string, used to derive per-query sampling seeds. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/** Sorted copy of a reference set (program order == OpId order). */
+std::vector<OpId>
+sortedSet(const std::vector<OpId> &set)
+{
+    std::vector<OpId> s = set;
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    return s;
+}
+
+} // namespace
+
+CmeAnalysis::CmeAnalysis(const ir::LoopNest &nest, CmeParams params)
+    : nest_(nest), params_(params), space_(nest)
+{
+    mvp_assert(params_.minSamples > 0 && params_.maxSamples >=
+               params_.minSamples, "bad CME sampling parameters");
+}
+
+std::string
+CmeAnalysis::cacheKey(const std::vector<OpId> &set, OpId op,
+                      const CacheGeom &geom)
+{
+    std::string key;
+    key.reserve(16 + set.size() * 4);
+    key += std::to_string(geom.capacityBytes);
+    key += '/';
+    key += std::to_string(geom.lineBytes);
+    key += '/';
+    key += std::to_string(geom.assoc);
+    key += ':';
+    key += std::to_string(op);
+    key += '|';
+    for (OpId o : set) {
+        key += std::to_string(o);
+        key += ',';
+    }
+    return key;
+}
+
+bool
+CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
+                    std::int64_t point, const CacheGeom &geom)
+{
+    ++points_;
+    const std::int64_t num_sets = geom.numSets();
+    mvp_assert(num_sets > 0, "cache with no sets");
+
+    std::vector<std::int64_t> ivs;
+    space_.at(point, ivs);
+
+    const auto &target_op = nest_.op(set[ref_pos]);
+    const Addr target_addr = nest_.addressOf(*target_op.memRef, ivs);
+    const std::int64_t target_line = geom.lineOf(target_addr);
+    const std::int64_t target_set = target_line % num_sets;
+
+    // Distinct interfering lines seen so far in the target set.
+    std::vector<std::int64_t> conflicts;
+    conflicts.reserve(static_cast<std::size_t>(geom.assoc));
+
+    std::int64_t cur_point = point;
+    auto cur_pos = static_cast<std::int64_t>(ref_pos);
+    int walked = 0;
+
+    auto step_back = [&]() -> bool {
+        if (--cur_pos >= 0)
+            return true;
+        if (cur_point == 0)
+            return false;   // start of the stream: cold equation fires
+        --cur_point;
+        cur_pos = static_cast<std::int64_t>(set.size()) - 1;
+        // Decrement the IV vector in place (borrow from inner to outer).
+        for (std::size_t d = nest_.depth(); d-- > 0;) {
+            const auto &l = nest_.loops()[d];
+            if (ivs[d] - l.step >= l.lower) {
+                ivs[d] -= l.step;
+                break;
+            }
+            ivs[d] = l.lower + (l.tripCount() - 1) * l.step;
+        }
+        return true;
+    };
+
+    while (step_back()) {
+        if (++walked > params_.maxWalk)
+            return true;   // reuse beyond the window: treat as miss
+        const auto &op = nest_.op(set[static_cast<std::size_t>(cur_pos)]);
+        const Addr addr = nest_.addressOf(*op.memRef, ivs);
+        const std::int64_t line = geom.lineOf(addr);
+        if (line == target_line) {
+            // Reuse source found: the replacement equation fires iff the
+            // interference already filled the set.
+            return static_cast<int>(conflicts.size()) >= geom.assoc;
+        }
+        if (line % num_sets == target_set &&
+            std::find(conflicts.begin(), conflicts.end(), line) ==
+                conflicts.end()) {
+            conflicts.push_back(line);
+            if (static_cast<int>(conflicts.size()) >= geom.assoc)
+                return true;   // set already refilled: guaranteed miss
+        }
+    }
+    return true;   // no earlier access: cold miss
+}
+
+double
+CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
+                        const CacheGeom &geom)
+{
+    const std::string key = cacheKey(set, op, geom);
+    if (auto it = memo_.find(key); it != memo_.end())
+        return it->second;
+    ++queries_;
+
+    const auto pos_it = std::find(set.begin(), set.end(), op);
+    mvp_assert(pos_it != set.end(), "op not in reference set");
+    const auto ref_pos =
+        static_cast<std::size_t>(pos_it - set.begin());
+
+    double ratio;
+    const std::int64_t points = space_.points();
+    if (points <= params_.maxSamples) {
+        // Exhaustive mode: evaluate every iteration point.
+        std::int64_t misses = 0;
+        for (std::int64_t p = 0; p < points; ++p)
+            misses += isMiss(set, ref_pos, p, geom) ? 1 : 0;
+        ratio = static_cast<double>(misses) / static_cast<double>(points);
+    } else {
+        Rng rng(params_.seed ^ fnv1a(key));
+        RunningStat stat;
+        while (static_cast<int>(stat.count()) < params_.maxSamples) {
+            const auto p = static_cast<std::int64_t>(
+                rng.nextBounded(static_cast<std::uint64_t>(points)));
+            stat.add(isMiss(set, ref_pos, p, geom) ? 1.0 : 0.0);
+            if (static_cast<int>(stat.count()) >= params_.minSamples &&
+                stat.ciHalfWidth() <= params_.ciTarget)
+                break;
+        }
+        ratio = stat.mean();
+    }
+
+    memo_.emplace(key, ratio);
+    return ratio;
+}
+
+double
+CmeAnalysis::missRatio(const std::vector<OpId> &set, OpId op,
+                       const CacheGeom &geom)
+{
+    mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
+    std::vector<OpId> s = set;
+    s.push_back(op);
+    s = sortedSet(s);
+    return solveRatio(s, op, geom);
+}
+
+double
+CmeAnalysis::missesPerIteration(const std::vector<OpId> &set,
+                                const CacheGeom &geom)
+{
+    const std::vector<OpId> s = sortedSet(set);
+    double total = 0.0;
+    for (OpId op : s)
+        total += solveRatio(s, op, geom);
+    return total;
+}
+
+} // namespace mvp::cme

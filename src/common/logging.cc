@@ -1,0 +1,63 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mvp
+{
+
+namespace
+{
+LogLevel g_level = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::fflush(stderr);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(g_level) < static_cast<int>(level))
+        return;
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    std::fflush(stdout);
+}
+
+} // namespace detail
+} // namespace mvp

@@ -1,0 +1,154 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mvp
+{
+
+void
+RunningStat::add(double x)
+{
+    ++n_;
+    if (n_ == 1) {
+        mean_ = x;
+        m2_ = 0.0;
+        min_ = x;
+        max_ = x;
+        return;
+    }
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+RunningStat::ciHalfWidth(double z) const
+{
+    if (n_ < 2)
+        return 0.0;
+    return z * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    // Chan et al. parallel combination of Welford states.
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nab = na + nb;
+    m2_ += other.m2_ + delta * delta * na * nb / nab;
+    mean_ += delta * nb / nab;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat{};
+}
+
+std::int64_t &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+std::int64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::string
+StatGroup::dump(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters_)
+        os << prefix << name << " = " << value << '\n';
+    return os.str();
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, value] : counters_)
+        value = 0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    mvp_assert(hi > lo, "histogram range must be non-empty");
+    mvp_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<std::size_t>((x - lo_) / width);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+std::size_t
+Histogram::bucketCount(std::size_t i) const
+{
+    mvp_assert(i < counts_.size(), "bucket index out of range");
+    return counts_[i];
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+} // namespace mvp

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Statistics accumulators used by the CME sampling solver, the simulator
+ * and the experiment harness.
+ */
+
+#ifndef MVP_COMMON_STATS_HH
+#define MVP_COMMON_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mvp
+{
+
+/**
+ * Running mean/variance accumulator (Welford's algorithm).
+ *
+ * Numerically stable for long sampling runs; also exposes the half-width
+ * of a normal-approximation confidence interval, which the CME solver
+ * uses as its stop rule (Vera et al. style sampling).
+ */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance (0 with < 2 observations). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation seen (0 when empty). */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Largest observation seen (0 when empty). */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /**
+     * Half-width of the confidence interval around the mean for the given
+     * two-sided confidence level (normal approximation).
+     *
+     * @param z Critical value; 1.96 gives a 95% interval.
+     */
+    double ciHalfWidth(double z = 1.96) const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStat &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named counter bag: a tiny stats registry for simulator components.
+ *
+ * Counters auto-create at first touch; dump() renders them sorted by name
+ * so simulator output is stable across runs.
+ */
+class StatGroup
+{
+  public:
+    /** Mutable access to the counter named @p name (created at 0). */
+    std::int64_t &counter(const std::string &name);
+
+    /** Read-only value of @p name (0 when never touched). */
+    std::int64_t value(const std::string &name) const;
+
+    /** All counters, sorted by name. */
+    const std::map<std::string, std::int64_t> &all() const
+    {
+        return counters_;
+    }
+
+    /** Render "name = value" lines. */
+    std::string dump(const std::string &prefix = "") const;
+
+    /** Add every counter of @p other into this group. */
+    void merge(const StatGroup &other);
+
+    /** Reset all counters to zero (keeps the names). */
+    void reset();
+
+  private:
+    std::map<std::string, std::int64_t> counters_;
+};
+
+/**
+ * Fixed-bucket histogram for latency distributions.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bucket.
+     * @param hi Exclusive upper bound of the last regular bucket.
+     * @param buckets Number of equal-width buckets between lo and hi;
+     *                out-of-range samples land in under/overflow.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Number of samples recorded. */
+    std::size_t count() const { return count_; }
+
+    /** Count in regular bucket @p i. */
+    std::size_t bucketCount(std::size_t i) const;
+
+    /** Samples below the low bound. */
+    std::size_t underflow() const { return underflow_; }
+
+    /** Samples at or above the high bound. */
+    std::size_t overflow() const { return overflow_; }
+
+    /** Number of regular buckets. */
+    std::size_t buckets() const { return counts_.size(); }
+
+    /** Mean of all recorded samples. */
+    double mean() const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t underflow_ = 0;
+    std::size_t overflow_ = 0;
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+} // namespace mvp
+
+#endif // MVP_COMMON_STATS_HH

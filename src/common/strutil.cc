@@ -1,0 +1,68 @@
+#include "common/strutil.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mvp
+{
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args_copy;
+    va_copy(args_copy, args);
+    const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (needed > 0) {
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args_copy);
+        out.resize(static_cast<std::size_t>(needed));
+    }
+    va_end(args_copy);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &items, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i)
+            out += sep;
+        out += items[i];
+    }
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s.substr(0, width);
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+fmtDouble(double v, int digits)
+{
+    return strprintf("%.*f", digits, v);
+}
+
+std::string
+fmtPercent(double ratio, int digits)
+{
+    return strprintf("%.*f%%", digits, ratio * 100.0);
+}
+
+} // namespace mvp

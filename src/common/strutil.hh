@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string formatting helpers shared by reports and dumps.
+ */
+
+#ifndef MVP_COMMON_STRUTIL_HH
+#define MVP_COMMON_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace mvp
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Join the items with a separator. */
+std::string join(const std::vector<std::string> &items,
+                 const std::string &sep);
+
+/** Left-pad or truncate to exactly @p width columns. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad or truncate to exactly @p width columns. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Format a double with @p digits fractional digits. */
+std::string fmtDouble(double v, int digits = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.25 -> "25.0%". */
+std::string fmtPercent(double ratio, int digits = 1);
+
+} // namespace mvp
+
+#endif // MVP_COMMON_STRUTIL_HH

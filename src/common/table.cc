@@ -1,0 +1,81 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace mvp
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    mvp_assert(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    mvp_assert(cells.size() == headers_.size(),
+               "row has ", cells.size(), " cells, expected ",
+               headers_.size());
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addRule()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::size_t
+TextTable::rows() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rows_)
+        if (!row.is_rule)
+            ++n;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.is_rule)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    std::size_t total = 0;
+    for (auto w : widths)
+        total += w + 3;
+
+    std::ostringstream os;
+    if (!title_.empty())
+        os << title_ << '\n';
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << padRight(headers_[c], widths[c]) << (c + 1 < widths.size()
+                                                       ? " | "
+                                                       : "");
+    os << '\n' << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        if (row.is_rule) {
+            os << std::string(total, '-') << '\n';
+            continue;
+        }
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            os << padRight(row.cells[c], widths[c])
+               << (c + 1 < widths.size() ? " | " : "");
+        os << '\n';
+    }
+    return os.str();
+}
+
+} // namespace mvp

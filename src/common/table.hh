@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table renderer used by the figure/table reproduction benches.
+ *
+ * The paper's evaluation is presented as bar charts; the harness renders
+ * the same series as aligned text tables, one row per bar.
+ */
+
+#ifndef MVP_COMMON_TABLE_HH
+#define MVP_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace mvp
+{
+
+/**
+ * Column-aligned text table with an optional title and header rule.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Render the table; every column is padded to its widest cell. */
+    std::string render() const;
+
+    /** Number of data rows added so far (rules excluded). */
+    std::size_t rows() const;
+
+  private:
+    struct Row
+    {
+        bool is_rule = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace mvp
+
+#endif // MVP_COMMON_TABLE_HH

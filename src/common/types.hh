@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every multiVLIW module.
+ */
+
+#ifndef MVP_COMMON_TYPES_HH
+#define MVP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mvp
+{
+
+/** Simulated byte address in the flat benchmark address space. */
+using Addr = std::uint64_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::int64_t;
+
+/** Dense identifier of an operation inside one loop body. */
+using OpId = std::int32_t;
+
+/** Dense identifier of an array inside one loop nest. */
+using ArrayId = std::int32_t;
+
+/** Identifier of a cluster (0-based). */
+using ClusterId = std::int32_t;
+
+/** Invalid/unset marker for the dense id types above. */
+constexpr std::int32_t INVALID_ID = -1;
+
+/** A cycle value meaning "never" / "not yet". */
+constexpr Cycle CYCLE_MAX = std::numeric_limits<Cycle>::max();
+
+} // namespace mvp
+
+#endif // MVP_COMMON_TYPES_HH

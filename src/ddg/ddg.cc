@@ -1,0 +1,439 @@
+#include "ddg/ddg.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mvp::ddg
+{
+
+std::string_view
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::RegFlow: return "reg";
+      case EdgeKind::MemFlow: return "mem-flow";
+      case EdgeKind::MemAnti: return "mem-anti";
+      case EdgeKind::MemOutput: return "mem-out";
+    }
+    mvp_panic("unknown EdgeKind");
+}
+
+Ddg
+Ddg::build(const ir::LoopNest &nest, const MachineConfig &machine)
+{
+    Ddg g;
+    g.nest_ = &nest;
+    g.n_ = nest.size();
+    g.out_.resize(g.n_);
+    g.in_.resize(g.n_);
+    g.op_latency_.resize(g.n_);
+    for (const auto &op : nest.ops())
+        g.op_latency_[static_cast<std::size_t>(op.id)] =
+            machine.opLatency(op.opcode);
+
+    // Register dataflow edges from the operand lists.
+    for (const auto &op : nest.ops()) {
+        for (const auto &operand : op.inputs) {
+            if (operand.isLiveIn())
+                continue;
+            DdgEdge e;
+            e.src = operand.producer;
+            e.dst = op.id;
+            e.latency = g.op_latency_[static_cast<std::size_t>(e.src)];
+            e.distance = operand.distance;
+            e.kind = EdgeKind::RegFlow;
+            g.addEdge(e);
+        }
+    }
+
+    // Memory ordering edges from the affine dependence test.
+    const auto mem_ops = nest.memoryOps();
+    auto mem_edge_kind = [&](OpId a, OpId b) {
+        const bool sa = nest.op(a).isStore();
+        const bool sb = nest.op(b).isStore();
+        if (sa && sb)
+            return EdgeKind::MemOutput;
+        return sa ? EdgeKind::MemFlow : EdgeKind::MemAnti;
+    };
+    auto mem_edge_latency = [&](EdgeKind kind) -> Cycle {
+        switch (kind) {
+          case EdgeKind::MemFlow: return machine.latStore;
+          case EdgeKind::MemAnti: return 0;
+          case EdgeKind::MemOutput: return 1;
+          default: mvp_panic("not a memory edge kind");
+        }
+    };
+    auto add_mem_edge = [&](OpId a, OpId b, int distance) {
+        const EdgeKind kind = mem_edge_kind(a, b);
+        DdgEdge e;
+        e.src = a;
+        e.dst = b;
+        e.latency = mem_edge_latency(kind);
+        e.distance = distance;
+        e.kind = kind;
+        g.addEdge(e);
+    };
+
+    for (std::size_t x = 0; x < mem_ops.size(); ++x) {
+        for (std::size_t y = x; y < mem_ops.size(); ++y) {
+            const OpId a = mem_ops[x];   // earlier in program order
+            const OpId b = mem_ops[y];
+            const auto &ra = *nest.op(a).memRef;
+            const auto &rb = *nest.op(b).memRef;
+            const bool any_store =
+                nest.op(a).isStore() || nest.op(b).isStore();
+            if (!any_store)
+                continue;   // load-load pairs never constrain the order
+
+            const MemDepResult res = testMemoryDependence(nest, ra, rb);
+            switch (res.kind) {
+              case MemDepResult::Kind::Independent:
+                break;
+              case MemDepResult::Kind::Exact:
+                if (res.everyIteration) {
+                    // Collision in every pair of iterations: program
+                    // order within the iteration plus a distance-1 back
+                    // edge.
+                    if (a != b)
+                        add_mem_edge(a, b, 0);
+                    add_mem_edge(b, a, 1);
+                } else if (a == b) {
+                    // A reference only collides with itself at shift 0,
+                    // which is not a dependence.
+                } else if (res.distance >= 0) {
+                    add_mem_edge(a, b, res.distance);
+                } else {
+                    add_mem_edge(b, a, -res.distance);
+                }
+                break;
+              case MemDepResult::Kind::Unknown:
+                // Conservative serialisation: program order inside the
+                // iteration and a distance-1 back edge across iterations.
+                if (a != b)
+                    add_mem_edge(a, b, 0);
+                add_mem_edge(b, a, 1);
+                break;
+            }
+        }
+    }
+
+    return g;
+}
+
+void
+Ddg::addEdge(DdgEdge edge)
+{
+    mvp_assert(edge.src >= 0 &&
+               static_cast<std::size_t>(edge.src) < n_ &&
+               edge.dst >= 0 && static_cast<std::size_t>(edge.dst) < n_,
+               "edge endpoints out of range");
+    mvp_assert(edge.distance >= 0, "edge distance must be >= 0");
+    const int idx = static_cast<int>(edges_.size());
+    edges_.push_back(edge);
+    out_[static_cast<std::size_t>(edge.src)].push_back(idx);
+    in_[static_cast<std::size_t>(edge.dst)].push_back(idx);
+    sccs_valid_ = false;
+}
+
+const std::vector<int> &
+Ddg::outEdges(OpId op) const
+{
+    mvp_assert(op >= 0 && static_cast<std::size_t>(op) < n_, "bad op id");
+    return out_[static_cast<std::size_t>(op)];
+}
+
+const std::vector<int> &
+Ddg::inEdges(OpId op) const
+{
+    mvp_assert(op >= 0 && static_cast<std::size_t>(op) < n_, "bad op id");
+    return in_[static_cast<std::size_t>(op)];
+}
+
+Cycle
+Ddg::opLatency(OpId op) const
+{
+    mvp_assert(op >= 0 && static_cast<std::size_t>(op) < n_, "bad op id");
+    return op_latency_[static_cast<std::size_t>(op)];
+}
+
+bool
+Ddg::feasibleII(Cycle ii, const LatencyOverrides &overrides) const
+{
+    mvp_assert(ii >= 1, "II must be positive");
+    // Bellman-Ford longest-path relaxation; a positive cycle exists iff
+    // some distance still relaxes after n_ rounds.
+    std::vector<Cycle> dist(n_, 0);
+    auto edge_weight = [&](const DdgEdge &e) -> Cycle {
+        Cycle lat = e.latency;
+        if (e.isRegFlow()) {
+            auto it = overrides.find(e.src);
+            if (it != overrides.end())
+                lat = it->second;
+        }
+        return lat - ii * e.distance;
+    };
+    for (std::size_t round = 0; round < n_; ++round) {
+        bool changed = false;
+        for (const auto &e : edges_) {
+            const Cycle cand =
+                dist[static_cast<std::size_t>(e.src)] + edge_weight(e);
+            if (cand > dist[static_cast<std::size_t>(e.dst)]) {
+                dist[static_cast<std::size_t>(e.dst)] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            return true;
+    }
+    // One more round: any further relaxation proves a positive cycle.
+    for (const auto &e : edges_) {
+        if (dist[static_cast<std::size_t>(e.src)] + edge_weight(e) >
+            dist[static_cast<std::size_t>(e.dst)])
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Ddg::recMii() const
+{
+    // Feasibility is monotone in II (every cycle carries distance >= 1,
+    // since the distance-0 subgraph follows program order), so binary
+    // search the smallest feasible II.
+    Cycle lo = 1;
+    Cycle hi = 1;
+    for (const auto &e : edges_)
+        hi += std::max<Cycle>(e.latency, 0);
+    if (feasibleII(lo))
+        return lo;
+    while (lo + 1 < hi) {
+        const Cycle mid = lo + (hi - lo) / 2;
+        if (feasibleII(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    mvp_assert(feasibleII(hi), "recMii upper bound infeasible");
+    return hi;
+}
+
+void
+Ddg::computeSccs() const
+{
+    if (sccs_valid_)
+        return;
+    sccs_.clear();
+    scc_of_.assign(n_, -1);
+    in_recurrence_.assign(n_, false);
+
+    // Iterative Tarjan.
+    std::vector<int> index(n_, -1);
+    std::vector<int> lowlink(n_, 0);
+    std::vector<bool> on_stack(n_, false);
+    std::vector<OpId> stack;
+    int next_index = 0;
+
+    struct Frame
+    {
+        OpId node;
+        std::size_t edge_pos;
+    };
+
+    for (std::size_t start = 0; start < n_; ++start) {
+        if (index[start] != -1)
+            continue;
+        std::vector<Frame> frames;
+        frames.push_back({static_cast<OpId>(start), 0});
+        index[start] = lowlink[start] = next_index++;
+        stack.push_back(static_cast<OpId>(start));
+        on_stack[start] = true;
+
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto u = static_cast<std::size_t>(f.node);
+            if (f.edge_pos < out_[u].size()) {
+                const DdgEdge &e = edges_[static_cast<std::size_t>(
+                    out_[u][f.edge_pos++])];
+                const auto v = static_cast<std::size_t>(e.dst);
+                if (index[v] == -1) {
+                    index[v] = lowlink[v] = next_index++;
+                    stack.push_back(e.dst);
+                    on_stack[v] = true;
+                    frames.push_back({e.dst, 0});
+                } else if (on_stack[v]) {
+                    lowlink[u] = std::min(lowlink[u], index[v]);
+                }
+            } else {
+                if (frames.size() > 1) {
+                    const auto parent = static_cast<std::size_t>(
+                        frames[frames.size() - 2].node);
+                    lowlink[parent] = std::min(lowlink[parent], lowlink[u]);
+                }
+                if (lowlink[u] == index[u]) {
+                    std::vector<OpId> comp;
+                    OpId w;
+                    do {
+                        w = stack.back();
+                        stack.pop_back();
+                        on_stack[static_cast<std::size_t>(w)] = false;
+                        scc_of_[static_cast<std::size_t>(w)] =
+                            static_cast<int>(sccs_.size());
+                        comp.push_back(w);
+                    } while (w != f.node);
+                    std::sort(comp.begin(), comp.end());
+                    sccs_.push_back(std::move(comp));
+                }
+                frames.pop_back();
+            }
+        }
+    }
+
+    // A node is on a recurrence iff its SCC has >1 node or a self-loop.
+    for (const auto &comp : sccs_) {
+        bool cyclic = comp.size() > 1;
+        if (!cyclic) {
+            for (int ei : out_[static_cast<std::size_t>(comp[0])])
+                if (edges_[static_cast<std::size_t>(ei)].dst == comp[0])
+                    cyclic = true;
+        }
+        if (cyclic)
+            for (OpId v : comp)
+                in_recurrence_[static_cast<std::size_t>(v)] = true;
+    }
+    sccs_valid_ = true;
+}
+
+const std::vector<std::vector<OpId>> &
+Ddg::sccs() const
+{
+    computeSccs();
+    return sccs_;
+}
+
+int
+Ddg::sccOf(OpId op) const
+{
+    computeSccs();
+    return scc_of_[static_cast<std::size_t>(op)];
+}
+
+bool
+Ddg::inRecurrence(OpId op) const
+{
+    computeSccs();
+    return in_recurrence_[static_cast<std::size_t>(op)];
+}
+
+Cycle
+Ddg::sccRecMii(int scc_index) const
+{
+    computeSccs();
+    const auto &comp = sccs_[static_cast<std::size_t>(scc_index)];
+    if (comp.size() == 1 && !in_recurrence_[static_cast<std::size_t>(
+                                comp[0])])
+        return 1;
+
+    // Feasibility check restricted to edges inside the component.
+    std::vector<char> in_comp(n_, 0);
+    for (OpId v : comp)
+        in_comp[static_cast<std::size_t>(v)] = 1;
+    auto feasible = [&](Cycle ii) {
+        std::vector<Cycle> dist(n_, 0);
+        for (std::size_t round = 0; round <= comp.size(); ++round) {
+            bool changed = false;
+            for (const auto &e : edges_) {
+                if (!in_comp[static_cast<std::size_t>(e.src)] ||
+                    !in_comp[static_cast<std::size_t>(e.dst)])
+                    continue;
+                const Cycle cand = dist[static_cast<std::size_t>(e.src)] +
+                                   e.latency - ii * e.distance;
+                if (cand > dist[static_cast<std::size_t>(e.dst)]) {
+                    if (round == comp.size())
+                        return false;
+                    dist[static_cast<std::size_t>(e.dst)] = cand;
+                    changed = true;
+                }
+            }
+            if (!changed)
+                return true;
+        }
+        return true;
+    };
+
+    Cycle lo = 1;
+    Cycle hi = 1;
+    for (const auto &e : edges_)
+        if (in_comp[static_cast<std::size_t>(e.src)] &&
+            in_comp[static_cast<std::size_t>(e.dst)])
+            hi += std::max<Cycle>(e.latency, 0);
+    if (feasible(lo))
+        return lo;
+    while (lo + 1 < hi) {
+        const Cycle mid = lo + (hi - lo) / 2;
+        if (feasible(mid))
+            hi = mid;
+        else
+            lo = mid;
+    }
+    return hi;
+}
+
+Ddg::TimeBounds
+Ddg::timeBounds(Cycle ii) const
+{
+    mvp_assert(feasibleII(ii), "timeBounds at infeasible II");
+    TimeBounds tb;
+    tb.asap.assign(n_, 0);
+
+    // Longest path from sources (Bellman-Ford to fixpoint).
+    for (std::size_t round = 0; round < n_; ++round) {
+        bool changed = false;
+        for (const auto &e : edges_) {
+            const Cycle cand = tb.asap[static_cast<std::size_t>(e.src)] +
+                               e.latency - ii * e.distance;
+            if (cand > tb.asap[static_cast<std::size_t>(e.dst)]) {
+                tb.asap[static_cast<std::size_t>(e.dst)] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    tb.criticalPath = 0;
+    for (std::size_t v = 0; v < n_; ++v)
+        tb.criticalPath = std::max(tb.criticalPath, tb.asap[v]);
+
+    tb.alap.assign(n_, tb.criticalPath);
+    for (std::size_t round = 0; round < n_; ++round) {
+        bool changed = false;
+        for (const auto &e : edges_) {
+            const Cycle cand = tb.alap[static_cast<std::size_t>(e.dst)] -
+                               (e.latency - ii * e.distance);
+            if (cand < tb.alap[static_cast<std::size_t>(e.src)]) {
+                tb.alap[static_cast<std::size_t>(e.src)] = cand;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return tb;
+}
+
+std::string
+Ddg::toString() const
+{
+    std::ostringstream os;
+    os << "ddg of '" << nest_->name() << "': " << n_ << " nodes, "
+       << edges_.size() << " edges, recMII=" << recMii() << "\n";
+    for (const auto &e : edges_) {
+        os << "  %" << e.src << " -> %" << e.dst << "  lat=" << e.latency
+           << " dist=" << e.distance << " [" << edgeKindName(e.kind)
+           << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace mvp::ddg

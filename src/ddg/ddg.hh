@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Data dependence graph of an innermost loop body, the input to the
+ * modulo schedulers.
+ *
+ * Nodes are the body operations; edges carry a latency and an
+ * innermost-loop dependence distance (omega). A modulo schedule with
+ * initiation interval II is legal when for every edge u -> v
+ *
+ *     time(v) - time(u) >= latency(u->v) - II * distance(u->v).
+ */
+
+#ifndef MVP_DDG_DDG_HH
+#define MVP_DDG_DDG_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "ddg/memdep.hh"
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace mvp::ddg
+{
+
+/** Classes of dependence edges. */
+enum class EdgeKind
+{
+    RegFlow,    ///< register dataflow (producer -> consumer)
+    MemFlow,    ///< store -> load, same location
+    MemAnti,    ///< load -> store, same location
+    MemOutput,  ///< store -> store, same location
+};
+
+/** Printable name of an edge kind. */
+std::string_view edgeKindName(EdgeKind kind);
+
+/** One dependence edge. */
+struct DdgEdge
+{
+    OpId src = INVALID_ID;
+    OpId dst = INVALID_ID;
+    Cycle latency = 0;
+    int distance = 0;    ///< innermost-loop omega (>= 0)
+    EdgeKind kind = EdgeKind::RegFlow;
+
+    /** True for register dataflow edges (the ones buses transport). */
+    bool isRegFlow() const { return kind == EdgeKind::RegFlow; }
+};
+
+/**
+ * Per-operation latency overrides, used when the RMCA scheduler promotes
+ * a load to the cache-miss latency: every RegFlow edge leaving the op
+ * adopts the override.
+ */
+using LatencyOverrides = std::unordered_map<OpId, Cycle>;
+
+/**
+ * The data dependence graph.
+ */
+class Ddg
+{
+  public:
+    /**
+     * Build the DDG of @p nest under @p machine 's operation latencies.
+     *
+     * Register edges come from the operand lists; memory edges from the
+     * affine dependence test (exact for uniformly generated pairs,
+     * conservative serialisation otherwise).
+     */
+    static Ddg build(const ir::LoopNest &nest, const MachineConfig &machine);
+
+    /** The underlying loop nest. */
+    const ir::LoopNest &loop() const { return *nest_; }
+
+    /** Number of nodes (== number of body operations). */
+    std::size_t size() const { return n_; }
+
+    /** All edges. */
+    const std::vector<DdgEdge> &edges() const { return edges_; }
+
+    /** Indices into edges() of the edges leaving @p op. */
+    const std::vector<int> &outEdges(OpId op) const;
+
+    /** Indices into edges() of the edges entering @p op. */
+    const std::vector<int> &inEdges(OpId op) const;
+
+    /** The machine-model hit latency recorded for @p op 's results. */
+    Cycle opLatency(OpId op) const;
+
+    /**
+     * Recurrence-constrained minimum initiation interval: the smallest II
+     * with no positive-weight cycle under weights latency - II*distance.
+     * Returns 1 for acyclic graphs.
+     */
+    Cycle recMii() const;
+
+    /**
+     * True when @p ii admits a legal schedule as far as recurrences are
+     * concerned, with optional per-op out-latency overrides (used to ask
+     * "may this load adopt the miss latency without raising the II?").
+     */
+    bool feasibleII(Cycle ii,
+                    const LatencyOverrides &overrides = {}) const;
+
+    /**
+     * Strongly connected components (Tarjan). Components are returned in
+     * reverse topological order; singleton components without a self-loop
+     * are included.
+     */
+    const std::vector<std::vector<OpId>> &sccs() const;
+
+    /** Component index of @p op in sccs(). */
+    int sccOf(OpId op) const;
+
+    /** True when @p op lies on some dependence cycle. */
+    bool inRecurrence(OpId op) const;
+
+    /**
+     * RecMII restricted to one component of sccs() (1 for trivial
+     * components).
+     */
+    Cycle sccRecMii(int scc_index) const;
+
+    /** ASAP/ALAP times at a given II (Bellman-Ford longest paths). */
+    struct TimeBounds
+    {
+        std::vector<Cycle> asap;
+        std::vector<Cycle> alap;
+        Cycle criticalPath = 0;
+
+        /** Scheduling freedom of a node. */
+        Cycle mobility(OpId op) const
+        {
+            return alap[static_cast<std::size_t>(op)] -
+                   asap[static_cast<std::size_t>(op)];
+        }
+
+        /** Longest path from the node to any sink. */
+        Cycle height(OpId op) const
+        {
+            return criticalPath - alap[static_cast<std::size_t>(op)];
+        }
+
+        /** Longest path from any source to the node (== ASAP). */
+        Cycle depth(OpId op) const
+        {
+            return asap[static_cast<std::size_t>(op)];
+        }
+    };
+
+    /**
+     * Compute ASAP/ALAP under weights latency - ii*distance. Requires
+     * feasibleII(ii).
+     */
+    TimeBounds timeBounds(Cycle ii) const;
+
+    /** Graphviz-free textual dump for debugging. */
+    std::string toString() const;
+
+  private:
+    Ddg() = default;
+
+    void addEdge(DdgEdge edge);
+    void computeSccs() const;
+
+    const ir::LoopNest *nest_ = nullptr;
+    std::size_t n_ = 0;
+    std::vector<DdgEdge> edges_;
+    std::vector<std::vector<int>> out_;
+    std::vector<std::vector<int>> in_;
+    std::vector<Cycle> op_latency_;
+
+    mutable bool sccs_valid_ = false;
+    mutable std::vector<std::vector<OpId>> sccs_;
+    mutable std::vector<int> scc_of_;
+    mutable std::vector<bool> in_recurrence_;
+};
+
+} // namespace mvp::ddg
+
+#endif // MVP_DDG_DDG_HH

@@ -1,0 +1,105 @@
+#include "ddg/memdep.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mvp::ddg
+{
+
+namespace
+{
+
+/**
+ * Min/max of an affine expression over the iteration box (same logic the
+ * IR validator uses, duplicated here to keep the analysis self-contained).
+ */
+std::pair<std::int64_t, std::int64_t>
+exprRange(const ir::AffineExpr &expr, const ir::LoopNest &nest)
+{
+    std::int64_t lo = expr.constant;
+    std::int64_t hi = expr.constant;
+    const auto &loops = nest.loops();
+    for (std::size_t d = 0; d < loops.size(); ++d) {
+        const std::int64_t c = expr.coeff(d);
+        if (c == 0 || loops[d].tripCount() == 0)
+            continue;
+        const std::int64_t first = loops[d].lower;
+        const std::int64_t last =
+            loops[d].lower + (loops[d].tripCount() - 1) * loops[d].step;
+        lo += c > 0 ? c * first : c * last;
+        hi += c > 0 ? c * last : c * first;
+    }
+    return {lo, hi};
+}
+
+/**
+ * Exact test for uniformly generated pairs: all index coefficients equal,
+ * so the references touch the same element iff the constant offsets are
+ * bridged by a consistent innermost-iteration shift in every dimension.
+ */
+MemDepResult
+uniformTest(const ir::LoopNest &nest, const ir::AffineRef &from,
+            const ir::AffineRef &to)
+{
+    const std::size_t inner = nest.innerDepth();
+    const std::int64_t step = nest.innerLoop().step;
+
+    bool have_k = false;
+    std::int64_t k = 0;
+    for (std::size_t d = 0; d < from.index.size(); ++d) {
+        const std::int64_t c_inner = from.index[d].coeff(inner);
+        const std::int64_t delta =
+            from.index[d].constant - to.index[d].constant;
+        if (c_inner == 0) {
+            if (delta != 0)
+                return {MemDepResult::Kind::Independent, 0};
+            continue;
+        }
+        const std::int64_t per_iter = c_inner * step;
+        if (delta % per_iter != 0)
+            return {MemDepResult::Kind::Independent, 0};
+        const std::int64_t k_d = delta / per_iter;
+        if (have_k && k_d != k)
+            return {MemDepResult::Kind::Independent, 0};
+        have_k = true;
+        k = k_d;
+    }
+
+    if (!have_k) {
+        // No dimension depends on the innermost loop: the two references
+        // touch the same element in every pair of iterations.
+        return {MemDepResult::Kind::Exact, 0, true};
+    }
+
+    // Shifts at least as long as the innermost trip never materialise
+    // inside one execution of the loop.
+    if (std::llabs(k) >= nest.innerTripCount())
+        return {MemDepResult::Kind::Independent, 0, false};
+
+    return {MemDepResult::Kind::Exact, static_cast<int>(k), false};
+}
+
+} // namespace
+
+MemDepResult
+testMemoryDependence(const ir::LoopNest &nest, const ir::AffineRef &from,
+                     const ir::AffineRef &to)
+{
+    if (from.array != to.array)
+        return {MemDepResult::Kind::Independent, 0};
+
+    if (from.uniformlyGeneratedWith(to))
+        return uniformTest(nest, from, to);
+
+    // Non-uniform pair: cheap disproofs, then conservative Unknown.
+    for (std::size_t d = 0; d < from.index.size(); ++d) {
+        auto [lo_a, hi_a] = exprRange(from.index[d], nest);
+        auto [lo_b, hi_b] = exprRange(to.index[d], nest);
+        if (hi_a < lo_b || hi_b < lo_a)
+            return {MemDepResult::Kind::Independent, 0};
+    }
+    return {MemDepResult::Kind::Unknown, 0};
+}
+
+} // namespace mvp::ddg

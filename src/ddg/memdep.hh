@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Affine memory-dependence analysis between two references of a loop
+ * body, producing the innermost-loop dependence distance used by the
+ * modulo scheduler.
+ */
+
+#ifndef MVP_DDG_MEMDEP_HH
+#define MVP_DDG_MEMDEP_HH
+
+#include <optional>
+
+#include "ir/loop.hh"
+
+namespace mvp::ddg
+{
+
+/** Outcome of the dependence test between two same-array references. */
+struct MemDepResult
+{
+    /** Kinds of relation the test can prove. */
+    enum class Kind
+    {
+        Independent,   ///< provably never touch the same element
+        Exact,         ///< same element exactly every @c distance iterations
+        Unknown,       ///< may alias; must be serialised conservatively
+    };
+
+    Kind kind = Kind::Independent;
+
+    /**
+     * For Exact: the signed innermost-iteration distance k such that the
+     * element @p from touches at iteration i is touched by @p to at
+     * iteration i + k. k >= 0 yields a dependence from -> to with
+     * distance k; k < 0 yields a dependence to -> from with distance -k.
+     */
+    int distance = 0;
+
+    /**
+     * For Exact with distance 0: true when no index depends on the
+     * innermost loop, i.e. the two references collide on the same element
+     * in *every* pair of iterations. The caller must then also serialise
+     * across iterations (distance-1 back edge).
+     */
+    bool everyIteration = false;
+};
+
+/**
+ * Test the dependence between two references of the same loop nest.
+ *
+ * Outer induction variables are held equal (modulo scheduling constrains
+ * only dependences carried by the innermost loop). For uniformly
+ * generated pairs the test is exact; other same-array pairs fall back to
+ * a per-dimension GCD/range independence test and otherwise report
+ * Unknown.
+ *
+ * @param nest  the enclosing loop nest
+ * @param from  reference of the (program-order) earlier operation
+ * @param to    reference of the later operation
+ */
+MemDepResult testMemoryDependence(const ir::LoopNest &nest,
+                                  const ir::AffineRef &from,
+                                  const ir::AffineRef &to);
+
+} // namespace mvp::ddg
+
+#endif // MVP_DDG_MEMDEP_HH

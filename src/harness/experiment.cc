@@ -1,0 +1,97 @@
+#include "harness/experiment.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "machine/presets.hh"
+
+namespace mvp::harness
+{
+
+std::string_view
+schedKindName(SchedKind kind)
+{
+    switch (kind) {
+      case SchedKind::Baseline: return "Baseline";
+      case SchedKind::Rmca: return "RMCA";
+    }
+    mvp_panic("unknown SchedKind");
+}
+
+Workbench::Workbench(const std::vector<std::string> &only)
+{
+    // Any Table-1 preset provides the (shared) operation latencies.
+    const MachineConfig lat_machine = makeUnified();
+    for (auto &bench : workloads::allBenchmarks()) {
+        if (!only.empty() &&
+            std::find(only.begin(), only.end(), bench.name) == only.end())
+            continue;
+        for (auto &nest : bench.loops) {
+            auto entry = std::make_unique<Entry>();
+            entry->benchmark = bench.name;
+            entry->nest = std::move(nest);
+            entry->ddg = std::make_unique<ddg::Ddg>(
+                ddg::Ddg::build(entry->nest, lat_machine));
+            entry->cme = std::make_unique<cme::CmeAnalysis>(entry->nest);
+            entries_.push_back(std::move(entry));
+        }
+    }
+}
+
+std::vector<std::string>
+Workbench::benchmarks() const
+{
+    std::vector<std::string> out;
+    for (const auto &e : entries_)
+        if (std::find(out.begin(), out.end(), e->benchmark) == out.end())
+            out.push_back(e->benchmark);
+    return out;
+}
+
+LoopRunResult
+runLoop(Workbench::Entry &entry, const RunConfig &config,
+        sim::SimParams sim_params)
+{
+    LoopRunResult res;
+    res.benchmark = entry.benchmark;
+    res.loop = entry.nest.name();
+
+    sched::SchedulerOptions opt;
+    opt.memoryAware = config.sched == SchedKind::Rmca;
+    opt.missThreshold = config.threshold;
+    opt.locality = entry.cme.get();
+    res.sched = sched::ClusteredModuloScheduler(*entry.ddg,
+                                                config.machine, opt)
+                    .run();
+    if (!res.sched.ok)
+        mvp_fatal("scheduling failed for '", res.loop,
+                  "': ", res.sched.error);
+
+    const std::string err =
+        res.sched.schedule.validate(*entry.ddg, config.machine);
+    if (!err.empty())
+        mvp_fatal("invalid schedule for '", res.loop, "':\n", err);
+
+    res.sim = sim::simulateLoop(*entry.ddg, res.sched.schedule,
+                                config.machine, sim_params);
+    return res;
+}
+
+SuiteResult
+runSuite(Workbench &bench, const RunConfig &config,
+         sim::SimParams sim_params)
+{
+    SuiteResult suite;
+    for (auto &entry : bench.entries()) {
+        LoopRunResult r = runLoop(*entry, config, sim_params);
+        suite.compute += r.sim.computeCycles;
+        suite.stall += r.sim.stallCycles;
+        auto &per = suite.perBenchmark[r.benchmark];
+        per.first += r.sim.computeCycles;
+        per.second += r.sim.stallCycles;
+        suite.loops.push_back(std::move(r));
+    }
+    return suite;
+}
+
+} // namespace mvp::harness

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Experiment harness: prepares every workload loop once (DDG + CME
+ * analysis bound to a stable LoopNest) and runs (machine, scheduler,
+ * threshold) configurations over the whole suite, reporting the paper's
+ * metric — cycles executing modulo-scheduled loops, split into
+ * NCYCLE_compute and NCYCLE_stall and normalised to the unified
+ * configuration.
+ */
+
+#ifndef MVP_HARNESS_EXPERIMENT_HH
+#define MVP_HARNESS_EXPERIMENT_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/scheduler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::harness
+{
+
+/** Scheduler selector. */
+enum class SchedKind { Baseline, Rmca };
+
+/** Printable name. */
+std::string_view schedKindName(SchedKind kind);
+
+/** One experiment point. */
+struct RunConfig
+{
+    MachineConfig machine;
+    SchedKind sched = SchedKind::Baseline;
+    double threshold = 1.0;
+};
+
+/** Per-loop outcome. */
+struct LoopRunResult
+{
+    std::string benchmark;
+    std::string loop;
+    sched::ScheduleResult sched;
+    sim::SimResult sim;
+};
+
+/** Whole-suite outcome. */
+struct SuiteResult
+{
+    Cycle compute = 0;
+    Cycle stall = 0;
+    std::vector<LoopRunResult> loops;
+
+    /** Per-benchmark (compute, stall) sums. */
+    std::map<std::string, std::pair<Cycle, Cycle>> perBenchmark;
+
+    Cycle total() const { return compute + stall; }
+};
+
+/**
+ * All workload loops prepared once: stable LoopNest storage plus the
+ * DDG and a shared CME analysis per loop. The CME memoisation then
+ * amortises across every configuration of a sweep.
+ */
+class Workbench
+{
+  public:
+    /** One prepared loop. */
+    struct Entry
+    {
+        std::string benchmark;
+        ir::LoopNest nest;
+        std::unique_ptr<ddg::Ddg> ddg;
+        std::unique_ptr<cme::CmeAnalysis> cme;
+    };
+
+    /**
+     * Prepare every loop of every suite (or of @p only, when given).
+     * Operation latencies are identical in all Table-1 machines, so one
+     * DDG per loop serves the whole sweep.
+     */
+    explicit Workbench(const std::vector<std::string> &only = {});
+
+    const std::vector<std::unique_ptr<Entry>> &entries() const
+    {
+        return entries_;
+    }
+
+    /** Benchmarks present (paper order). */
+    std::vector<std::string> benchmarks() const;
+
+  private:
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+/** Schedule + simulate one prepared loop under one configuration. */
+LoopRunResult runLoop(Workbench::Entry &entry, const RunConfig &config,
+                      sim::SimParams sim_params = {});
+
+/** Schedule + simulate the whole workbench under one configuration. */
+SuiteResult runSuite(Workbench &bench, const RunConfig &config,
+                     sim::SimParams sim_params = {});
+
+} // namespace mvp::harness
+
+#endif // MVP_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,109 @@
+#include "ir/affine.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mvp::ir
+{
+
+std::int64_t
+AffineExpr::eval(const std::vector<std::int64_t> &ivs) const
+{
+    mvp_assert(coeffs.size() <= ivs.size(),
+               "affine expression refers to loop depth ", coeffs.size() - 1,
+               " but only ", ivs.size(), " induction variables given");
+    std::int64_t acc = constant;
+    for (std::size_t d = 0; d < coeffs.size(); ++d)
+        acc += coeffs[d] * ivs[d];
+    return acc;
+}
+
+bool
+AffineExpr::isConstant() const
+{
+    for (auto c : coeffs)
+        if (c != 0)
+            return false;
+    return true;
+}
+
+std::int64_t
+AffineExpr::coeff(std::size_t depth) const
+{
+    return depth < coeffs.size() ? coeffs[depth] : 0;
+}
+
+std::string
+AffineExpr::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (std::size_t d = 0; d < coeffs.size(); ++d) {
+        if (coeffs[d] == 0)
+            continue;
+        if (!first)
+            os << " + ";
+        if (coeffs[d] != 1)
+            os << coeffs[d] << "*";
+        os << "i" << d;
+        first = false;
+    }
+    if (constant != 0 || first) {
+        if (!first)
+            os << " + ";
+        os << constant;
+    }
+    return os.str();
+}
+
+bool
+AffineExpr::operator==(const AffineExpr &other) const
+{
+    const std::size_t n = std::max(coeffs.size(), other.coeffs.size());
+    for (std::size_t d = 0; d < n; ++d)
+        if (coeff(d) != other.coeff(d))
+            return false;
+    return constant == other.constant;
+}
+
+AffineExpr
+affineVar(std::size_t depth, std::int64_t coeff, std::int64_t constant)
+{
+    AffineExpr e;
+    e.coeffs.assign(depth + 1, 0);
+    e.coeffs[depth] = coeff;
+    e.constant = constant;
+    return e;
+}
+
+AffineExpr
+affineConst(std::int64_t constant)
+{
+    AffineExpr e;
+    e.constant = constant;
+    return e;
+}
+
+bool
+AffineRef::uniformlyGeneratedWith(const AffineRef &other) const
+{
+    if (array != other.array || index.size() != other.index.size())
+        return false;
+    for (std::size_t d = 0; d < index.size(); ++d) {
+        const std::size_t n = std::max(index[d].coeffs.size(),
+                                       other.index[d].coeffs.size());
+        for (std::size_t k = 0; k < n; ++k)
+            if (index[d].coeff(k) != other.index[d].coeff(k))
+                return false;
+    }
+    return true;
+}
+
+bool
+AffineRef::operator==(const AffineRef &other) const
+{
+    return array == other.array && index == other.index;
+}
+
+} // namespace mvp::ir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Affine index expressions and array references.
+ *
+ * An array reference is affine when every dimension's index is a linear
+ * function of the loop induction variables (footnote 1 of the paper);
+ * the Cache Miss Equations framework requires this property.
+ */
+
+#ifndef MVP_IR_AFFINE_HH
+#define MVP_IR_AFFINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mvp::ir
+{
+
+/**
+ * A linear expression sum(coeffs[d] * iv[d]) + constant over the
+ * induction variables of a loop nest (index d = 0 is the outermost loop).
+ */
+struct AffineExpr
+{
+    /** One coefficient per loop in the nest (missing entries are 0). */
+    std::vector<std::int64_t> coeffs;
+
+    /** Constant additive term. */
+    std::int64_t constant = 0;
+
+    /** Evaluate at the given induction-variable values. */
+    std::int64_t eval(const std::vector<std::int64_t> &ivs) const;
+
+    /** True when every coefficient is zero. */
+    bool isConstant() const;
+
+    /** Coefficient for loop @p depth (0 when beyond stored size). */
+    std::int64_t coeff(std::size_t depth) const;
+
+    /** Human-readable rendering, e.g. "2*i1 + 3". */
+    std::string toString() const;
+
+    bool operator==(const AffineExpr &other) const;
+};
+
+/** Build an AffineExpr with a single unit coefficient at @p depth. */
+AffineExpr affineVar(std::size_t depth, std::int64_t coeff = 1,
+                     std::int64_t constant = 0);
+
+/** Build a constant AffineExpr. */
+AffineExpr affineConst(std::int64_t constant);
+
+/**
+ * An affine reference to one array: one index expression per array
+ * dimension, row-major linearisation.
+ */
+struct AffineRef
+{
+    /** Referenced array. */
+    ArrayId array = INVALID_ID;
+
+    /** One index expression per array dimension (outer dim first). */
+    std::vector<AffineExpr> index;
+
+    /**
+     * True when both refs address the same array with identical
+     * coefficient vectors (they differ only in constants): the
+     * "uniformly generated" condition under which group reuse exists.
+     */
+    bool uniformlyGeneratedWith(const AffineRef &other) const;
+
+    bool operator==(const AffineRef &other) const;
+};
+
+} // namespace mvp::ir
+
+#endif // MVP_IR_AFFINE_HH

@@ -1,0 +1,86 @@
+#include "ir/opcode.hh"
+
+#include "common/logging.hh"
+
+namespace mvp::ir
+{
+
+std::string_view
+fuTypeName(FuType type)
+{
+    switch (type) {
+      case FuType::Int: return "INT";
+      case FuType::Fp: return "FP";
+      case FuType::Mem: return "MEM";
+    }
+    mvp_panic("unknown FuType");
+}
+
+std::string_view
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd: return "iadd";
+      case Opcode::ISub: return "isub";
+      case Opcode::IMul: return "imul";
+      case Opcode::IDiv: return "idiv";
+      case Opcode::Copy: return "copy";
+      case Opcode::FAdd: return "fadd";
+      case Opcode::FSub: return "fsub";
+      case Opcode::FMul: return "fmul";
+      case Opcode::FDiv: return "fdiv";
+      case Opcode::FMadd: return "fmadd";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+    }
+    mvp_panic("unknown Opcode");
+}
+
+FuType
+fuTypeOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::IAdd:
+      case Opcode::ISub:
+      case Opcode::IMul:
+      case Opcode::IDiv:
+      case Opcode::Copy:
+        return FuType::Int;
+      case Opcode::FAdd:
+      case Opcode::FSub:
+      case Opcode::FMul:
+      case Opcode::FDiv:
+      case Opcode::FMadd:
+        return FuType::Fp;
+      case Opcode::Load:
+      case Opcode::Store:
+        return FuType::Mem;
+    }
+    mvp_panic("unknown Opcode");
+}
+
+bool
+isMemory(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store;
+}
+
+bool
+producesValue(Opcode op)
+{
+    return op != Opcode::Store;
+}
+
+} // namespace mvp::ir

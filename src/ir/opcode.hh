@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Operation opcodes and the functional-unit classes of the
+ * multiVLIWprocessor (integer, floating-point, memory).
+ */
+
+#ifndef MVP_IR_OPCODE_HH
+#define MVP_IR_OPCODE_HH
+
+#include <string_view>
+
+namespace mvp::ir
+{
+
+/**
+ * Functional-unit classes. Every cluster owns a fixed number of units of
+ * each class (Table 1 of the paper).
+ */
+enum class FuType { Int = 0, Fp = 1, Mem = 2 };
+
+/** Number of functional-unit classes. */
+constexpr int NUM_FU_TYPES = 3;
+
+/** Printable name of a functional-unit class. */
+std::string_view fuTypeName(FuType type);
+
+/**
+ * Operation opcodes.
+ *
+ * The ISA is deliberately small: the modulo scheduler only cares about an
+ * operation's FU class, its latency and its dependences. Address
+ * arithmetic of memory operations is folded into their affine reference
+ * (the ICTINEO front-end the paper uses does the same before scheduling);
+ * explicit IAdd/IMul operations model whatever integer work remains.
+ */
+enum class Opcode
+{
+    IAdd,   ///< integer add/sub/logical
+    ISub,   ///< integer subtract
+    IMul,   ///< integer multiply
+    IDiv,   ///< integer divide
+    Copy,   ///< register move (executes on an integer unit)
+    FAdd,   ///< floating-point add
+    FSub,   ///< floating-point subtract
+    FMul,   ///< floating-point multiply
+    FDiv,   ///< floating-point divide
+    FMadd,  ///< fused multiply-add (single FP operation)
+    Load,   ///< memory load (has an affine reference)
+    Store,  ///< memory store (has an affine reference)
+};
+
+/** Printable mnemonic. */
+std::string_view opcodeName(Opcode op);
+
+/** FU class executing the opcode. */
+FuType fuTypeOf(Opcode op);
+
+/** True for Load and Store. */
+bool isMemory(Opcode op);
+
+/** True for Load. */
+bool isLoad(Opcode op);
+
+/** True for Store. */
+bool isStore(Opcode op);
+
+/**
+ * True when the operation defines a register value consumers can read
+ * (everything except Store).
+ */
+bool producesValue(Opcode op);
+
+} // namespace mvp::ir
+
+#endif // MVP_IR_OPCODE_HH

@@ -1,0 +1,81 @@
+#include "ir/transform.hh"
+
+#include "common/logging.hh"
+
+namespace mvp::ir
+{
+
+LoopNest
+unrollInner(const LoopNest &nest, int factor)
+{
+    mvp_assert(factor >= 1, "unroll factor must be >= 1");
+    if (factor == 1)
+        return nest;
+    const auto trip = nest.innerTripCount();
+    if (trip % factor != 0)
+        mvp_fatal("unrollInner: trip count ", trip,
+                  " of '", nest.name(), "' not divisible by ", factor);
+
+    LoopNest out(nest.name() + ".u" + std::to_string(factor));
+
+    // Loops: the innermost step grows by the factor.
+    const std::size_t inner = nest.innerDepth();
+    for (std::size_t d = 0; d < nest.depth(); ++d) {
+        LoopDim dim = nest.loops()[d];
+        if (d == inner)
+            dim.step *= factor;
+        out.addLoop(dim);
+    }
+
+    for (const auto &arr : nest.arrays())
+        out.addArray(arr);
+
+    const std::int64_t old_step = nest.innerLoop().step;
+    const auto n_ops = static_cast<OpId>(nest.size());
+
+    // Copy id of op v in unroll instance u.
+    auto copy_id = [&](OpId v, int u) {
+        return static_cast<OpId>(u * n_ops + v);
+    };
+
+    for (int u = 0; u < factor; ++u) {
+        for (const auto &op : nest.ops()) {
+            Operation copy;
+            copy.opcode = op.opcode;
+            copy.name = op.name.empty()
+                            ? ""
+                            : op.name + "." + std::to_string(u);
+
+            for (const Operand &in : op.inputs) {
+                if (in.isLiveIn()) {
+                    copy.inputs.push_back(liveIn());
+                    continue;
+                }
+                // Old iteration k_old = k_new*factor + u; the operand
+                // reads the value from k_old - d.
+                const int src = u - in.distance;
+                const int src_copy =
+                    ((src % factor) + factor) % factor;
+                const int new_dist = (factor - 1 - src) / factor;
+                copy.inputs.push_back(
+                    use(copy_id(in.producer, src_copy), new_dist));
+            }
+
+            if (op.memRef) {
+                AffineRef ref = *op.memRef;
+                for (auto &expr : ref.index) {
+                    const std::int64_t c = expr.coeff(inner);
+                    if (c != 0)
+                        expr.constant += c * old_step * u;
+                }
+                copy.memRef = std::move(ref);
+            }
+            out.addOp(std::move(copy));
+        }
+    }
+
+    out.validate();
+    return out;
+}
+
+} // namespace mvp::ir

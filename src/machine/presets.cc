@@ -1,0 +1,120 @@
+#include "machine/presets.hh"
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace mvp
+{
+
+namespace
+{
+
+MachineConfig
+baseConfig()
+{
+    MachineConfig cfg;
+    cfg.totalCacheBytes = 8192;
+    cfg.cacheLineBytes = 32;
+    cfg.cacheAssoc = 1;
+    cfg.mshrEntries = 10;
+    cfg.latCacheHit = 2;
+    cfg.latMainMemory = 10;
+    return cfg;
+}
+
+} // namespace
+
+MachineConfig
+makeUnified()
+{
+    MachineConfig cfg = baseConfig();
+    cfg.name = "unified";
+    cfg.nClusters = 1;
+    cfg.intFusPerCluster = 4;
+    cfg.fpFusPerCluster = 4;
+    cfg.memFusPerCluster = 4;
+    cfg.regsPerCluster = 64;
+    // A single cluster performs no register communication; memory buses
+    // still connect the (single) cache to main memory.
+    cfg.nRegBuses = 0;
+    cfg.unboundedRegBuses = true;
+    cfg.nMemBuses = 1;
+    cfg.memBusLatency = 1;
+    return cfg;
+}
+
+MachineConfig
+makeTwoCluster()
+{
+    MachineConfig cfg = baseConfig();
+    cfg.name = "2-cluster";
+    cfg.nClusters = 2;
+    cfg.intFusPerCluster = 2;
+    cfg.fpFusPerCluster = 2;
+    cfg.memFusPerCluster = 2;
+    cfg.regsPerCluster = 32;
+    cfg.nRegBuses = 2;
+    cfg.regBusLatency = 1;
+    cfg.nMemBuses = 1;
+    cfg.memBusLatency = 1;
+    return cfg;
+}
+
+MachineConfig
+makeFourCluster()
+{
+    MachineConfig cfg = baseConfig();
+    cfg.name = "4-cluster";
+    cfg.nClusters = 4;
+    cfg.intFusPerCluster = 1;
+    cfg.fpFusPerCluster = 1;
+    cfg.memFusPerCluster = 1;
+    cfg.regsPerCluster = 16;
+    cfg.nRegBuses = 2;
+    cfg.regBusLatency = 1;
+    cfg.nMemBuses = 1;
+    cfg.memBusLatency = 1;
+    return cfg;
+}
+
+MachineConfig
+makeConfig(int clusters)
+{
+    switch (clusters) {
+      case 1: return makeUnified();
+      case 2: return makeTwoCluster();
+      case 4: return makeFourCluster();
+      default:
+        mvp_fatal("no Table-1 preset with ", clusters, " clusters");
+    }
+}
+
+MachineConfig
+withUnboundedBuses(MachineConfig cfg, Cycle reg_bus_latency,
+                   Cycle mem_bus_latency)
+{
+    cfg.unboundedRegBuses = true;
+    cfg.regBusLatency = reg_bus_latency;
+    cfg.unboundedMemBuses = true;
+    cfg.memBusLatency = mem_bus_latency;
+    cfg.name += strprintf("/LRB=%lld/LMB=%lld/unbounded",
+                          static_cast<long long>(reg_bus_latency),
+                          static_cast<long long>(mem_bus_latency));
+    return cfg;
+}
+
+MachineConfig
+withLimitedBuses(MachineConfig cfg, int n_mem_buses, Cycle mem_bus_latency)
+{
+    cfg.unboundedRegBuses = false;
+    cfg.nRegBuses = 2;
+    cfg.regBusLatency = 1;
+    cfg.unboundedMemBuses = false;
+    cfg.nMemBuses = n_mem_buses;
+    cfg.memBusLatency = mem_bus_latency;
+    cfg.name += strprintf("/NMB=%d/LMB=%lld", n_mem_buses,
+                          static_cast<long long>(mem_bus_latency));
+    return cfg;
+}
+
+} // namespace mvp

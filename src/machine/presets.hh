@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The three machine configurations of Table 1 plus helpers to apply the
+ * bus sweeps of Figures 5 and 6.
+ */
+
+#ifndef MVP_MACHINE_PRESETS_HH
+#define MVP_MACHINE_PRESETS_HH
+
+#include "machine/machine.hh"
+
+namespace mvp
+{
+
+/**
+ * Unified: 1 cluster, 4 FUs of each class, 64 registers, 8KB L1.
+ * The paper's normalisation baseline.
+ */
+MachineConfig makeUnified();
+
+/** 2-cluster: 2 x (2 INT + 2 FP + 2 MEM), 32 regs/cluster, 4KB L1 each. */
+MachineConfig makeTwoCluster();
+
+/** 4-cluster: 4 x (1 INT + 1 FP + 1 MEM), 16 regs/cluster, 2KB L1 each. */
+MachineConfig makeFourCluster();
+
+/** Preset by cluster count (1, 2 or 4). */
+MachineConfig makeConfig(int clusters);
+
+/**
+ * Apply the unbounded-bus study parameters of Figure 5: unbounded
+ * register and memory buses with the given latencies.
+ */
+MachineConfig withUnboundedBuses(MachineConfig cfg, Cycle reg_bus_latency,
+                                 Cycle mem_bus_latency);
+
+/**
+ * Apply the realistic-bus study parameters of Figure 6: 2 register buses
+ * at 1-cycle latency, @p n_mem_buses memory buses at @p mem_bus_latency.
+ */
+MachineConfig withLimitedBuses(MachineConfig cfg, int n_mem_buses,
+                               Cycle mem_bus_latency);
+
+} // namespace mvp
+
+#endif // MVP_MACHINE_PRESETS_HH

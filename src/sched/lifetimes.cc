@@ -1,0 +1,114 @@
+#include "sched/lifetimes.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mvp::sched
+{
+
+namespace
+{
+
+Cycle
+floorDiv(Cycle a, Cycle b)
+{
+    return a >= 0 ? a / b : -((-a + b - 1) / b);
+}
+
+Cycle
+ceilDiv(Cycle a, Cycle b)
+{
+    return a >= 0 ? (a + b - 1) / b : -((-a) / b);
+}
+
+} // namespace
+
+LifetimeStats
+computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
+                 const MachineConfig &machine)
+{
+    const Cycle ii = sched.ii();
+    struct Interval
+    {
+        ClusterId cluster;
+        Cycle from;
+        Cycle to;   // inclusive
+    };
+    std::vector<Interval> intervals;
+
+    const auto &loop = graph.loop();
+    for (const auto &op : loop.ops()) {
+        if (!op.producesValue())
+            continue;
+        const auto &p = sched.placed(op.id);
+
+        // Local interval: from the write until the last same-cluster
+        // read and the last OUT BUS issue.
+        Cycle local_end = p.time + p.outLatency;
+        const Cycle local_start = p.time + p.outLatency;
+        for (int ei : graph.outEdges(op.id)) {
+            const auto &e = graph.edges()[static_cast<std::size_t>(ei)];
+            if (!e.isRegFlow())
+                continue;
+            const auto &pc = sched.placed(e.dst);
+            if (pc.cluster == p.cluster)
+                local_end = std::max(local_end,
+                                     pc.time + ii * e.distance);
+        }
+        for (const auto &c : sched.comms())
+            if (c.producer == op.id)
+                local_end = std::max(local_end, c.xferStart);
+        intervals.push_back({p.cluster, local_start, local_end});
+
+        // Remote intervals: one per destination cluster.
+        for (const auto &c : sched.comms()) {
+            if (c.producer != op.id)
+                continue;
+            const Cycle arrival = c.xferStart + machine.regBusLatency;
+            Cycle remote_end = arrival;
+            for (int ei : graph.outEdges(op.id)) {
+                const auto &e =
+                    graph.edges()[static_cast<std::size_t>(ei)];
+                if (!e.isRegFlow())
+                    continue;
+                const auto &pc = sched.placed(e.dst);
+                if (pc.cluster == c.to)
+                    remote_end = std::max(remote_end,
+                                          pc.time + ii * e.distance);
+            }
+            intervals.push_back({c.to, arrival, remote_end});
+        }
+    }
+
+    LifetimeStats stats;
+    stats.maxLivePerCluster.assign(
+        static_cast<std::size_t>(machine.nClusters), 0);
+
+    // live(s) = sum over intervals of |{k : from <= s + k*II <= to}|.
+    std::vector<std::vector<Cycle>> live(
+        static_cast<std::size_t>(machine.nClusters),
+        std::vector<Cycle>(static_cast<std::size_t>(ii), 0));
+    for (const auto &iv : intervals) {
+        stats.totalLifetime += iv.to - iv.from + 1;
+        for (Cycle s = 0; s < ii; ++s) {
+            const Cycle count = floorDiv(iv.to - s, ii) -
+                                ceilDiv(iv.from - s, ii) + 1;
+            if (count > 0)
+                live[static_cast<std::size_t>(iv.cluster)]
+                    [static_cast<std::size_t>(s)] += count;
+        }
+    }
+    for (int c = 0; c < machine.nClusters; ++c) {
+        Cycle max_live = 0;
+        for (Cycle s = 0; s < ii; ++s)
+            max_live = std::max(
+                max_live, live[static_cast<std::size_t>(c)]
+                              [static_cast<std::size_t>(s)]);
+        stats.maxLivePerCluster[static_cast<std::size_t>(c)] =
+            static_cast<int>(max_live);
+    }
+    return stats;
+}
+
+} // namespace mvp::sched

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Register lifetime analysis of a modulo schedule: MaxLive per cluster.
+ *
+ * A value written by an operation occupies a register in its cluster
+ * from the cycle it is produced until its last local read (which may be
+ * several stages later, II cycles apart per stage). Values transported
+ * over a register bus additionally occupy a register in every
+ * destination cluster from the IRV arrival until the last remote read.
+ * The scheduler rejects an II attempt when any cluster's MaxLive exceeds
+ * its register file (the paper: "there are not enough registers" =>
+ * increase II).
+ */
+
+#ifndef MVP_SCHED_LIFETIMES_HH
+#define MVP_SCHED_LIFETIMES_HH
+
+#include <vector>
+
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace mvp::sched
+{
+
+/** Lifetime analysis result. */
+struct LifetimeStats
+{
+    /** Maximum simultaneously-live values, per cluster. */
+    std::vector<int> maxLivePerCluster;
+
+    /** Sum of all lifetime lengths (cycles), for reporting. */
+    Cycle totalLifetime = 0;
+};
+
+/** Compute MaxLive for a complete schedule. */
+LifetimeStats computeLifetimes(const ddg::Ddg &graph,
+                               const ModuloSchedule &sched,
+                               const MachineConfig &machine);
+
+} // namespace mvp::sched
+
+#endif // MVP_SCHED_LIFETIMES_HH

@@ -1,0 +1,31 @@
+#include "sched/mii.hh"
+
+#include <algorithm>
+
+namespace mvp::sched
+{
+
+Cycle
+resMii(const ir::LoopNest &nest, const MachineConfig &machine)
+{
+    int count[ir::NUM_FU_TYPES] = {0, 0, 0};
+    for (const auto &op : nest.ops())
+        ++count[static_cast<int>(op.fuType())];
+
+    Cycle res = 1;
+    for (int t = 0; t < ir::NUM_FU_TYPES; ++t) {
+        const auto type = static_cast<ir::FuType>(t);
+        const int units = machine.totalFus(type);
+        const Cycle bound = (count[t] + units - 1) / units;
+        res = std::max(res, bound);
+    }
+    return res;
+}
+
+Cycle
+minII(const ddg::Ddg &graph, const MachineConfig &machine)
+{
+    return std::max(resMii(graph.loop(), machine), graph.recMii());
+}
+
+} // namespace mvp::sched

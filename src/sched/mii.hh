@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimum initiation interval: the resource-constrained bound (ResMII)
+ * and its combination with the recurrence bound (RecMII) from the DDG.
+ */
+
+#ifndef MVP_SCHED_MII_HH
+#define MVP_SCHED_MII_HH
+
+#include "common/types.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+
+namespace mvp::sched
+{
+
+/**
+ * Resource-constrained MII: for every FU class, ceil(ops of that class /
+ * total units of that class across clusters). Bus bandwidth is not part
+ * of ResMII (communication requirements depend on the partition, which
+ * is not known yet); saturated buses instead fail the II attempt.
+ */
+Cycle resMii(const ir::LoopNest &nest, const MachineConfig &machine);
+
+/** mII = max(ResMII, RecMII). */
+Cycle minII(const ddg::Ddg &graph, const MachineConfig &machine);
+
+} // namespace mvp::sched
+
+#endif // MVP_SCHED_MII_HH

@@ -1,0 +1,134 @@
+#include "sched/mrt.hh"
+
+#include "common/logging.hh"
+
+namespace mvp::sched
+{
+
+Mrt::Mrt(const MachineConfig &machine, Cycle ii)
+    : machine_(machine), ii_(ii)
+{
+    mvp_assert(ii >= 1, "II must be positive");
+    fu_used_.assign(static_cast<std::size_t>(ii) *
+                        static_cast<std::size_t>(machine.nClusters) *
+                        ir::NUM_FU_TYPES,
+                    0);
+    fu_load_.assign(
+        static_cast<std::size_t>(machine.nClusters) * ir::NUM_FU_TYPES, 0);
+    if (!machine.unboundedRegBuses)
+        bus_busy_.assign(static_cast<std::size_t>(ii) *
+                             static_cast<std::size_t>(machine.nRegBuses),
+                         0);
+}
+
+std::size_t
+Mrt::fuIndex(Cycle time, ClusterId cluster, ir::FuType type) const
+{
+    const auto slot = static_cast<std::size_t>(((time % ii_) + ii_) % ii_);
+    return (slot * static_cast<std::size_t>(machine_.nClusters) +
+            static_cast<std::size_t>(cluster)) *
+               ir::NUM_FU_TYPES +
+           static_cast<std::size_t>(type);
+}
+
+bool
+Mrt::fuFree(Cycle time, ClusterId cluster, ir::FuType type) const
+{
+    return fu_used_[fuIndex(time, cluster, type)] <
+           machine_.fusPerCluster(type);
+}
+
+void
+Mrt::placeFu(Cycle time, ClusterId cluster, ir::FuType type)
+{
+    auto &used = fu_used_[fuIndex(time, cluster, type)];
+    mvp_assert(used < machine_.fusPerCluster(type),
+               "placing into a full FU slot");
+    ++used;
+    ++fu_load_[static_cast<std::size_t>(cluster) * ir::NUM_FU_TYPES +
+               static_cast<std::size_t>(type)];
+}
+
+void
+Mrt::removeFu(Cycle time, ClusterId cluster, ir::FuType type)
+{
+    auto &used = fu_used_[fuIndex(time, cluster, type)];
+    mvp_assert(used > 0, "removing from an empty FU slot");
+    --used;
+    --fu_load_[static_cast<std::size_t>(cluster) * ir::NUM_FU_TYPES +
+               static_cast<std::size_t>(type)];
+}
+
+int
+Mrt::fuLoad(ClusterId cluster, ir::FuType type) const
+{
+    return fu_load_[static_cast<std::size_t>(cluster) * ir::NUM_FU_TYPES +
+                    static_cast<std::size_t>(type)];
+}
+
+int
+Mrt::findFreeBus(Cycle start) const
+{
+    if (machine_.unboundedRegBuses)
+        return BUS_UNBOUNDED;
+    if (machine_.regBusLatency > ii_)
+        return -2;   // the transfer would collide with its next instance
+    for (int b = 0; b < machine_.nRegBuses; ++b) {
+        bool free = true;
+        for (Cycle k = 0; k < machine_.regBusLatency && free; ++k) {
+            const auto slot = static_cast<std::size_t>(
+                (((start + k) % ii_) + ii_) % ii_);
+            free = !bus_busy_[slot * static_cast<std::size_t>(
+                                         machine_.nRegBuses) +
+                              static_cast<std::size_t>(b)];
+        }
+        if (free)
+            return b;
+    }
+    return -2;
+}
+
+void
+Mrt::reserveBus(int bus, Cycle start)
+{
+    if (bus == BUS_UNBOUNDED)
+        return;
+    mvp_assert(bus >= 0 && bus < machine_.nRegBuses, "bad bus index");
+    for (Cycle k = 0; k < machine_.regBusLatency; ++k) {
+        const auto slot = static_cast<std::size_t>(
+            (((start + k) % ii_) + ii_) % ii_);
+        auto &busy = bus_busy_[slot * static_cast<std::size_t>(
+                                          machine_.nRegBuses) +
+                               static_cast<std::size_t>(bus)];
+        mvp_assert(!busy, "bus already reserved");
+        busy = 1;
+    }
+}
+
+void
+Mrt::releaseBus(int bus, Cycle start)
+{
+    if (bus == BUS_UNBOUNDED)
+        return;
+    mvp_assert(bus >= 0 && bus < machine_.nRegBuses, "bad bus index");
+    for (Cycle k = 0; k < machine_.regBusLatency; ++k) {
+        const auto slot = static_cast<std::size_t>(
+            (((start + k) % ii_) + ii_) % ii_);
+        auto &busy = bus_busy_[slot * static_cast<std::size_t>(
+                                          machine_.nRegBuses) +
+                               static_cast<std::size_t>(bus)];
+        mvp_assert(busy, "releasing a free bus slot");
+        busy = 0;
+    }
+}
+
+int
+Mrt::busSlotsUsed() const
+{
+    int n = 0;
+    for (char b : bus_busy_)
+        n += b ? 1 : 0;
+    return n;
+}
+
+} // namespace mvp::sched

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Modulo reservation table: tracks functional-unit slots per cluster and
+ * register-bus occupancy at each of the II modulo slots. Buses are
+ * ordinary resources (§2.1): a transfer holds its bus for the entire bus
+ * latency.
+ */
+
+#ifndef MVP_SCHED_MRT_HH
+#define MVP_SCHED_MRT_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "ir/opcode.hh"
+#include "machine/machine.hh"
+
+namespace mvp::sched
+{
+
+/** Bus index used when the machine has unbounded register buses. */
+constexpr int BUS_UNBOUNDED = -1;
+
+/**
+ * Reservation table for one II attempt.
+ */
+class Mrt
+{
+  public:
+    Mrt(const MachineConfig &machine, Cycle ii);
+
+    /** The II this table was built for. */
+    Cycle ii() const { return ii_; }
+
+    /** True when a @p type slot is free at flat cycle @p time. */
+    bool fuFree(Cycle time, ClusterId cluster, ir::FuType type) const;
+
+    /** Reserve a @p type slot (must be free). */
+    void placeFu(Cycle time, ClusterId cluster, ir::FuType type);
+
+    /** Release a @p type slot (must be occupied). */
+    void removeFu(Cycle time, ClusterId cluster, ir::FuType type);
+
+    /** Number of @p type ops currently placed in @p cluster. */
+    int fuLoad(ClusterId cluster, ir::FuType type) const;
+
+    /**
+     * Find a register bus free for the whole window [start, start +
+     * busLatency). Returns the bus index, BUS_UNBOUNDED for unbounded-bus
+     * machines, or -2 when no bus is free (including the structural case
+     * busLatency > II, where a transfer would overlap its own next
+     * instance).
+     */
+    int findFreeBus(Cycle start) const;
+
+    /** Reserve @p bus over [start, start + busLatency). */
+    void reserveBus(int bus, Cycle start);
+
+    /** Release @p bus over [start, start + busLatency). */
+    void releaseBus(int bus, Cycle start);
+
+    /** Total bus-slot occupancy (for stats). */
+    int busSlotsUsed() const;
+
+  private:
+    std::size_t fuIndex(Cycle time, ClusterId cluster,
+                        ir::FuType type) const;
+
+    const MachineConfig &machine_;
+    Cycle ii_;
+    std::vector<int> fu_used_;       ///< [slot][cluster][type] counts
+    std::vector<int> fu_load_;       ///< [cluster][type] totals
+    std::vector<char> bus_busy_;     ///< [slot][bus]
+};
+
+} // namespace mvp::sched
+
+#endif // MVP_SCHED_MRT_HH

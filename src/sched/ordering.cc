@@ -1,0 +1,271 @@
+#include "sched/ordering.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mvp::sched
+{
+
+namespace
+{
+
+/** Reachability matrix (transitive, not reflexive) via per-node BFS. */
+std::vector<std::vector<char>>
+reachability(const ddg::Ddg &graph)
+{
+    const std::size_t n = graph.size();
+    std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+    for (std::size_t s = 0; s < n; ++s) {
+        std::vector<OpId> work{static_cast<OpId>(s)};
+        while (!work.empty()) {
+            const OpId u = work.back();
+            work.pop_back();
+            for (int ei : graph.outEdges(u)) {
+                const OpId v = graph.edges()[static_cast<std::size_t>(ei)]
+                                   .dst;
+                if (!reach[s][static_cast<std::size_t>(v)]) {
+                    reach[s][static_cast<std::size_t>(v)] = 1;
+                    work.push_back(v);
+                }
+            }
+        }
+    }
+    return reach;
+}
+
+} // namespace
+
+std::vector<OpId>
+computeOrdering(const ddg::Ddg &graph, Cycle ii)
+{
+    const std::size_t n = graph.size();
+    if (n == 0)
+        return {};
+
+    const auto tb = graph.timeBounds(ii);
+    const auto reach = reachability(graph);
+
+    // ---- Step 1: the priority list of node sets. ----
+    // Non-trivial SCCs by decreasing RecMII (ties: smaller first id);
+    // the new set also absorbs every node lying on a path between the
+    // union of earlier sets and the SCC. Remaining nodes form the final
+    // set.
+    struct SccInfo
+    {
+        int index;
+        Cycle rec_mii;
+    };
+    std::vector<SccInfo> recurrence_sccs;
+    const auto &sccs = graph.sccs();
+    for (std::size_t s = 0; s < sccs.size(); ++s) {
+        const bool cyclic =
+            sccs[s].size() > 1 || graph.inRecurrence(sccs[s][0]);
+        if (cyclic)
+            recurrence_sccs.push_back(
+                {static_cast<int>(s), graph.sccRecMii(static_cast<int>(s))});
+    }
+    std::sort(recurrence_sccs.begin(), recurrence_sccs.end(),
+              [&](const SccInfo &a, const SccInfo &b) {
+                  if (a.rec_mii != b.rec_mii)
+                      return a.rec_mii > b.rec_mii;
+                  return sccs[static_cast<std::size_t>(a.index)][0] <
+                         sccs[static_cast<std::size_t>(b.index)][0];
+              });
+
+    std::vector<std::vector<OpId>> sets;
+    std::vector<char> taken(n, 0);
+    std::vector<OpId> placed_union;
+    for (const auto &info : recurrence_sccs) {
+        std::vector<OpId> set;
+        for (OpId v : sccs[static_cast<std::size_t>(info.index)]) {
+            if (!taken[static_cast<std::size_t>(v)]) {
+                taken[static_cast<std::size_t>(v)] = 1;
+                set.push_back(v);
+            }
+        }
+        if (set.empty())
+            continue;
+        // Absorb nodes on paths between earlier sets and this one.
+        if (!placed_union.empty()) {
+            for (std::size_t v = 0; v < n; ++v) {
+                if (taken[v])
+                    continue;
+                bool from_prev = false;
+                bool to_set = false;
+                bool from_set = false;
+                bool to_prev = false;
+                for (OpId p : placed_union) {
+                    from_prev |= reach[static_cast<std::size_t>(p)][v];
+                    to_prev |= reach[v][static_cast<std::size_t>(p)];
+                }
+                for (OpId s : set) {
+                    to_set |= reach[v][static_cast<std::size_t>(s)];
+                    from_set |= reach[static_cast<std::size_t>(s)][v];
+                }
+                if ((from_prev && to_set) || (from_set && to_prev)) {
+                    taken[v] = 1;
+                    set.push_back(static_cast<OpId>(v));
+                }
+            }
+        }
+        for (OpId v : set)
+            placed_union.push_back(v);
+        sets.push_back(std::move(set));
+    }
+    // Final set: everything not yet taken.
+    std::vector<OpId> rest;
+    for (std::size_t v = 0; v < n; ++v)
+        if (!taken[v])
+            rest.push_back(static_cast<OpId>(v));
+    if (!rest.empty())
+        sets.push_back(std::move(rest));
+
+    // ---- Step 2: swing ordering inside the concatenated sets. ----
+    std::vector<OpId> order;
+    order.reserve(n);
+    std::vector<char> ordered(n, 0);
+
+    auto height = [&](OpId v) { return tb.height(v); };
+    auto depth = [&](OpId v) { return tb.depth(v); };
+    auto mobility = [&](OpId v) { return tb.mobility(v); };
+
+    // Choose from R by the sweep's priority; ties: lowest mobility, then
+    // lowest id (determinism).
+    auto pick = [&](const std::vector<OpId> &r, bool top_down) {
+        OpId best = r[0];
+        for (OpId v : r) {
+            const Cycle pv = top_down ? height(v) : depth(v);
+            const Cycle pb = top_down ? height(best) : depth(best);
+            if (pv > pb ||
+                (pv == pb && (mobility(v) < mobility(best) ||
+                              (mobility(v) == mobility(best) && v < best))))
+                best = v;
+        }
+        return best;
+    };
+
+    auto preds_in = [&](OpId v, const std::vector<char> &in_set) {
+        std::vector<OpId> out;
+        for (int ei : graph.inEdges(v)) {
+            const OpId u =
+                graph.edges()[static_cast<std::size_t>(ei)].src;
+            if (in_set[static_cast<std::size_t>(u)] &&
+                !ordered[static_cast<std::size_t>(u)])
+                out.push_back(u);
+        }
+        return out;
+    };
+    auto succs_in = [&](OpId v, const std::vector<char> &in_set) {
+        std::vector<OpId> out;
+        for (int ei : graph.outEdges(v)) {
+            const OpId w =
+                graph.edges()[static_cast<std::size_t>(ei)].dst;
+            if (in_set[static_cast<std::size_t>(w)] &&
+                !ordered[static_cast<std::size_t>(w)])
+                out.push_back(w);
+        }
+        return out;
+    };
+
+    for (const auto &set : sets) {
+        std::vector<char> in_set(n, 0);
+        std::size_t remaining = 0;
+        for (OpId v : set) {
+            if (!ordered[static_cast<std::size_t>(v)]) {
+                in_set[static_cast<std::size_t>(v)] = 1;
+                ++remaining;
+            }
+        }
+
+        while (remaining > 0) {
+            // Seed the sweep: unordered set members adjacent to the
+            // global order so far; prefer the predecessor side
+            // (bottom-up) as [22] does.
+            std::vector<OpId> r;
+            bool top_down;
+            // Predecessors of ordered nodes that lie in this set.
+            for (OpId o : order)
+                for (OpId u : preds_in(o, in_set))
+                    r.push_back(u);
+            if (!r.empty()) {
+                top_down = false;   // consume predecessors bottom-up
+            } else {
+                for (OpId o : order)
+                    for (OpId w : succs_in(o, in_set))
+                        r.push_back(w);
+                if (!r.empty()) {
+                    top_down = true;
+                } else {
+                    // Detached from everything ordered: start top-down
+                    // from the set's most source-like node.
+                    for (std::size_t v = 0; v < n; ++v)
+                        if (in_set[v] && !ordered[v])
+                            r.push_back(static_cast<OpId>(v));
+                    top_down = true;
+                }
+            }
+            std::sort(r.begin(), r.end());
+            r.erase(std::unique(r.begin(), r.end()), r.end());
+
+            // Alternate directional sweeps until the set drains or the
+            // frontier empties (then re-seed).
+            while (!r.empty()) {
+                while (!r.empty()) {
+                    const OpId v = pick(r, top_down);
+                    order.push_back(v);
+                    ordered[static_cast<std::size_t>(v)] = 1;
+                    --remaining;
+                    std::erase(r, v);
+                    const auto next =
+                        top_down ? succs_in(v, in_set)
+                                 : preds_in(v, in_set);
+                    for (OpId w : next)
+                        if (std::find(r.begin(), r.end(), w) == r.end())
+                            r.push_back(w);
+                }
+                // Swing: pick up the other direction's frontier.
+                top_down = !top_down;
+                for (OpId o : order) {
+                    const auto next = top_down ? succs_in(o, in_set)
+                                               : preds_in(o, in_set);
+                    for (OpId w : next)
+                        if (std::find(r.begin(), r.end(), w) == r.end())
+                            r.push_back(w);
+                }
+                if (r.empty())
+                    break;
+            }
+        }
+    }
+
+    mvp_assert(order.size() == n, "ordering lost nodes");
+    return order;
+}
+
+int
+bothNeighbourCount(const ddg::Ddg &graph, const std::vector<OpId> &order)
+{
+    std::vector<char> before(graph.size(), 0);
+    int count = 0;
+    for (OpId v : order) {
+        bool has_pred = false;
+        bool has_succ = false;
+        for (int ei : graph.inEdges(v)) {
+            const OpId u = graph.edges()[static_cast<std::size_t>(ei)].src;
+            if (u != v && before[static_cast<std::size_t>(u)])
+                has_pred = true;
+        }
+        for (int ei : graph.outEdges(v)) {
+            const OpId w = graph.edges()[static_cast<std::size_t>(ei)].dst;
+            if (w != v && before[static_cast<std::size_t>(w)])
+                has_succ = true;
+        }
+        if (has_pred && has_succ)
+            ++count;
+        before[static_cast<std::size_t>(v)] = 1;
+    }
+    return count;
+}
+
+} // namespace mvp::sched

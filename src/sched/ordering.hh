@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Node ordering for unified assign-and-schedule.
+ *
+ * Both the baseline and the RMCA scheduler consume the ordering of the
+ * paper's baseline work ([22]): it "minimizes the number of nodes that
+ * have both predecessors and successors in the set of nodes that precede
+ * it in the order". This is the swing ordering of Swing Modulo
+ * Scheduling (Llosa et al.): recurrence sets are taken in decreasing
+ * RecMII order (augmented with the nodes on paths between already-placed
+ * sets and the new one), and inside each set the order alternates
+ * top-down sweeps (by decreasing height, then lowest mobility) with
+ * bottom-up sweeps (by decreasing depth, then lowest mobility).
+ */
+
+#ifndef MVP_SCHED_ORDERING_HH
+#define MVP_SCHED_ORDERING_HH
+
+#include <vector>
+
+#include "common/types.hh"
+#include "ddg/ddg.hh"
+
+namespace mvp::sched
+{
+
+/**
+ * Compute the scheduling order of all nodes at the given II (priorities
+ * use ASAP/ALAP at that II; the order is computed once at mII and reused
+ * across II increments, as in the paper).
+ */
+std::vector<OpId> computeOrdering(const ddg::Ddg &graph, Cycle ii);
+
+/**
+ * Count the ordering-quality metric of [22]: the number of positions
+ * whose node has both a predecessor and a successor among the nodes
+ * preceding it. Lower is better; used by tests and the ablation bench.
+ */
+int bothNeighbourCount(const ddg::Ddg &graph,
+                       const std::vector<OpId> &order);
+
+} // namespace mvp::sched
+
+#endif // MVP_SCHED_ORDERING_HH

@@ -1,0 +1,566 @@
+#include "sched/scheduler.hh"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "cme/reuse.hh"
+#include "common/logging.hh"
+#include "sched/lifetimes.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/ordering.hh"
+
+namespace mvp::sched
+{
+
+namespace
+{
+
+constexpr double EPS = 1e-9;
+constexpr Cycle NO_BOUND = CYCLE_MAX / 4;
+
+/** A register communication the placement under evaluation would add. */
+struct NewComm
+{
+    OpId producer;
+    ClusterId from;
+    ClusterId to;
+    Cycle xferStart;
+    int bus;
+};
+
+/** A candidate placement of one op in one cluster. */
+struct Placement
+{
+    Cycle time = -1;
+    Cycle outLatency = 0;
+    std::vector<NewComm> newComms;
+};
+
+/**
+ * State of one II attempt.
+ */
+class Attempt
+{
+  public:
+    Attempt(const ddg::Ddg &graph, const MachineConfig &machine,
+            const SchedulerOptions &options, Cycle ii)
+        : graph_(graph), machine_(machine), options_(options), ii_(ii),
+          mrt_(machine, ii),
+          sched_(ii, graph.size(), machine.nClusters),
+          is_placed_(graph.size(), false),
+          mem_set_(static_cast<std::size_t>(machine.nClusters))
+    {
+    }
+
+    /** Place one op; false aborts the attempt (II must grow). */
+    bool place(OpId v);
+
+    /**
+     * Shift the whole schedule by a multiple of II so that every time
+     * is non-negative (placement may have gone below zero; the modulo
+     * structure is shift-invariant).
+     */
+    void normalize();
+
+    /** Final register-pressure check; false aborts the attempt. */
+    bool checkRegisters();
+
+    ModuloSchedule takeSchedule() { return std::move(sched_); }
+
+    const std::vector<std::vector<OpId>> &memSets() const
+    {
+        return mem_set_;
+    }
+
+  private:
+    std::optional<Placement> trySlot(OpId v, ClusterId c, Cycle out_lat);
+    void commit(OpId v, ClusterId c, const Placement &p, bool miss);
+    double addedMisses(OpId v, ClusterId c);
+    int regAffinity(OpId v, ClusterId c) const;
+    bool betterCluster(OpId v, ClusterId cand, ClusterId best,
+                       double cand_miss, double best_miss,
+                       bool use_miss) const;
+
+    const ddg::Ddg &graph_;
+    const MachineConfig &machine_;
+    const SchedulerOptions &options_;
+    Cycle ii_;
+    Mrt mrt_;
+    ModuloSchedule sched_;
+    std::vector<char> is_placed_;
+    std::vector<std::vector<OpId>> mem_set_;   ///< memory ops per cluster
+    std::map<std::pair<OpId, ClusterId>, Cycle> comm_start_;
+    ddg::LatencyOverrides overrides_;          ///< miss-promoted loads
+};
+
+std::optional<Placement>
+Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat)
+{
+    const Cycle lrb = machine_.regBusLatency;
+
+    // --- Collect window bounds from already-placed neighbours. ---
+    Cycle early = 0;
+    Cycle late = NO_BOUND;
+    bool has_pred = false;
+    bool has_succ = false;
+
+    // Inbound cross-cluster register values that need a *new* transfer:
+    // producer -> tightest arrival budget (t_v + II*min_dist).
+    std::map<OpId, int> in_need_min_dist;
+
+    for (int ei : graph_.inEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.src == v || !is_placed_[static_cast<std::size_t>(e.src)])
+            continue;
+        const auto &pu = sched_.placed(e.src);
+        has_pred = true;
+        if (e.isRegFlow() && pu.cluster != c) {
+            const auto key = std::make_pair(e.src, c);
+            if (auto it = comm_start_.find(key); it != comm_start_.end()) {
+                early = std::max(early,
+                                 it->second + lrb - ii_ * e.distance);
+            } else {
+                const Cycle ready = pu.time + pu.outLatency;
+                early = std::max(early, ready + lrb - ii_ * e.distance);
+                auto [mit, fresh] =
+                    in_need_min_dist.emplace(e.src, e.distance);
+                if (!fresh)
+                    mit->second = std::min(mit->second, e.distance);
+            }
+        } else {
+            const Cycle lat =
+                e.isRegFlow() ? pu.outLatency : e.latency;
+            early = std::max(early, pu.time + lat - ii_ * e.distance);
+        }
+    }
+
+    // Outbound cross-cluster transfers to placed consumers: destination
+    // cluster -> tightest consumption budget min(t_w + II*dist).
+    std::map<ClusterId, Cycle> out_budget;
+
+    for (int ei : graph_.outEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.dst == v || !is_placed_[static_cast<std::size_t>(e.dst)])
+            continue;
+        const auto &pw = sched_.placed(e.dst);
+        has_succ = true;
+        const Cycle budget = pw.time + ii_ * e.distance;
+        if (e.isRegFlow() && pw.cluster != c) {
+            auto [it, fresh] = out_budget.emplace(pw.cluster, budget);
+            if (!fresh)
+                it->second = std::min(it->second, budget);
+        } else {
+            const Cycle lat = e.isRegFlow() ? out_lat : e.latency;
+            late = std::min(late, budget - lat);
+        }
+    }
+    for (const auto &[cluster, budget] : out_budget)
+        late = std::min(late, budget - lrb - out_lat);
+
+    // With placed neighbours on both sides the window [early, late]
+    // must be non-empty; one-sided windows are never empty (the scan
+    // direction follows the constrained side, times may go negative).
+    if (has_pred && has_succ && late < early)
+        return std::nullopt;
+
+    // --- Scan the window (at most II slots; SMS direction rule).
+    // Times may go negative while scheduling: modulo schedules are
+    // shift-invariant, and the attempt normalises by a multiple of II
+    // once every node is placed. ---
+    std::vector<Cycle> candidates;
+    if (has_succ && !has_pred) {
+        const Cycle hi = std::min(late, NO_BOUND);
+        const Cycle lo = hi - ii_ + 1;
+        for (Cycle t = hi; t >= lo; --t)
+            candidates.push_back(t);
+    } else {
+        const Cycle hi = std::min(late, early + ii_ - 1);
+        for (Cycle t = early; t <= hi; ++t)
+            candidates.push_back(t);
+    }
+
+    const ir::FuType fu = graph_.loop().op(v).fuType();
+    for (Cycle t : candidates) {
+        if (!mrt_.fuFree(t, c, fu))
+            continue;
+
+        // Reserve buses tentatively; roll back on any failure.
+        std::vector<NewComm> reserved;
+        auto rollback = [&]() {
+            for (const auto &nc : reserved)
+                mrt_.releaseBus(nc.bus, nc.xferStart);
+            reserved.clear();
+        };
+        bool ok = true;
+
+        // Inbound transfers (value of u must reach cluster c).
+        for (const auto &[u, min_dist] : in_need_min_dist) {
+            const auto &pu = sched_.placed(u);
+            const Cycle x_min = pu.time + pu.outLatency;
+            const Cycle x_max = t + ii_ * min_dist - lrb;
+            bool found = false;
+            const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+            for (Cycle x = x_min; x <= hi; ++x) {
+                const int bus = mrt_.findFreeBus(x);
+                if (bus != -2) {
+                    mrt_.reserveBus(bus, x);
+                    reserved.push_back({u, pu.cluster, c, x, bus});
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                ok = false;
+                break;
+            }
+        }
+
+        // Outbound transfers (v's value must reach consumer clusters).
+        if (ok) {
+            for (const auto &[dest, budget] : out_budget) {
+                const Cycle x_min = t + out_lat;
+                const Cycle x_max = budget - lrb;
+                bool found = false;
+                const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+                for (Cycle x = x_min; x <= hi; ++x) {
+                    const int bus = mrt_.findFreeBus(x);
+                    if (bus != -2) {
+                        mrt_.reserveBus(bus, x);
+                        reserved.push_back({v, c, dest, x, bus});
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+
+        if (!ok) {
+            rollback();
+            continue;
+        }
+
+        // Feasible: hand the reservations back (the caller re-applies
+        // them on commit; evaluation of other clusters must not hold
+        // them).
+        Placement p;
+        p.time = t;
+        p.outLatency = out_lat;
+        p.newComms = reserved;
+        rollback();
+        return p;
+    }
+    return std::nullopt;
+}
+
+void
+Attempt::commit(OpId v, ClusterId c, const Placement &p, bool miss)
+{
+    auto &slot = sched_.placed(v);
+    slot.cluster = c;
+    slot.time = p.time;
+    slot.outLatency = p.outLatency;
+    slot.missScheduled = miss;
+    is_placed_[static_cast<std::size_t>(v)] = true;
+    mrt_.placeFu(p.time, c, graph_.loop().op(v).fuType());
+    for (const auto &nc : p.newComms) {
+        mrt_.reserveBus(nc.bus, nc.xferStart);
+        sched_.comms().push_back(
+            {nc.producer, nc.from, nc.to, nc.xferStart, nc.bus});
+        comm_start_[{nc.producer, nc.to}] = nc.xferStart;
+    }
+    if (graph_.loop().op(v).isMemory())
+        mem_set_[static_cast<std::size_t>(c)].push_back(v);
+    if (miss)
+        overrides_[v] = p.outLatency;
+}
+
+double
+Attempt::addedMisses(OpId v, ClusterId c)
+{
+    auto *loc = options_.locality;
+    const CacheGeom geom = machine_.clusterCacheGeom();
+    const auto &set = mem_set_[static_cast<std::size_t>(c)];
+    std::vector<OpId> with = set;
+    with.push_back(v);
+    return loc->missesPerIteration(with, geom) -
+           loc->missesPerIteration(set, geom);
+}
+
+int
+Attempt::regAffinity(OpId v, ClusterId c) const
+{
+    // Output-edge profit of [22]: register edges between v and the ops
+    // already placed in c count double; additionally, a *sibling* bond
+    // counts once — a placed node in c adjacent to an unscheduled
+    // neighbour of v (e.g. the other operand of v's future consumer).
+    // Joining that cluster lets the shared neighbour be placed without
+    // any edge leaving the cluster's subgraph, which is exactly the
+    // exit-edge quantity the heuristic minimises.
+    int affinity = 0;
+    auto neighbour_cluster_bonus = [&](OpId other) {
+        if (other == v)
+            return;
+        if (is_placed_[static_cast<std::size_t>(other)]) {
+            if (sched_.placed(other).cluster == c)
+                affinity += 2;
+            return;
+        }
+        // Unscheduled neighbour: look one level further.
+        auto sibling = [&](OpId w) {
+            if (w != v && w != other &&
+                is_placed_[static_cast<std::size_t>(w)] &&
+                sched_.placed(w).cluster == c)
+                ++affinity;
+        };
+        for (int ei : graph_.inEdges(other)) {
+            const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+            if (e.isRegFlow())
+                sibling(e.src);
+        }
+        for (int ei : graph_.outEdges(other)) {
+            const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+            if (e.isRegFlow())
+                sibling(e.dst);
+        }
+    };
+    for (int ei : graph_.inEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.isRegFlow())
+            neighbour_cluster_bonus(e.src);
+    }
+    for (int ei : graph_.outEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.isRegFlow())
+            neighbour_cluster_bonus(e.dst);
+    }
+    return affinity;
+}
+
+bool
+Attempt::betterCluster(OpId v, ClusterId cand, ClusterId best,
+                       double cand_miss, double best_miss,
+                       bool use_miss) const
+{
+    if (use_miss) {
+        if (cand_miss < best_miss - EPS)
+            return true;
+        if (cand_miss > best_miss + EPS)
+            return false;
+    }
+    const int a_cand = regAffinity(v, cand);
+    const int a_best = regAffinity(v, best);
+    if (a_cand != a_best)
+        return a_cand > a_best;
+    // Workload balance: fewer ops of this FU class already placed.
+    const ir::FuType fu = graph_.loop().op(v).fuType();
+    const int l_cand = mrt_.fuLoad(cand, fu);
+    const int l_best = mrt_.fuLoad(best, fu);
+    if (l_cand != l_best)
+        return l_cand < l_best;
+    return cand < best;
+}
+
+bool
+Attempt::place(OpId v)
+{
+    const auto &op = graph_.loop().op(v);
+    const Cycle hit_lat = graph_.opLatency(v);
+    const bool mem_select = options_.memoryAware && op.isMemory() &&
+                            options_.locality != nullptr;
+
+    // Evaluate every cluster with the hit latency.
+    ClusterId best = INVALID_ID;
+    Placement best_placement;
+    double best_miss = 0.0;
+    for (ClusterId c = 0; c < machine_.nClusters; ++c) {
+        auto p = trySlot(v, c, hit_lat);
+        if (!p)
+            continue;
+        const double miss = mem_select ? addedMisses(v, c) : 0.0;
+        if (best == INVALID_ID ||
+            betterCluster(v, c, best, miss, best_miss, mem_select)) {
+            best = c;
+            best_placement = std::move(*p);
+            best_miss = miss;
+        }
+    }
+    if (best == INVALID_ID)
+        return false;
+
+    // Binding prefetching: promote likely-missing loads to the miss
+    // latency in their chosen cluster (§4.3). A load whose CME miss
+    // ratio exceeds the threshold is promoted; so is a load with
+    // same-line (spatial group) reuse of an already-promoted leader in
+    // the same cluster — its data rides the leader's outstanding fill,
+    // so its consumers face the same worst-case latency (the spatial-
+    // locality case §4.3 calls out).
+    bool promoted = false;
+    if (op.isLoad() && options_.missThreshold < 1.0 - EPS &&
+        options_.locality != nullptr) {
+        const double ratio = options_.locality->missRatio(
+            mem_set_[static_cast<std::size_t>(best)], v,
+            machine_.clusterCacheGeom());
+        bool rides_promoted_fill = false;
+        if (ratio <= options_.missThreshold + EPS) {
+            const cme::ReuseAnalysis reuse(graph_.loop());
+            for (OpId u : mem_set_[static_cast<std::size_t>(best)]) {
+                if (!sched_.placed(u).missScheduled)
+                    continue;
+                const auto delta = reuse.byteDelta(v, u);
+                if (delta && std::llabs(*delta) <
+                                 machine_.cacheLineBytes) {
+                    rides_promoted_fill = true;
+                    break;
+                }
+            }
+        }
+        const Cycle miss_lat = machine_.missLatency();
+        if ((ratio > options_.missThreshold + EPS ||
+             rides_promoted_fill) &&
+            miss_lat > hit_lat) {
+            bool allowed = true;
+            if (graph_.inRecurrence(v)) {
+                ddg::LatencyOverrides probe = overrides_;
+                probe[v] = miss_lat;
+                allowed = graph_.feasibleII(ii_, probe);
+            }
+            if (allowed) {
+                if (auto p = trySlot(v, best, miss_lat)) {
+                    commit(v, best, *p, true);
+                    promoted = true;
+                }
+            }
+        }
+    }
+    if (!promoted)
+        commit(v, best, best_placement, false);
+    return true;
+}
+
+void
+Attempt::normalize()
+{
+    Cycle min_time = 0;
+    for (const auto &p : sched_.placements())
+        min_time = std::min(min_time, p.time);
+    if (min_time >= 0)
+        return;
+    const Cycle shift = ((-min_time + ii_ - 1) / ii_) * ii_;
+    for (std::size_t v = 0; v < graph_.size(); ++v)
+        sched_.placed(static_cast<OpId>(v)).time += shift;
+    for (auto &c : sched_.comms())
+        c.xferStart += shift;
+}
+
+bool
+Attempt::checkRegisters()
+{
+    const LifetimeStats lt = computeLifetimes(graph_, sched_, machine_);
+    sched_.setMaxLive(lt.maxLivePerCluster);
+    for (int ml : lt.maxLivePerCluster)
+        if (ml > machine_.regsPerCluster)
+            return false;
+    return true;
+}
+
+} // namespace
+
+ClusteredModuloScheduler::ClusteredModuloScheduler(
+    const ddg::Ddg &graph, const MachineConfig &machine,
+    SchedulerOptions options)
+    : graph_(graph), machine_(machine), options_(options)
+{
+    if ((options_.memoryAware ||
+         options_.missThreshold < 1.0 - EPS) &&
+        options_.locality == nullptr)
+        mvp_fatal("scheduler options require a locality analysis");
+    if (options_.locality &&
+        &options_.locality->loop() != &graph.loop())
+        mvp_fatal("locality analysis bound to a different loop");
+}
+
+ScheduleResult
+ClusteredModuloScheduler::run()
+{
+    ScheduleResult result;
+    result.stats.resMii = resMii(graph_.loop(), machine_);
+    result.stats.recMii = graph_.recMii();
+    result.stats.mii =
+        std::max(result.stats.resMii, result.stats.recMii);
+
+    // The ordering is computed once at mII and kept across II bumps.
+    const auto order = computeOrdering(graph_, result.stats.mii);
+    result.stats.orderingBothNeighbours =
+        bothNeighbourCount(graph_, order);
+
+    for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
+        ++result.stats.iiAttempts;
+        Attempt attempt(graph_, machine_, options_, ii);
+        bool ok = true;
+        for (OpId v : order) {
+            if (!attempt.place(v)) {
+                mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
+                            ": op ", v, " unplaceable");
+                ok = false;
+                break;
+            }
+        }
+        if (!ok)
+            continue;
+        attempt.normalize();
+        if (!attempt.checkRegisters()) {
+            mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
+                        ": register pressure exceeded");
+            continue;
+        }
+
+        if (options_.locality) {
+            const CacheGeom geom = machine_.clusterCacheGeom();
+            for (const auto &set : attempt.memSets())
+                result.stats.predictedMissesPerIter +=
+                    options_.locality->missesPerIteration(set, geom);
+        }
+        result.ok = true;
+        result.schedule = attempt.takeSchedule();
+        result.stats.comms =
+            static_cast<int>(result.schedule.numComms());
+        result.stats.missScheduledLoads =
+            result.schedule.missScheduledLoads();
+        return result;
+    }
+
+    result.error = "no feasible II up to " +
+                   std::to_string(options_.maxII) + " for loop '" +
+                   graph_.loop().name() + "'";
+    return result;
+}
+
+ScheduleResult
+scheduleBaseline(const ddg::Ddg &graph, const MachineConfig &machine,
+                 double miss_threshold, cme::LocalityAnalysis *locality)
+{
+    SchedulerOptions opt;
+    opt.memoryAware = false;
+    opt.missThreshold = miss_threshold;
+    opt.locality = locality;
+    return ClusteredModuloScheduler(graph, machine, opt).run();
+}
+
+ScheduleResult
+scheduleRmca(const ddg::Ddg &graph, const MachineConfig &machine,
+             double miss_threshold, cme::LocalityAnalysis &locality)
+{
+    SchedulerOptions opt;
+    opt.memoryAware = true;
+    opt.missThreshold = miss_threshold;
+    opt.locality = &locality;
+    return ClusteredModuloScheduler(graph, machine, opt).run();
+}
+
+} // namespace mvp::sched

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unified assign-and-schedule modulo scheduler for multiVLIWprocessors.
+ *
+ * One engine implements both schedulers of the paper:
+ *
+ *  - Baseline ([22]): cluster selection for every operation maximises the
+ *    profit from output register edges (equivalently: most already-placed
+ *    register neighbours in the cluster), tie-broken on workload balance.
+ *  - RMCA (this paper): memory operations instead choose the cluster
+ *    where the Cache Miss Equations report the smallest increase in
+ *    misses; ties fall back to the register heuristic.
+ *
+ * Independently of cluster selection, a load whose CME miss ratio in its
+ * chosen cluster exceeds the threshold is scheduled with the cache-miss
+ * latency (binding prefetching), unless that would make the current II
+ * infeasible through a recurrence.
+ *
+ * An operation that cannot be placed (no FU slot, saturated buses) or a
+ * register file overflowing MaxLive aborts the attempt; the II is then
+ * increased and everything except the node ordering restarts (§4.1).
+ */
+
+#ifndef MVP_SCHED_SCHEDULER_HH
+#define MVP_SCHED_SCHEDULER_HH
+
+#include <string>
+
+#include "cme/locality.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace mvp::sched
+{
+
+/** Scheduler configuration. */
+struct SchedulerOptions
+{
+    /** RMCA cluster selection for memory operations. */
+    bool memoryAware = false;
+
+    /**
+     * Miss-latency scheduling threshold in [0, 1]: a load is promoted to
+     * the miss latency when its miss ratio is strictly greater. 1.0
+     * disables promotion (always hit latency); 0.0 promotes every load
+     * with a non-zero miss ratio, the scheme of [21].
+     */
+    double missThreshold = 1.0;
+
+    /**
+     * Locality provider; required when memoryAware or missThreshold < 1.
+     * Not owned.
+     */
+    cme::LocalityAnalysis *locality = nullptr;
+
+    /** Give up (fail the loop) beyond this II. */
+    Cycle maxII = 512;
+};
+
+/** Static quantities the scheduler reports alongside the schedule. */
+struct SchedStats
+{
+    Cycle resMii = 0;
+    Cycle recMii = 0;
+    Cycle mii = 0;
+    int iiAttempts = 0;
+    int comms = 0;                    ///< register communications/iteration
+    int missScheduledLoads = 0;
+    int orderingBothNeighbours = 0;   ///< ordering-quality metric of [22]
+    double predictedMissesPerIter = 0.0;   ///< CME estimate, all clusters
+};
+
+/** Scheduling outcome. */
+struct ScheduleResult
+{
+    bool ok = false;
+    std::string error;
+    ModuloSchedule schedule;
+    SchedStats stats;
+};
+
+/**
+ * The scheduling engine. Construct once per loop and call run().
+ */
+class ClusteredModuloScheduler
+{
+  public:
+    ClusteredModuloScheduler(const ddg::Ddg &graph,
+                             const MachineConfig &machine,
+                             SchedulerOptions options);
+
+    /** Schedule the loop; never throws, reports failure in the result. */
+    ScheduleResult run();
+
+  private:
+    const ddg::Ddg &graph_;
+    const MachineConfig &machine_;
+    SchedulerOptions options_;
+};
+
+/** Convenience: baseline scheduler ([22]) with a miss threshold. */
+ScheduleResult scheduleBaseline(const ddg::Ddg &graph,
+                                const MachineConfig &machine,
+                                double miss_threshold = 1.0,
+                                cme::LocalityAnalysis *locality = nullptr);
+
+/** Convenience: RMCA scheduler with a miss threshold. */
+ScheduleResult scheduleRmca(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            double miss_threshold,
+                            cme::LocalityAnalysis &locality);
+
+} // namespace mvp::sched
+
+#endif // MVP_SCHED_SCHEDULER_HH

@@ -1,0 +1,146 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mvp::sim
+{
+
+namespace
+{
+
+/**
+ * Dependences that must be checked dynamically: edges whose producer's
+ * actual completion may exceed the scheduled latency (loads through
+ * register flow, stores through memory flow).
+ */
+struct DynCheck
+{
+    OpId producer;
+    int distance;
+};
+
+} // namespace
+
+SimResult
+simulateLoop(const ddg::Ddg &graph, const sched::ModuloSchedule &sched,
+             const MachineConfig &machine, SimParams params)
+{
+    const auto &loop = graph.loop();
+    const Cycle ii = sched.ii();
+    const int sc = sched.stageCount();
+    const std::int64_t n_iter = loop.innerTripCount();
+    std::int64_t n_times = loop.outerExecutions();
+    if (params.maxExecutions > 0)
+        n_times = std::min(n_times, params.maxExecutions);
+    const Cycle flat_len = (n_iter + sc - 1) * ii;
+
+    // Issue lists per modulo slot.
+    std::vector<std::vector<OpId>> by_slot(static_cast<std::size_t>(ii));
+    for (const auto &op : loop.ops())
+        by_slot[static_cast<std::size_t>(sched.slot(op.id))].push_back(
+            op.id);
+
+    // Dynamic checks per consumer.
+    std::vector<std::vector<DynCheck>> checks(loop.size());
+    for (const auto &e : graph.edges()) {
+        const auto &src = loop.op(e.src);
+        const bool dyn =
+            (e.isRegFlow() && src.isLoad()) ||
+            (e.kind == ddg::EdgeKind::MemFlow && src.isStore());
+        if (dyn && e.src != e.dst)
+            checks[static_cast<std::size_t>(e.dst)].push_back(
+                {e.src, e.distance});
+    }
+
+    // Memory ops get completion records (one slot per iteration).
+    std::vector<std::vector<Cycle>> completion(loop.size());
+    for (const auto &op : loop.ops())
+        if (op.isMemory())
+            completion[static_cast<std::size_t>(op.id)].assign(
+                static_cast<std::size_t>(n_iter), 0);
+
+    cache::MemorySystem memsys(machine);
+    SimResult res;
+    res.executions = n_times;
+
+    const ir::IterationSpace space(loop);
+    std::vector<std::int64_t> ivs(loop.depth());
+    const auto &inner = loop.innerLoop();
+
+    Cycle flat_base = 0;    // accumulated compute cycles of past execs
+    Cycle stall_total = 0;
+
+    for (std::int64_t exec = 0; exec < n_times; ++exec) {
+        // Outer induction variables of this execution.
+        space.at(exec * n_iter, ivs);
+
+        for (Cycle c = 0; c < flat_len; ++c) {
+            const auto slot = static_cast<std::size_t>(c % ii);
+
+            // --- Hazard check: stall all clusters until every operand
+            // consumed this cycle is available. ---
+            Cycle stall_here = 0;
+            for (OpId v : by_slot[slot]) {
+                const Cycle t_v = sched.placed(v).time;
+                if (c < t_v || (c - t_v) % ii != 0)
+                    continue;
+                const std::int64_t k = (c - t_v) / ii;
+                if (k < 0 || k >= n_iter)
+                    continue;
+                const Cycle dyn_issue = flat_base + c + stall_total;
+                for (const auto &chk :
+                     checks[static_cast<std::size_t>(v)]) {
+                    const std::int64_t src_k = k - chk.distance;
+                    if (src_k < 0)
+                        continue;   // value from before this execution
+                    const Cycle done =
+                        completion[static_cast<std::size_t>(
+                            chk.producer)][static_cast<std::size_t>(
+                            src_k)];
+                    if (done > dyn_issue + stall_here)
+                        stall_here = done - dyn_issue;
+                }
+            }
+            stall_total += stall_here;
+
+            // --- Issue. ---
+            const Cycle dyn_now = flat_base + c + stall_total;
+            for (OpId v : by_slot[slot]) {
+                const Cycle t_v = sched.placed(v).time;
+                if (c < t_v || (c - t_v) % ii != 0)
+                    continue;
+                const std::int64_t k = (c - t_v) / ii;
+                if (k < 0 || k >= n_iter)
+                    continue;
+                ++res.opsExecuted;
+
+                const auto &op = loop.op(v);
+                if (!op.isMemory())
+                    continue;
+
+                ivs[loop.innerDepth()] = inner.lower + k * inner.step;
+                const Addr addr = loop.addressOf(*op.memRef, ivs);
+                const auto acc = memsys.access(
+                    sched.placed(v).cluster, addr, op.isStore(), dyn_now);
+                ++res.memAccesses;
+                if (acc.issueStall > 0)
+                    stall_total += acc.issueStall;
+                completion[static_cast<std::size_t>(v)]
+                          [static_cast<std::size_t>(k)] = acc.completion;
+            }
+        }
+
+        res.iterations += n_iter;
+        flat_base += flat_len;
+    }
+
+    res.computeCycles = flat_base;
+    res.stallCycles = stall_total;
+    res.memStats = memsys.stats();
+    return res;
+}
+
+} // namespace mvp::sim

@@ -1,0 +1,195 @@
+#include "vliw/kernel.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strutil.hh"
+
+namespace mvp::vliw
+{
+
+namespace
+{
+
+VliwInstr
+emptyInstr(const MachineConfig &machine)
+{
+    VliwInstr instr;
+    instr.clusters.resize(static_cast<std::size_t>(machine.nClusters));
+    for (auto &cw : instr.clusters) {
+        cw.fu.resize(ir::NUM_FU_TYPES);
+        for (int t = 0; t < ir::NUM_FU_TYPES; ++t)
+            cw.fu[static_cast<std::size_t>(t)].resize(
+                static_cast<std::size_t>(
+                    machine.fusPerCluster(static_cast<ir::FuType>(t))));
+        if (!machine.unboundedRegBuses)
+            cw.buses.resize(static_cast<std::size_t>(machine.nRegBuses));
+    }
+    return instr;
+}
+
+/** Place an op into the first free unit of its FU class. */
+void
+fillSlot(VliwInstr &instr, ClusterId cluster, ir::FuType type, OpId op,
+         int stage)
+{
+    auto &units = instr.clusters[static_cast<std::size_t>(cluster)]
+                      .fu[static_cast<std::size_t>(type)];
+    for (auto &slot : units) {
+        if (slot.isNop()) {
+            slot = {op, stage};
+            return;
+        }
+    }
+    mvp_panic("FU slot overflow while expanding a validated schedule");
+}
+
+} // namespace
+
+KernelImage
+KernelImage::generate(const ddg::Ddg &graph,
+                      const sched::ModuloSchedule &sched,
+                      const MachineConfig &machine)
+{
+    KernelImage img;
+    img.ii_ = sched.ii();
+    img.sc_ = sched.stageCount();
+    const Cycle ii = img.ii_;
+    const int sc = img.sc_;
+    const auto &loop = graph.loop();
+
+    // --- Kernel: slot s executes every op with time % II == s. ---
+    img.kernel_.assign(static_cast<std::size_t>(ii),
+                       emptyInstr(machine));
+    for (const auto &op : loop.ops()) {
+        const auto &p = sched.placed(op.id);
+        fillSlot(img.kernel_[static_cast<std::size_t>(p.time % ii)],
+                 p.cluster, op.fuType(), op.id, sched.stage(op.id));
+    }
+    for (const auto &c : sched.comms()) {
+        if (machine.unboundedRegBuses)
+            continue;
+        const auto bus = static_cast<std::size_t>(c.bus);
+        auto &out_word =
+            img.kernel_[static_cast<std::size_t>(c.xferStart % ii)]
+                .clusters[static_cast<std::size_t>(c.from)];
+        mvp_assert(out_word.buses[bus].out == INVALID_ID,
+                   "OUT BUS field already used");
+        out_word.buses[bus].out = c.producer;
+        const Cycle arrive = c.xferStart + machine.regBusLatency;
+        auto &in_word =
+            img.kernel_[static_cast<std::size_t>(arrive % ii)]
+                .clusters[static_cast<std::size_t>(c.to)];
+        mvp_assert(in_word.buses[bus].in == INVALID_ID,
+                   "IN BUS field already used");
+        in_word.buses[bus].in = c.producer;
+    }
+
+    // --- Prologue: flat cycles [0, (SC-1)*II); op instance k issues at
+    // time + k*II, so cycle t holds ops with t >= time, (t-time) % II
+    // == 0. ---
+    const Cycle ramp = static_cast<Cycle>(sc - 1) * ii;
+    img.prologue_.assign(static_cast<std::size_t>(ramp),
+                         emptyInstr(machine));
+    for (const auto &op : loop.ops()) {
+        const auto &p = sched.placed(op.id);
+        for (Cycle t = p.time; t < ramp; t += ii)
+            fillSlot(img.prologue_[static_cast<std::size_t>(t)],
+                     p.cluster, op.fuType(), op.id,
+                     static_cast<int>((t - p.time) / ii));
+    }
+
+    // --- Epilogue: offset t drains op instances whose issue time lands
+    // past the last kernel cycle: time - t must be a positive multiple
+    // of II no larger than (SC-1)*II. ---
+    img.epilogue_.assign(static_cast<std::size_t>(ramp),
+                         emptyInstr(machine));
+    for (const auto &op : loop.ops()) {
+        const auto &p = sched.placed(op.id);
+        for (Cycle t = 0; t < ramp; ++t) {
+            const Cycle delta = p.time - t;
+            if (delta > 0 && delta % ii == 0 && delta / ii <= sc - 1)
+                fillSlot(img.epilogue_[static_cast<std::size_t>(t)],
+                         p.cluster, op.fuType(), op.id,
+                         static_cast<int>(delta / ii));
+        }
+    }
+
+    return img;
+}
+
+double
+KernelImage::kernelUtilisation() const
+{
+    std::size_t total = 0;
+    std::size_t used = 0;
+    for (const auto &instr : kernel_) {
+        for (const auto &cw : instr.clusters) {
+            for (const auto &units : cw.fu) {
+                for (const auto &slot : units) {
+                    ++total;
+                    used += slot.isNop() ? 0 : 1;
+                }
+            }
+        }
+    }
+    return total ? static_cast<double>(used) / static_cast<double>(total)
+                 : 0.0;
+}
+
+std::string
+KernelImage::render(const ddg::Ddg &graph,
+                    const MachineConfig &machine) const
+{
+    const auto &loop = graph.loop();
+    std::ostringstream os;
+    auto render_block = [&](const char *name,
+                            const std::vector<VliwInstr> &block) {
+        os << name << " (" << block.size() << " instructions):\n";
+        for (std::size_t i = 0; i < block.size(); ++i) {
+            os << padLeft(std::to_string(i), 4) << ": ";
+            const auto &instr = block[i];
+            for (std::size_t c = 0; c < instr.clusters.size(); ++c) {
+                if (c)
+                    os << " || ";
+                os << "c" << c << "[";
+                bool first = true;
+                for (const auto &units : instr.clusters[c].fu) {
+                    for (const auto &slot : units) {
+                        if (!first)
+                            os << " ";
+                        first = false;
+                        if (slot.isNop()) {
+                            os << "nop";
+                        } else {
+                            const auto &op = loop.op(slot.op);
+                            os << (op.name.empty()
+                                       ? std::string(
+                                             opcodeName(op.opcode))
+                                       : op.name)
+                               << "(" << slot.stage << ")";
+                        }
+                    }
+                }
+                for (std::size_t b = 0;
+                     b < instr.clusters[c].buses.size(); ++b) {
+                    const auto &bf = instr.clusters[c].buses[b];
+                    if (bf.out != INVALID_ID)
+                        os << " out" << b << "=%" << bf.out;
+                    if (bf.in != INVALID_ID)
+                        os << " in" << b << "=%" << bf.in;
+                }
+                os << "]";
+            }
+            os << "\n";
+        }
+    };
+    render_block("prologue", prologue_);
+    render_block("kernel", kernel_);
+    render_block("epilogue", epilogue_);
+    (void)machine;
+    return os.str();
+}
+
+} // namespace mvp::vliw

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Explicit VLIW code for a modulo-scheduled loop.
+ *
+ * Expands a ModuloSchedule into the instruction format of Figure 2: per
+ * cluster, one operation field per functional unit plus IN BUS / OUT BUS
+ * fields per register bus. The kernel is II instructions long; the
+ * prologue and epilogue ramp the SC overlapped stages up and down. The
+ * lockstep simulator executes the schedule directly; this layer exists
+ * to materialise (and let tests verify) the ISA-level encoding the
+ * compiler would emit, and to report code-size statistics.
+ */
+
+#ifndef MVP_VLIW_KERNEL_HH
+#define MVP_VLIW_KERNEL_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/schedule.hh"
+
+namespace mvp::vliw
+{
+
+/** One occupied FU slot: the operation and the stage it belongs to. */
+struct SlotOp
+{
+    OpId op = INVALID_ID;
+    int stage = -1;
+
+    bool isNop() const { return op == INVALID_ID; }
+};
+
+/** IN/OUT bus fields of one cluster word for one bus. */
+struct BusField
+{
+    /** Producer whose value this cluster drives onto the bus (OUT BUS). */
+    OpId out = INVALID_ID;
+
+    /** Producer whose value is latched from the bus into the RF (IN BUS). */
+    OpId in = INVALID_ID;
+};
+
+/** The part of a VLIW instruction executed by one cluster. */
+struct ClusterWord
+{
+    /** FU slots indexed [fuType][unit]. */
+    std::vector<std::vector<SlotOp>> fu;
+
+    /** One field pair per register bus (empty on unbounded-bus machines). */
+    std::vector<BusField> buses;
+};
+
+/** One full VLIW instruction (all clusters, lockstep). */
+struct VliwInstr
+{
+    std::vector<ClusterWord> clusters;
+};
+
+/**
+ * Complete code image of one modulo-scheduled loop.
+ */
+class KernelImage
+{
+  public:
+    /** Expand a (valid) schedule into explicit code. */
+    static KernelImage generate(const ddg::Ddg &graph,
+                                const sched::ModuloSchedule &sched,
+                                const MachineConfig &machine);
+
+    Cycle ii() const { return ii_; }
+    int stageCount() const { return sc_; }
+
+    /** Kernel body: exactly II instructions. */
+    const std::vector<VliwInstr> &kernel() const { return kernel_; }
+
+    /** Prologue: (SC-1)*II instructions filling the pipeline. */
+    const std::vector<VliwInstr> &prologue() const { return prologue_; }
+
+    /** Epilogue: (SC-1)*II instructions draining the pipeline. */
+    const std::vector<VliwInstr> &epilogue() const { return epilogue_; }
+
+    /** Fraction of FU slots in the kernel occupied by real operations. */
+    double kernelUtilisation() const;
+
+    /** Total instruction count (prologue + kernel + epilogue). */
+    std::size_t codeSizeInstrs() const
+    {
+        return prologue_.size() + kernel_.size() + epilogue_.size();
+    }
+
+    /** Assembly-style listing. */
+    std::string render(const ddg::Ddg &graph,
+                       const MachineConfig &machine) const;
+
+  private:
+    Cycle ii_ = 0;
+    int sc_ = 0;
+    std::vector<VliwInstr> kernel_;
+    std::vector<VliwInstr> prologue_;
+    std::vector<VliwInstr> epilogue_;
+};
+
+} // namespace mvp::vliw
+
+#endif // MVP_VLIW_KERNEL_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * applu-like suite: SSOR solver for the Navier-Stokes equations.
+ *
+ * 110.applu sweeps lower/upper triangular systems over a 3D grid. Its
+ * signature patterns are: memory-carried recurrences (the j-sweep of
+ * BLTS consumes values stored one iteration earlier), five solution
+ * streams read together in the RHS computation, and Jacobian
+ * evaluations with dense per-point reuse. The five streams are spread
+ * at 8 KB multiples so that a register-only partition thrashes.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_I = 20;
+constexpr std::int64_t N_J = 60;
+constexpr std::int64_t DIM_I = N_I + 2;
+constexpr std::int64_t DIM_J = N_J + 2;
+constexpr Addr BASE = 0x180000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+AffineExpr
+at(std::size_t depth, std::int64_t ofs)
+{
+    return affineVar(depth, 1, ofs);
+}
+
+/** RHS: five solution streams combined per point. */
+LoopNest
+loopRhs()
+{
+    LoopNestBuilder b("applu.rhs");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U1 = b.arrayAt("U1", {DIM_I, DIM_J}, BASE);
+    const auto U2 = b.arrayAt("U2", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto U3 = b.arrayAt("U3", {DIM_I, DIM_J},
+                              BASE + 2 * STRIDE_8K);
+    const auto U4 = b.arrayAt("U4", {DIM_I, DIM_J},
+                              BASE + 3 * STRIDE_8K + 0x980);
+    const auto U5 = b.arrayAt("U5", {DIM_I, DIM_J},
+                              BASE + 4 * STRIDE_8K + 0x8C0);
+    const auto RSD = b.arrayAt("RSD", {DIM_I, DIM_J},
+                               BASE + 5 * STRIDE_8K);
+
+    const auto u1 = b.load(U1, {at(0, 0), at(1, 0)}, "u1");
+    const auto u2 = b.load(U2, {at(0, 0), at(1, 0)}, "u2");
+    const auto u3 = b.load(U3, {at(0, 0), at(1, 0)}, "u3");
+    const auto u4 = b.load(U4, {at(0, 0), at(1, 0)}, "u4");
+    const auto u5 = b.load(U5, {at(0, 0), at(1, 0)}, "u5");
+
+    const auto q1 = b.op(Opcode::FMul, {use(u2), use(u2)}, "q1");
+    const auto q2 = b.op(Opcode::FMadd, {use(u3), use(u3), use(q1)},
+                         "q2");
+    const auto q = b.op(Opcode::FDiv, {use(q2), use(u1)}, "q");
+    const auto e = b.op(Opcode::FSub, {use(u5), use(q)}, "e");
+    const auto rhs = b.op(Opcode::FMadd, {use(e), liveIn(), use(u4)},
+                          "rhsv");
+    b.store(RSD, {at(0, 0), at(1, 0)}, use(rhs), "srsd");
+    return b.build();
+}
+
+/**
+ * BLTS lower-triangular sweep: v(i,j) uses v(i,j-1) through memory
+ * (store -> load, distance 1): a memory-carried recurrence the DDG
+ * builder must find and the scheduler must respect.
+ */
+LoopNest
+loopBlts()
+{
+    LoopNestBuilder b("applu.blts");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto V = b.arrayAt("V", {DIM_I, DIM_J}, BASE + 6 * STRIDE_8K);
+    const auto LD = b.arrayAt("LD", {DIM_I, DIM_J},
+                              BASE + 7 * STRIDE_8K + 0x1D40);
+    const auto RSD = b.arrayAt("RSD", {DIM_I, DIM_J},
+                               BASE + 5 * STRIDE_8K);
+
+    const auto vw = b.load(V, {at(0, 0), at(1, -1)}, "vw");
+    const auto ld = b.load(LD, {at(0, 0), at(1, 0)}, "ld");
+    const auto r = b.load(RSD, {at(0, 0), at(1, 0)}, "r");
+    const auto prod = b.op(Opcode::FMul, {use(ld), use(vw)}, "prod");
+    const auto v = b.op(Opcode::FSub, {use(r), use(prod)}, "v");
+    b.store(V, {at(0, 0), at(1, 0)}, use(v), "sv");
+    return b.build();
+}
+
+/** Jacobian blocks: dense reuse of the same point across outputs. */
+LoopNest
+loopJac()
+{
+    LoopNestBuilder b("applu.jac");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U1 = b.arrayAt("U1", {DIM_I, DIM_J}, BASE);
+    const auto U2 = b.arrayAt("U2", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto A = b.arrayAt("A", {DIM_I, DIM_J}, BASE + 9 * STRIDE_8K + 0x980);
+    const auto B = b.arrayAt("B", {DIM_I, DIM_J}, BASE + 10 * STRIDE_8K + 0xE40);
+    const auto C = b.arrayAt("C", {DIM_I, DIM_J}, BASE + 11 * STRIDE_8K + 0x1300);
+
+    const auto u1 = b.load(U1, {at(0, 0), at(1, 0)}, "u1");
+    const auto u2 = b.load(U2, {at(0, 0), at(1, 0)}, "u2");
+    const auto inv = b.op(Opcode::FDiv, {liveIn(), use(u1)}, "inv");
+    const auto a = b.op(Opcode::FMul, {use(u2), use(inv)}, "a");
+    const auto bb = b.op(Opcode::FMul, {use(a), use(u2)}, "bv");
+    const auto cc = b.op(Opcode::FMadd, {use(a), use(a), use(u1)}, "cv");
+    b.store(A, {at(0, 0), at(1, 0)}, use(a), "sa");
+    b.store(B, {at(0, 0), at(1, 0)}, use(bb), "sb");
+    b.store(C, {at(0, 0), at(1, 0)}, use(cc), "sc");
+    return b.build();
+}
+
+/** L2 norm of the residual (reduction). */
+LoopNest
+loopNorm()
+{
+    LoopNestBuilder b("applu.l2norm");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto RSD = b.arrayAt("RSD", {DIM_I, DIM_J},
+                               BASE + 5 * STRIDE_8K);
+    const auto V = b.arrayAt("V", {DIM_I, DIM_J}, BASE + 6 * STRIDE_8K);
+
+    const auto r = b.load(RSD, {at(0, 0), at(1, 0)}, "r");
+    const auto v = b.load(V, {at(0, 0), at(1, 0)}, "v");
+    const auto d = b.op(Opcode::FSub, {use(r), use(v)}, "d");
+    b.op(Opcode::FMadd, {use(d), use(d), use(b.nextOpId(), 1)}, "acc");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeApplu()
+{
+    Benchmark bench;
+    bench.name = "applu";
+    bench.loops.push_back(loopRhs());
+    bench.loops.push_back(loopBlts());
+    bench.loops.push_back(loopJac());
+    bench.loops.push_back(loopNorm());
+    return bench;
+}
+
+} // namespace mvp::workloads

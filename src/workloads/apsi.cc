@@ -1,0 +1,152 @@
+/**
+ * @file
+ * apsi-like suite: mesoscale pollutant-transport model.
+ *
+ * 141.apsi solves vertical diffusion column by column: the inner loop
+ * walks *down a column* of row-major arrays, so every access has a
+ * 256-byte stride — no spatial reuse at all, the worst case for the
+ * hit-latency assumption and the best case for the paper's miss-latency
+ * (binding prefetching) scheduling. Tridiagonal elimination adds
+ * register-carried recurrences on top.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_COL = 24;   // columns (outer)
+constexpr std::int64_t N_LEV = 48;   // vertical levels (inner)
+constexpr std::int64_t DIM_LEV = N_LEV + 2;
+constexpr std::int64_t DIM_COL = 64;
+constexpr Addr BASE = 0x200000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+/** Column index: level varies along the inner loop (stride = row). */
+AffineExpr
+lev(std::int64_t ofs)
+{
+    return affineVar(1, 1, ofs);
+}
+
+AffineExpr
+col()
+{
+    return affineVar(0, 1, 0);
+}
+
+/** Vertical diffusion setup: coefficients per level. */
+LoopNest
+loopCoeff()
+{
+    LoopNestBuilder b("apsi.coeff");
+    b.loop("c", 0, N_COL);
+    b.loop("l", 1, 1 + N_LEV);
+    const auto T = b.arrayAt("T", {DIM_LEV, DIM_COL}, BASE);
+    const auto Q = b.arrayAt("Q", {DIM_LEV, DIM_COL}, BASE + 2 * STRIDE_8K);
+    const auto KV = b.arrayAt("KV", {DIM_LEV, DIM_COL},
+                              BASE + 4 * STRIDE_8K);
+
+    const auto t0 = b.load(T, {lev(0), col()}, "t0");
+    const auto t1 = b.load(T, {lev(1), col()}, "t1");
+    const auto q0 = b.load(Q, {lev(0), col()}, "q0");
+
+    const auto dt = b.op(Opcode::FSub, {use(t1), use(t0)}, "dt");
+    const auto stab = b.op(Opcode::FMadd, {use(dt), liveIn(), use(q0)},
+                           "stab");
+    const auto kv = b.op(Opcode::FMul, {use(stab), use(stab)}, "kv");
+    b.store(KV, {lev(0), col()}, use(kv), "skv");
+    return b.build();
+}
+
+/** Tridiagonal forward sweep down the column. */
+LoopNest
+loopDown()
+{
+    LoopNestBuilder b("apsi.down");
+    b.loop("c", 0, N_COL);
+    b.loop("l", 1, 1 + N_LEV);
+    const auto KV = b.arrayAt("KV", {DIM_LEV, DIM_COL},
+                              BASE + 4 * STRIDE_8K);
+    const auto F = b.arrayAt("F", {DIM_LEV, DIM_COL},
+                             BASE + 6 * STRIDE_8K);
+    const auto W = b.arrayAt("W", {DIM_LEV, DIM_COL},
+                             BASE + 8 * STRIDE_8K + 0xE40);
+
+    const auto kv = b.load(KV, {lev(0), col()}, "kv");
+    const auto f = b.load(F, {lev(0), col()}, "f");
+    // w = f - kv * w(l-1): register-carried elimination.
+    const auto prod =
+        b.op(Opcode::FMul, {use(kv), use(b.nextOpId() + 1, 1)}, "prod");
+    const auto w = b.op(Opcode::FSub, {use(f), use(prod)}, "w");
+    b.store(W, {lev(0), col()}, use(w), "sw");
+    return b.build();
+}
+
+/** Flux update using adjacent levels of two fields. */
+LoopNest
+loopFlux()
+{
+    LoopNestBuilder b("apsi.flux");
+    b.loop("c", 0, N_COL);
+    b.loop("l", 1, 1 + N_LEV);
+    const auto W = b.arrayAt("W", {DIM_LEV, DIM_COL},
+                             BASE + 8 * STRIDE_8K + 0xE40);
+    const auto T = b.arrayAt("T", {DIM_LEV, DIM_COL}, BASE);
+    const auto OUT = b.arrayAt("OUT", {DIM_LEV, DIM_COL},
+                               BASE + 10 * STRIDE_8K + 0x1300);
+
+    const auto w0 = b.load(W, {lev(0), col()}, "w0");
+    const auto w1 = b.load(W, {lev(1), col()}, "w1");
+    const auto t0 = b.load(T, {lev(0), col()}, "t0");
+
+    const auto dw = b.op(Opcode::FSub, {use(w1), use(w0)}, "dw");
+    const auto fl = b.op(Opcode::FMadd, {use(dw), liveIn(), use(t0)},
+                         "fl");
+    b.store(OUT, {lev(0), col()}, use(fl), "sfl");
+    return b.build();
+}
+
+/** Column-mean removal: two passes fused with a reduction. */
+LoopNest
+loopMean()
+{
+    LoopNestBuilder b("apsi.mean");
+    b.loop("c", 0, N_COL);
+    b.loop("l", 1, 1 + N_LEV);
+    const auto OUT = b.arrayAt("OUT", {DIM_LEV, DIM_COL},
+                               BASE + 10 * STRIDE_8K + 0x1300);
+    const auto Q = b.arrayAt("Q", {DIM_LEV, DIM_COL}, BASE + 2 * STRIDE_8K);
+
+    const auto o = b.load(OUT, {lev(0), col()}, "o");
+    const auto q = b.load(Q, {lev(0), col()}, "q");
+    const auto sum = b.op(Opcode::FAdd,
+                          {use(o), use(b.nextOpId(), 1)}, "sum");
+    const auto dev = b.op(Opcode::FSub, {use(q), use(o)}, "dev");
+    b.store(Q, {lev(0), col()}, use(dev), "sq");
+    (void)sum;
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeApsi()
+{
+    Benchmark bench;
+    bench.name = "apsi";
+    bench.loops.push_back(loopCoeff());
+    bench.loops.push_back(loopDown());
+    bench.loops.push_back(loopFlux());
+    bench.loops.push_back(loopMean());
+    return bench;
+}
+
+} // namespace mvp::workloads

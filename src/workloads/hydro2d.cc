@@ -1,0 +1,166 @@
+/**
+ * @file
+ * hydro2d-like suite: Navier-Stokes astrophysical jet solver.
+ *
+ * 104.hydro2d advances four conserved quantities (density RO, momenta
+ * MU/MV, energy EN) with flux-difference stencils. The loops mix wide
+ * multi-array reads (8+ streams competing for the cache), a
+ * long-latency divide in the equation of state, and flux updates with
+ * group reuse inside each array. RO/EN and MU/MV are 8 KB apart.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_I = 16;
+constexpr std::int64_t N_J = 62;
+constexpr std::int64_t DIM_I = N_I + 2;
+constexpr std::int64_t DIM_J = N_J + 2;
+constexpr Addr BASE = 0x100000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+AffineExpr
+at(std::size_t depth, std::int64_t ofs)
+{
+    return affineVar(depth, 1, ofs);
+}
+
+/** Equation of state: pressure from density/energy with FDiv. */
+LoopNest
+loopEos()
+{
+    LoopNestBuilder b("hydro2d.eos");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto RO = b.arrayAt("RO", {DIM_I, DIM_J}, BASE);
+    const auto EN = b.arrayAt("EN", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto MU = b.arrayAt("MU", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto PR = b.arrayAt("PR", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+
+    const auto ro = b.load(RO, {at(0, 0), at(1, 0)}, "ro");
+    const auto en = b.load(EN, {at(0, 0), at(1, 0)}, "en");
+    const auto mu = b.load(MU, {at(0, 0), at(1, 0)}, "mu");
+
+    const auto ke = b.op(Opcode::FMul, {use(mu), use(mu)}, "ke");
+    const auto kinetic = b.op(Opcode::FDiv, {use(ke), use(ro)}, "kin");
+    const auto internal = b.op(Opcode::FSub, {use(en), use(kinetic)},
+                               "int");
+    const auto pr = b.op(Opcode::FMul, {use(internal), liveIn()}, "prv");
+    b.store(PR, {at(0, 0), at(1, 0)}, use(pr), "spr");
+    return b.build();
+}
+
+/** X-direction flux differences. */
+LoopNest
+loopFluxX()
+{
+    LoopNestBuilder b("hydro2d.fluxx");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto RO = b.arrayAt("RO", {DIM_I, DIM_J}, BASE);
+    const auto MU = b.arrayAt("MU", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto PR = b.arrayAt("PR", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+    const auto FRO =
+        b.arrayAt("FRO", {DIM_I, DIM_J}, BASE + 4 * STRIDE_8K);
+    const auto FMU =
+        b.arrayAt("FMU", {DIM_I, DIM_J}, BASE + 5 * STRIDE_8K + 0x1300);
+
+    const auto mu_e = b.load(MU, {at(0, 0), at(1, 1)}, "mu_e");
+    const auto mu_w = b.load(MU, {at(0, 0), at(1, -1)}, "mu_w");
+    const auto ro_e = b.load(RO, {at(0, 0), at(1, 1)}, "ro_e");
+    const auto ro_w = b.load(RO, {at(0, 0), at(1, -1)}, "ro_w");
+    const auto pr_e = b.load(PR, {at(0, 0), at(1, 1)}, "pr_e");
+    const auto pr_w = b.load(PR, {at(0, 0), at(1, -1)}, "pr_w");
+
+    const auto dmu = b.op(Opcode::FSub, {use(mu_e), use(mu_w)}, "dmu");
+    const auto dro = b.op(Opcode::FSub, {use(ro_e), use(ro_w)}, "dro");
+    const auto dpr = b.op(Opcode::FSub, {use(pr_e), use(pr_w)}, "dpr");
+    const auto f_ro = b.op(Opcode::FMul, {use(dmu), liveIn()}, "f_ro");
+    const auto muro = b.op(Opcode::FMul, {use(dmu), use(dro)}, "muro");
+    const auto f_mu = b.op(Opcode::FMadd, {use(dpr), liveIn(), use(muro)},
+                           "f_mu");
+    b.store(FRO, {at(0, 0), at(1, 0)}, use(f_ro), "sfro");
+    b.store(FMU, {at(0, 0), at(1, 0)}, use(f_mu), "sfmu");
+    return b.build();
+}
+
+/** Y-direction flux differences (column neighbours). */
+LoopNest
+loopFluxY()
+{
+    LoopNestBuilder b("hydro2d.fluxy");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto EN = b.arrayAt("EN", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto MV = b.arrayAt("MV", {DIM_I, DIM_J}, BASE + 6 * STRIDE_8K + 0x600);
+    const auto PR = b.arrayAt("PR", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+    const auto FEN =
+        b.arrayAt("FEN", {DIM_I, DIM_J}, BASE + 7 * STRIDE_8K);
+
+    const auto mv_n = b.load(MV, {at(0, 1), at(1, 0)}, "mv_n");
+    const auto mv_s = b.load(MV, {at(0, -1), at(1, 0)}, "mv_s");
+    const auto en_n = b.load(EN, {at(0, 1), at(1, 0)}, "en_n");
+    const auto en_s = b.load(EN, {at(0, -1), at(1, 0)}, "en_s");
+    const auto pr_0 = b.load(PR, {at(0, 0), at(1, 0)}, "pr_0");
+
+    const auto dmv = b.op(Opcode::FSub, {use(mv_n), use(mv_s)}, "dmv");
+    const auto den = b.op(Opcode::FSub, {use(en_n), use(en_s)}, "den");
+    const auto work = b.op(Opcode::FMul, {use(dmv), use(pr_0)}, "work");
+    const auto f_en = b.op(Opcode::FMadd, {use(den), liveIn(), use(work)},
+                           "f_en");
+    b.store(FEN, {at(0, 0), at(1, 0)}, use(f_en), "sfen");
+    return b.build();
+}
+
+/** Conserved-variable update: U += dt * flux, all four fields. */
+LoopNest
+loopAdvance()
+{
+    LoopNestBuilder b("hydro2d.advance");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto RO = b.arrayAt("RO", {DIM_I, DIM_J}, BASE);
+    const auto EN = b.arrayAt("EN", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto FRO =
+        b.arrayAt("FRO", {DIM_I, DIM_J}, BASE + 4 * STRIDE_8K);
+    const auto FEN =
+        b.arrayAt("FEN", {DIM_I, DIM_J}, BASE + 7 * STRIDE_8K);
+
+    const auto ro = b.load(RO, {at(0, 0), at(1, 0)}, "ro");
+    const auto fro = b.load(FRO, {at(0, 0), at(1, 0)}, "fro");
+    const auto en = b.load(EN, {at(0, 0), at(1, 0)}, "en");
+    const auto fen = b.load(FEN, {at(0, 0), at(1, 0)}, "fen");
+
+    const auto nro = b.op(Opcode::FMadd, {use(fro), liveIn(), use(ro)},
+                          "nro");
+    const auto nen = b.op(Opcode::FMadd, {use(fen), liveIn(), use(en)},
+                          "nen");
+    b.store(RO, {at(0, 0), at(1, 0)}, use(nro), "sro");
+    b.store(EN, {at(0, 0), at(1, 0)}, use(nen), "sen");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeHydro2d()
+{
+    Benchmark bench;
+    bench.name = "hydro2d";
+    bench.loops.push_back(loopEos());
+    bench.loops.push_back(loopFluxX());
+    bench.loops.push_back(loopFluxY());
+    bench.loops.push_back(loopAdvance());
+    return bench;
+}
+
+} // namespace mvp::workloads

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * mgrid-like suite: 3D multigrid V-cycle kernels.
+ *
+ * 107.mgrid applies 27-point (approximated here by 7-point plus
+ * diagonal terms) relaxation stencils on 3D grids, restriction with
+ * stride-2 accesses onto a coarser grid, and prolongation back. 3D row
+ * lengths make the k±1 neighbours line-distant while j±1 neighbours
+ * share lines, giving the CME analysis genuinely three-level reuse
+ * structure; U and R are 8 KB apart.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_K = 6;     // outer planes
+constexpr std::int64_t N_I = 16;    // middle rows
+constexpr std::int64_t N_J = 30;    // inner columns
+constexpr std::int64_t DIM_K = N_K + 2;
+constexpr std::int64_t DIM_I = N_I + 2;
+constexpr std::int64_t DIM_J = N_J + 2;
+constexpr Addr BASE = 0x140000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+AffineExpr
+at(std::size_t depth, std::int64_t ofs)
+{
+    return affineVar(depth, 1, ofs);
+}
+
+/** 7-point residual: R = V - A*U. */
+LoopNest
+loopResid()
+{
+    LoopNestBuilder b("mgrid.resid");
+    b.loop("k", 1, 1 + N_K);
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U = b.arrayAt("U", {DIM_K, DIM_I, DIM_J}, BASE);
+    const auto V = b.arrayAt("V", {DIM_K, DIM_I, DIM_J},
+                             BASE + 3 * STRIDE_8K);
+    const auto R = b.arrayAt("R", {DIM_K, DIM_I, DIM_J},
+                             BASE + 6 * STRIDE_8K);
+
+    const auto u0 = b.load(U, {at(0, 0), at(1, 0), at(2, 0)}, "u0");
+    const auto ue = b.load(U, {at(0, 0), at(1, 0), at(2, 1)}, "ue");
+    const auto uw = b.load(U, {at(0, 0), at(1, 0), at(2, -1)}, "uw");
+    const auto un = b.load(U, {at(0, 0), at(1, 1), at(2, 0)}, "un");
+    const auto us = b.load(U, {at(0, 0), at(1, -1), at(2, 0)}, "us");
+    const auto uu = b.load(U, {at(0, 1), at(1, 0), at(2, 0)}, "uu");
+    const auto ud = b.load(U, {at(0, -1), at(1, 0), at(2, 0)}, "ud");
+    const auto v0 = b.load(V, {at(0, 0), at(1, 0), at(2, 0)}, "v0");
+
+    const auto sj = b.op(Opcode::FAdd, {use(ue), use(uw)}, "sj");
+    const auto si = b.op(Opcode::FAdd, {use(un), use(us)}, "si");
+    const auto sk = b.op(Opcode::FAdd, {use(uu), use(ud)}, "sk");
+    const auto sij = b.op(Opcode::FAdd, {use(sj), use(si)}, "sij");
+    const auto s = b.op(Opcode::FAdd, {use(sij), use(sk)}, "s");
+    const auto au = b.op(Opcode::FMadd, {use(u0), liveIn(), use(s)},
+                         "au");
+    const auto r = b.op(Opcode::FSub, {use(v0), use(au)}, "r");
+    b.store(R, {at(0, 0), at(1, 0), at(2, 0)}, use(r), "sr");
+    return b.build();
+}
+
+/** Smoother: U += c * R stencil. */
+LoopNest
+loopPsinv()
+{
+    LoopNestBuilder b("mgrid.psinv");
+    b.loop("k", 1, 1 + N_K);
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U = b.arrayAt("U", {DIM_K, DIM_I, DIM_J}, BASE);
+    const auto R = b.arrayAt("R", {DIM_K, DIM_I, DIM_J},
+                             BASE + 6 * STRIDE_8K);
+
+    const auto r0 = b.load(R, {at(0, 0), at(1, 0), at(2, 0)}, "r0");
+    const auto re = b.load(R, {at(0, 0), at(1, 0), at(2, 1)}, "re");
+    const auto rw = b.load(R, {at(0, 0), at(1, 0), at(2, -1)}, "rw");
+    const auto u0 = b.load(U, {at(0, 0), at(1, 0), at(2, 0)}, "u0");
+
+    const auto rsum = b.op(Opcode::FAdd, {use(re), use(rw)}, "rsum");
+    const auto blend = b.op(Opcode::FMadd, {use(rsum), liveIn(),
+                                            use(r0)},
+                            "blend");
+    const auto nu = b.op(Opcode::FMadd, {use(blend), liveIn(), use(u0)},
+                         "nu");
+    b.store(U, {at(0, 0), at(1, 0), at(2, 0)}, use(nu), "su");
+    return b.build();
+}
+
+/** Restriction: coarse(j) from fine(2j-1, 2j, 2j+1). */
+LoopNest
+loopRprj()
+{
+    LoopNestBuilder b("mgrid.rprj");
+    b.loop("k", 1, 1 + N_K);
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J / 2);
+    const auto R = b.arrayAt("R", {DIM_K, DIM_I, DIM_J},
+                             BASE + 6 * STRIDE_8K);
+    const auto RC = b.arrayAt("RC", {DIM_K, DIM_I, DIM_J / 2 + 1},
+                              BASE + 9 * STRIDE_8K + 0x980);
+
+    const auto f0 = b.load(R, {at(0, 0), at(1, 0), affineVar(2, 2, -1)},
+                           "f0");
+    const auto f1 = b.load(R, {at(0, 0), at(1, 0), affineVar(2, 2, 0)},
+                           "f1");
+    const auto f2 = b.load(R, {at(0, 0), at(1, 0), affineVar(2, 2, 1)},
+                           "f2");
+
+    const auto edge = b.op(Opcode::FAdd, {use(f0), use(f2)}, "edge");
+    const auto c = b.op(Opcode::FMadd, {use(f1), liveIn(), use(edge)},
+                        "c");
+    b.store(RC, {at(0, 0), at(1, 0), at(2, 0)}, use(c), "sc");
+    return b.build();
+}
+
+/** Prolongation: fine grid update from coarse, stride-2 stores. */
+LoopNest
+loopInterp()
+{
+    LoopNestBuilder b("mgrid.interp");
+    b.loop("k", 1, 1 + N_K);
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J / 2);
+    const auto U = b.arrayAt("U", {DIM_K, DIM_I, DIM_J}, BASE);
+    const auto UC = b.arrayAt("UC", {DIM_K, DIM_I, DIM_J / 2 + 1},
+                              BASE + 12 * STRIDE_8K + 0xE40);
+
+    const auto c0 = b.load(UC, {at(0, 0), at(1, 0), at(2, 0)}, "c0");
+    const auto c1 = b.load(UC, {at(0, 0), at(1, 0), at(2, 1)}, "c1");
+    const auto u_even = b.load(U, {at(0, 0), at(1, 0),
+                                   affineVar(2, 2, 0)},
+                               "u_even");
+    const auto u_odd = b.load(U, {at(0, 0), at(1, 0),
+                                  affineVar(2, 2, 1)},
+                              "u_odd");
+
+    const auto ne = b.op(Opcode::FAdd, {use(u_even), use(c0)}, "ne");
+    const auto mid = b.op(Opcode::FAdd, {use(c0), use(c1)}, "mid");
+    const auto no = b.op(Opcode::FMadd, {use(mid), liveIn(),
+                                         use(u_odd)},
+                         "no");
+    b.store(U, {at(0, 0), at(1, 0), affineVar(2, 2, 0)}, use(ne), "se");
+    b.store(U, {at(0, 0), at(1, 0), affineVar(2, 2, 1)}, use(no), "so");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeMgrid()
+{
+    Benchmark bench;
+    bench.name = "mgrid";
+    bench.loops.push_back(loopResid());
+    bench.loops.push_back(loopPsinv());
+    bench.loops.push_back(loopRprj());
+    bench.loops.push_back(loopInterp());
+    return bench;
+}
+
+} // namespace mvp::workloads

@@ -1,0 +1,39 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace mvp::workloads
+{
+
+std::vector<Benchmark>
+allBenchmarks()
+{
+    std::vector<Benchmark> all;
+    all.push_back(makeTomcatv());
+    all.push_back(makeSwim());
+    all.push_back(makeSu2cor());
+    all.push_back(makeHydro2d());
+    all.push_back(makeMgrid());
+    all.push_back(makeApplu());
+    all.push_back(makeTurb3d());
+    all.push_back(makeApsi());
+    return all;
+}
+
+Benchmark
+benchmarkByName(const std::string &name)
+{
+    for (auto &b : allBenchmarks())
+        if (b.name == name)
+            return b;
+    mvp_fatal("unknown benchmark '", name, "'");
+}
+
+std::vector<std::string>
+benchmarkNames()
+{
+    return {"tomcatv", "swim",  "su2cor", "hydro2d",
+            "mgrid",   "applu", "turb3d", "apsi"};
+}
+
+} // namespace mvp::workloads

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * su2cor-like suite: quantum-chromodynamics correlation functions.
+ *
+ * 103.su2cor is dominated by gather-style loops over lattice arrays with
+ * even/odd (stride-2) element pairs, small dense matrix products with
+ * heavy group reuse, and global reductions. Stride-2 pairs give each
+ * reference self-spatial reuse every fourth iteration (8 elements per
+ * 32 B line), and interleaving the RE/IM lattices 8 KB apart recreates
+ * the conflict pattern the paper's CME analysis is designed to expose.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t VOL = 1024;   // lattice sites per sweep
+constexpr std::int64_t N_SWEEP = 12;
+constexpr Addr BASE = 0xC0000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+/** Even/odd gather with a pair of reductions. */
+LoopNest
+loopGather()
+{
+    LoopNestBuilder b("su2cor.gather");
+    b.loop("s", 0, N_SWEEP);
+    b.loop("j", 0, VOL / 2);
+    const auto RE = b.arrayAt("RE", {VOL}, BASE);
+    const auto IM = b.arrayAt("IM", {VOL}, BASE + STRIDE_8K);
+    const auto W = b.arrayAt("W", {VOL / 2}, BASE + 2 * STRIDE_8K);
+
+    const auto re_e = b.load(RE, {affineVar(1, 2, 0)}, "re_e");
+    const auto re_o = b.load(RE, {affineVar(1, 2, 1)}, "re_o");
+    const auto im_e = b.load(IM, {affineVar(1, 2, 0)}, "im_e");
+    const auto im_o = b.load(IM, {affineVar(1, 2, 1)}, "im_o");
+    const auto w = b.load(W, {affineVar(1, 1, 0)}, "w");
+
+    const auto prod_r = b.op(Opcode::FMul, {use(re_e), use(re_o)}, "pr");
+    const auto prod_i = b.op(Opcode::FMul, {use(im_e), use(im_o)}, "pi");
+    const auto cross = b.op(Opcode::FSub, {use(prod_r), use(prod_i)},
+                            "cross");
+    const auto scaled = b.op(Opcode::FMul, {use(cross), use(w)}, "scl");
+    b.op(Opcode::FAdd, {use(scaled), use(b.nextOpId(), 1)}, "acc");
+    return b.build();
+}
+
+/** Complex SU(2) matrix-vector product: strong group reuse on M. */
+LoopNest
+loopMatVec()
+{
+    LoopNestBuilder b("su2cor.matvec");
+    b.loop("s", 0, N_SWEEP);
+    b.loop("j", 0, VOL / 4);
+    const auto M = b.arrayAt("M", {VOL}, BASE + 3 * STRIDE_8K);
+    const auto X = b.arrayAt("X", {VOL}, BASE + 4 * STRIDE_8K);
+    const auto Y = b.arrayAt("Y", {VOL}, BASE + 5 * STRIDE_8K + 0x1300);
+
+    // 2x2 block row times vector pair: M packs 4 entries per site.
+    const auto m00 = b.load(M, {affineVar(1, 4, 0)}, "m00");
+    const auto m01 = b.load(M, {affineVar(1, 4, 1)}, "m01");
+    const auto m10 = b.load(M, {affineVar(1, 4, 2)}, "m10");
+    const auto m11 = b.load(M, {affineVar(1, 4, 3)}, "m11");
+    const auto x0 = b.load(X, {affineVar(1, 2, 0)}, "x0");
+    const auto x1 = b.load(X, {affineVar(1, 2, 1)}, "x1");
+
+    const auto t0 = b.op(Opcode::FMul, {use(m00), use(x0)}, "t0");
+    const auto y0 = b.op(Opcode::FMadd, {use(m01), use(x1), use(t0)},
+                         "y0");
+    const auto t1 = b.op(Opcode::FMul, {use(m10), use(x0)}, "t1");
+    const auto y1 = b.op(Opcode::FMadd, {use(m11), use(x1), use(t1)},
+                         "y1");
+    b.store(Y, {affineVar(1, 2, 0)}, use(y0), "sy0");
+    b.store(Y, {affineVar(1, 2, 1)}, use(y1), "sy1");
+    return b.build();
+}
+
+/** Staple accumulation: neighbour gathers at fixed offsets. */
+LoopNest
+loopStaple()
+{
+    LoopNestBuilder b("su2cor.staple");
+    b.loop("s", 0, N_SWEEP);
+    b.loop("j", 0, VOL - 64);
+    const auto U0 = b.arrayAt("U0", {VOL}, BASE + 6 * STRIDE_8K + 0x17C0);
+    const auto U1 = b.arrayAt("U1", {VOL}, BASE + 7 * STRIDE_8K + 0x1840);
+    const auto S = b.arrayAt("S", {VOL}, BASE + 8 * STRIDE_8K + 0x980);
+
+    const auto u = b.load(U0, {affineVar(1, 1, 0)}, "u");
+    const auto un = b.load(U0, {affineVar(1, 1, 1)}, "un");
+    const auto uf = b.load(U0, {affineVar(1, 1, 32)}, "uf");
+    const auto v = b.load(U1, {affineVar(1, 1, 0)}, "v");
+    const auto vf = b.load(U1, {affineVar(1, 1, 32)}, "vf");
+
+    const auto a = b.op(Opcode::FMul, {use(u), use(un)}, "a");
+    const auto bb = b.op(Opcode::FMul, {use(v), use(vf)}, "b");
+    const auto st = b.op(Opcode::FMadd, {use(uf), use(bb), use(a)}, "st");
+    b.store(S, {affineVar(1, 1, 0)}, use(st), "ss");
+    return b.build();
+}
+
+/** Normalisation with divide (long-latency FU pressure). */
+LoopNest
+loopNorm()
+{
+    LoopNestBuilder b("su2cor.norm");
+    b.loop("s", 0, N_SWEEP);
+    b.loop("j", 0, VOL / 2);
+    const auto X = b.arrayAt("X", {VOL}, BASE + 4 * STRIDE_8K);
+    const auto NRM = b.arrayAt("NRM", {VOL / 2}, BASE + 9 * STRIDE_8K + 0xE40);
+
+    const auto x0 = b.load(X, {affineVar(1, 2, 0)}, "x0");
+    const auto x1 = b.load(X, {affineVar(1, 2, 1)}, "x1");
+    const auto ss = b.op(Opcode::FMadd, {use(x1), use(x1),
+                                         use(b.nextOpId() + 1, 1)},
+                         "ss");
+    const auto s2 = b.op(Opcode::FMadd, {use(x0), use(x0), use(ss)},
+                         "s2");
+    const auto inv = b.op(Opcode::FDiv, {liveIn(), use(s2)}, "inv");
+    b.store(NRM, {affineVar(1, 1, 0)}, use(inv), "snrm");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeSu2cor()
+{
+    Benchmark bench;
+    bench.name = "su2cor";
+    bench.loops.push_back(loopGather());
+    bench.loops.push_back(loopMatVec());
+    bench.loops.push_back(loopStaple());
+    bench.loops.push_back(loopNorm());
+    return bench;
+}
+
+} // namespace mvp::workloads

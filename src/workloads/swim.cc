@@ -1,0 +1,175 @@
+/**
+ * @file
+ * swim-like suite: shallow-water equations on a 2D grid.
+ *
+ * 102.swim iterates three stencil sweeps (CALC1/CALC2/CALC3) over the
+ * velocity fields U/V, the pressure P and derived fields CU/CV/Z/H.
+ * Each sweep reads small neighbourhoods of several distinct arrays, so
+ * cluster assignment decides whether uniformly generated groups keep
+ * their group reuse or thrash: U/V and P/Z pairs are placed 8 KB apart.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_I = 16;
+constexpr std::int64_t N_J = 62;
+constexpr std::int64_t DIM_I = N_I + 2;
+constexpr std::int64_t DIM_J = N_J + 2;
+constexpr Addr BASE = 0x80000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+AffineExpr
+at(std::size_t depth, std::int64_t ofs)
+{
+    return affineVar(depth, 1, ofs);
+}
+
+/** CALC1: CU, CV, Z from U, V, P neighbourhoods. */
+LoopNest
+loopCalc1()
+{
+    LoopNestBuilder b("swim.calc1");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U = b.arrayAt("U", {DIM_I, DIM_J}, BASE);
+    const auto V = b.arrayAt("V", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto P = b.arrayAt("P", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto CU = b.arrayAt("CU", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K);
+    const auto CV = b.arrayAt("CV", {DIM_I, DIM_J}, BASE + 4 * STRIDE_8K);
+
+    const auto p0 = b.load(P, {at(0, 0), at(1, 0)}, "p0");
+    const auto pe = b.load(P, {at(0, 0), at(1, 1)}, "pe");
+    const auto pn = b.load(P, {at(0, 1), at(1, 0)}, "pn");
+    const auto u0 = b.load(U, {at(0, 0), at(1, 1)}, "u0");
+    const auto v0 = b.load(V, {at(0, 1), at(1, 0)}, "v0");
+
+    const auto psum_e = b.op(Opcode::FAdd, {use(pe), use(p0)}, "pse");
+    const auto psum_n = b.op(Opcode::FAdd, {use(pn), use(p0)}, "psn");
+    const auto cu = b.op(Opcode::FMul, {use(psum_e), use(u0)}, "cuv");
+    const auto cv = b.op(Opcode::FMul, {use(psum_n), use(v0)}, "cvv");
+    b.store(CU, {at(0, 0), at(1, 1)}, use(cu), "scu");
+    b.store(CV, {at(0, 1), at(1, 0)}, use(cv), "scv");
+    return b.build();
+}
+
+/** CALC1 second half: vorticity Z and height H. */
+LoopNest
+loopZH()
+{
+    LoopNestBuilder b("swim.zh");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto U = b.arrayAt("U", {DIM_I, DIM_J}, BASE);
+    const auto V = b.arrayAt("V", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto P = b.arrayAt("P", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto Z = b.arrayAt("Z", {DIM_I, DIM_J}, BASE + 5 * STRIDE_8K + 0x1300);
+    const auto H = b.arrayAt("H", {DIM_I, DIM_J}, BASE + 6 * STRIDE_8K + 0x17C0);
+
+    const auto un = b.load(U, {at(0, 1), at(1, 1)}, "un");
+    const auto u0 = b.load(U, {at(0, 0), at(1, 1)}, "u0");
+    const auto ve = b.load(V, {at(0, 1), at(1, 1)}, "ve");
+    const auto v0 = b.load(V, {at(0, 1), at(1, 0)}, "v0");
+    const auto p0 = b.load(P, {at(0, 0), at(1, 0)}, "p0");
+
+    const auto du = b.op(Opcode::FSub, {use(un), use(u0)}, "du");
+    const auto dv = b.op(Opcode::FSub, {use(ve), use(v0)}, "dv");
+    const auto num = b.op(Opcode::FSub, {use(dv), use(du)}, "num");
+    const auto z = b.op(Opcode::FMul, {use(num), liveIn()}, "zv");
+    const auto uu = b.op(Opcode::FMul, {use(u0), use(u0)}, "uu");
+    const auto ke = b.op(Opcode::FMadd, {use(v0), use(v0), use(uu)}, "ke");
+    const auto h = b.op(Opcode::FMadd, {use(ke), liveIn(), use(p0)}, "hv");
+    b.store(Z, {at(0, 1), at(1, 1)}, use(z), "sz");
+    b.store(H, {at(0, 0), at(1, 0)}, use(h), "sh");
+    return b.build();
+}
+
+/** CALC2: time-step update of UNEW from Z/CV/H neighbourhoods. */
+LoopNest
+loopCalc2()
+{
+    LoopNestBuilder b("swim.calc2");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto UOLD =
+        b.arrayAt("UOLD", {DIM_I, DIM_J}, BASE + 7 * STRIDE_8K + 0x1900);
+    const auto UNEW =
+        b.arrayAt("UNEW", {DIM_I, DIM_J}, BASE + 8 * STRIDE_8K + 0x1A80);
+    const auto CV = b.arrayAt("CV", {DIM_I, DIM_J}, BASE + 4 * STRIDE_8K);
+    const auto Z = b.arrayAt("Z", {DIM_I, DIM_J}, BASE + 5 * STRIDE_8K + 0x1300);
+    const auto H = b.arrayAt("H", {DIM_I, DIM_J}, BASE + 6 * STRIDE_8K + 0x17C0);
+
+    const auto z0 = b.load(Z, {at(0, 1), at(1, 1)}, "z0");
+    const auto zs = b.load(Z, {at(0, 0), at(1, 1)}, "zs");
+    const auto cv0 = b.load(CV, {at(0, 1), at(1, 0)}, "cv0");
+    const auto cv1 = b.load(CV, {at(0, 1), at(1, 1)}, "cv1");
+    const auto he = b.load(H, {at(0, 0), at(1, 1)}, "he");
+    const auto h0 = b.load(H, {at(0, 0), at(1, 0)}, "h0");
+    const auto uold = b.load(UOLD, {at(0, 0), at(1, 1)}, "uold");
+
+    const auto zsum = b.op(Opcode::FAdd, {use(z0), use(zs)}, "zsum");
+    const auto cvs = b.op(Opcode::FAdd, {use(cv0), use(cv1)}, "cvs");
+    const auto adv = b.op(Opcode::FMul, {use(zsum), use(cvs)}, "adv");
+    const auto dh = b.op(Opcode::FSub, {use(he), use(h0)}, "dh");
+    const auto rhs = b.op(Opcode::FMadd, {use(dh), liveIn(), use(adv)},
+                          "rhs");
+    const auto unew = b.op(Opcode::FMadd, {use(rhs), liveIn(), use(uold)},
+                           "unewv");
+    b.store(UNEW, {at(0, 0), at(1, 1)}, use(unew), "sunew");
+    return b.build();
+}
+
+/** CALC3: smoothing filter with a register-carried recurrence. */
+LoopNest
+loopCalc3()
+{
+    LoopNestBuilder b("swim.calc3");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto UOLD =
+        b.arrayAt("UOLD", {DIM_I, DIM_J}, BASE + 7 * STRIDE_8K + 0x1900);
+    const auto UNEW =
+        b.arrayAt("UNEW", {DIM_I, DIM_J}, BASE + 8 * STRIDE_8K + 0x1A80);
+    const auto U = b.arrayAt("U", {DIM_I, DIM_J}, BASE);
+
+    const auto u = b.load(U, {at(0, 0), at(1, 0)}, "u");
+    const auto unew = b.load(UNEW, {at(0, 0), at(1, 0)}, "unew");
+    const auto uold = b.load(UOLD, {at(0, 0), at(1, 0)}, "uold");
+
+    // Asselin filter: uold' = u + alpha*(unew - 2u + uold), and a
+    // running smoothness estimate carried across iterations.
+    const auto twou = b.op(Opcode::FAdd, {use(u), use(u)}, "twou");
+    const auto bracket = b.op(Opcode::FSub, {use(unew), use(twou)}, "br");
+    const auto brk2 = b.op(Opcode::FAdd, {use(bracket), use(uold)},
+                           "brk2");
+    const auto filt =
+        b.op(Opcode::FMadd, {use(brk2), liveIn(), use(u)}, "filt");
+    b.op(Opcode::FAdd, {use(filt), use(b.nextOpId(), 1)}, "smooth");
+    b.store(UOLD, {at(0, 0), at(1, 0)}, use(filt), "suold");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeSwim()
+{
+    Benchmark bench;
+    bench.name = "swim";
+    bench.loops.push_back(loopCalc1());
+    bench.loops.push_back(loopZH());
+    bench.loops.push_back(loopCalc2());
+    bench.loops.push_back(loopCalc3());
+    return bench;
+}
+
+} // namespace mvp::workloads

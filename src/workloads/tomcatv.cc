@@ -1,0 +1,159 @@
+/**
+ * @file
+ * tomcatv-like suite: vectorised mesh generation.
+ *
+ * The SPECfp95 program 101.tomcatv spends its time in 2D stencil loops
+ * over the mesh coordinate arrays X/Y and the residual arrays RX/RY.
+ * The loops below reproduce the characteristic patterns: 4-point
+ * neighbour stencils on two coordinate arrays that the scheduler should
+ * split across clusters (X and Y are laid out 8 KB apart and ping-pong
+ * in every direct-mapped configuration when interleaved), residual
+ * accumulation with a reduction recurrence, and an over-relaxation
+ * update that loads and stores the same array.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N_I = 18;    // outer rows
+constexpr std::int64_t N_J = 62;    // inner columns
+constexpr std::int64_t DIM_I = N_I + 2;
+constexpr std::int64_t DIM_J = N_J + 2;
+// 20 * 64 * 4B = 5 KB per array; bases 8 KB apart so X/Y (and RX/RY)
+// collide in the 2 KB, 4 KB and 8 KB direct-mapped caches alike.
+constexpr Addr BASE = 0x40000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+AffineExpr
+at(std::size_t depth, std::int64_t ofs)
+{
+    return affineVar(depth, 1, ofs);
+}
+
+/** Stencil residual: RX/RY from 4-neighbour differences of X/Y. */
+LoopNest
+loopRxRy()
+{
+    LoopNestBuilder b("tomcatv.rxry");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto X = b.arrayAt("X", {DIM_I, DIM_J}, BASE);
+    const auto Y = b.arrayAt("Y", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto RX = b.arrayAt("RX", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto RY = b.arrayAt("RY", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+
+    const auto xe = b.load(X, {at(0, 0), at(1, 1)}, "xe");
+    const auto xw = b.load(X, {at(0, 0), at(1, -1)}, "xw");
+    const auto xn = b.load(X, {at(0, 1), at(1, 0)}, "xn");
+    const auto xs = b.load(X, {at(0, -1), at(1, 0)}, "xs");
+    const auto ye = b.load(Y, {at(0, 0), at(1, 1)}, "ye");
+    const auto yw = b.load(Y, {at(0, 0), at(1, -1)}, "yw");
+    const auto yn = b.load(Y, {at(0, 1), at(1, 0)}, "yn");
+    const auto ys = b.load(Y, {at(0, -1), at(1, 0)}, "ys");
+
+    const auto dxj = b.op(Opcode::FSub, {use(xe), use(xw)}, "dxj");
+    const auto dxi = b.op(Opcode::FSub, {use(xn), use(xs)}, "dxi");
+    const auto dyj = b.op(Opcode::FSub, {use(ye), use(yw)}, "dyj");
+    const auto dyi = b.op(Opcode::FSub, {use(yn), use(ys)}, "dyi");
+    const auto a = b.op(Opcode::FMadd,
+                        {use(dxj), use(dxj), use(dyj)}, "a");
+    const auto bb = b.op(Opcode::FMadd,
+                         {use(dxi), use(dxi), use(dyi)}, "b");
+    const auto rx = b.op(Opcode::FMul, {use(a), use(dxi)}, "rxv");
+    const auto ry = b.op(Opcode::FMul, {use(bb), use(dyi)}, "ryv");
+    b.store(RX, {at(0, 0), at(1, 0)}, use(rx), "srx");
+    b.store(RY, {at(0, 0), at(1, 0)}, use(ry), "sry");
+    return b.build();
+}
+
+/** Residual norm: reduction over RX/RY with an FAdd recurrence. */
+LoopNest
+loopResid()
+{
+    LoopNestBuilder b("tomcatv.resid");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto RX = b.arrayAt("RX", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto RY = b.arrayAt("RY", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+
+    const auto rx = b.load(RX, {at(0, 0), at(1, 0)}, "rx");
+    const auto ry = b.load(RY, {at(0, 0), at(1, 0)}, "ry");
+    const auto rx2 = b.op(Opcode::FMul, {use(rx), use(rx)}, "rx2");
+    const auto ry2 = b.op(Opcode::FMul, {use(ry), use(ry)}, "ry2");
+    const auto sum = b.op(Opcode::FAdd, {use(rx2), use(ry2)}, "sum");
+    // Running reduction: acc += sum (loop-carried distance 1).
+    b.op(Opcode::FAdd, {use(sum), use(b.nextOpId(), 1)}, "acc");
+    return b.build();
+}
+
+/** SOR update: X += omega * RX, Y += omega * RY (read-modify-write). */
+LoopNest
+loopRelax()
+{
+    LoopNestBuilder b("tomcatv.relax");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto X = b.arrayAt("X", {DIM_I, DIM_J}, BASE);
+    const auto Y = b.arrayAt("Y", {DIM_I, DIM_J}, BASE + STRIDE_8K);
+    const auto RX = b.arrayAt("RX", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+    const auto RY = b.arrayAt("RY", {DIM_I, DIM_J}, BASE + 3 * STRIDE_8K + 0x980);
+
+    const auto x = b.load(X, {at(0, 0), at(1, 0)}, "x");
+    const auto rx = b.load(RX, {at(0, 0), at(1, 0)}, "rx");
+    const auto y = b.load(Y, {at(0, 0), at(1, 0)}, "y");
+    const auto ry = b.load(RY, {at(0, 0), at(1, 0)}, "ry");
+    const auto nx = b.op(Opcode::FMadd, {use(rx), liveIn(), use(x)}, "nx");
+    const auto ny = b.op(Opcode::FMadd, {use(ry), liveIn(), use(y)}, "ny");
+    b.store(X, {at(0, 0), at(1, 0)}, use(nx), "sx");
+    b.store(Y, {at(0, 0), at(1, 0)}, use(ny), "sy");
+    return b.build();
+}
+
+/**
+ * Tridiagonal forward elimination along a row: the D recurrence of
+ * tomcatv's solver (register-carried, distance 1).
+ */
+LoopNest
+loopSolve()
+{
+    LoopNestBuilder b("tomcatv.solve");
+    b.loop("i", 1, 1 + N_I);
+    b.loop("j", 1, 1 + N_J);
+    const auto AA = b.arrayAt("AA", {DIM_I, DIM_J}, BASE + 4 * STRIDE_8K + 0xE40);
+    const auto DD = b.arrayAt("DD", {DIM_I, DIM_J}, BASE + 5 * STRIDE_8K + 0x1300);
+    const auto RX = b.arrayAt("RX", {DIM_I, DIM_J}, BASE + 2 * STRIDE_8K);
+
+    const auto aa = b.load(AA, {at(0, 0), at(1, 0)}, "aa");
+    const auto rx = b.load(RX, {at(0, 0), at(1, 0)}, "rx");
+    // r = aa * d(j-1); d = rx - r  (d carried across iterations).
+    const auto r =
+        b.op(Opcode::FMul, {use(aa), use(b.nextOpId() + 1, 1)}, "r");
+    const auto d = b.op(Opcode::FSub, {use(rx), use(r)}, "d");
+    b.store(DD, {at(0, 0), at(1, 0)}, use(d), "sd");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeTomcatv()
+{
+    Benchmark bench;
+    bench.name = "tomcatv";
+    bench.loops.push_back(loopRxRy());
+    bench.loops.push_back(loopResid());
+    bench.loops.push_back(loopRelax());
+    bench.loops.push_back(loopSolve());
+    return bench;
+}
+
+} // namespace mvp::workloads

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * turb3d-like suite: turbulence simulation built on FFTs.
+ *
+ * 125.turb3d spends its cycles in radix FFT butterflies and transpose
+ * copies. The defining memory behaviour is power-of-two offsets and
+ * strides: butterfly partners sit 2^k elements apart, which in a
+ * direct-mapped cache maps entire groups onto few sets; the real/
+ * imaginary planes sit 8 KB apart and thrash when interleaved.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "ir/builder.hh"
+
+namespace mvp::workloads
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+constexpr std::int64_t N = 1024;     // points per transform
+constexpr std::int64_t N_FFT = 10;   // transforms per run
+constexpr Addr BASE = 0x1C0000;
+constexpr Addr STRIDE_8K = 0x2000;
+
+/** Radix-2 butterfly, partner offset 32 elements. */
+LoopNest
+loopButterfly()
+{
+    LoopNestBuilder b("turb3d.butterfly");
+    b.loop("t", 0, N_FFT);
+    b.loop("j", 0, N / 2 - 32);
+    const auto RE = b.arrayAt("RE", {N}, BASE);
+    const auto IM = b.arrayAt("IM", {N}, BASE + STRIDE_8K);
+
+    const auto re0 = b.load(RE, {affineVar(1, 1, 0)}, "re0");
+    const auto re1 = b.load(RE, {affineVar(1, 1, 32)}, "re1");
+    const auto im0 = b.load(IM, {affineVar(1, 1, 0)}, "im0");
+    const auto im1 = b.load(IM, {affineVar(1, 1, 32)}, "im1");
+
+    const auto rsum = b.op(Opcode::FAdd, {use(re0), use(re1)}, "rsum");
+    const auto rdif = b.op(Opcode::FSub, {use(re0), use(re1)}, "rdif");
+    const auto isum = b.op(Opcode::FAdd, {use(im0), use(im1)}, "isum");
+    const auto idif = b.op(Opcode::FSub, {use(im0), use(im1)}, "idif");
+    b.store(RE, {affineVar(1, 1, 0)}, use(rsum), "sre0");
+    b.store(RE, {affineVar(1, 1, 32)}, use(rdif), "sre1");
+    b.store(IM, {affineVar(1, 1, 0)}, use(isum), "sim0");
+    b.store(IM, {affineVar(1, 1, 32)}, use(idif), "sim1");
+    return b.build();
+}
+
+/** Twiddle multiply: complex rotation with table lookups. */
+LoopNest
+loopTwiddle()
+{
+    LoopNestBuilder b("turb3d.twiddle");
+    b.loop("t", 0, N_FFT);
+    b.loop("j", 0, N / 2);
+    const auto RE = b.arrayAt("RE", {N}, BASE);
+    const auto IM = b.arrayAt("IM", {N}, BASE + STRIDE_8K);
+    const auto WR = b.arrayAt("WR", {N / 2}, BASE + 2 * STRIDE_8K);
+    const auto WI = b.arrayAt("WI", {N / 2}, BASE + 3 * STRIDE_8K + 0x980);
+
+    const auto re = b.load(RE, {affineVar(1, 1, 0)}, "re");
+    const auto im = b.load(IM, {affineVar(1, 1, 0)}, "im");
+    const auto wr = b.load(WR, {affineVar(1, 1, 0)}, "wr");
+    const auto wi = b.load(WI, {affineVar(1, 1, 0)}, "wi");
+
+    const auto rr = b.op(Opcode::FMul, {use(re), use(wr)}, "rr");
+    const auto ii = b.op(Opcode::FMul, {use(im), use(wi)}, "ii");
+    const auto nr = b.op(Opcode::FSub, {use(rr), use(ii)}, "nr");
+    const auto ri = b.op(Opcode::FMul, {use(re), use(wi)}, "ri");
+    const auto ni = b.op(Opcode::FMadd, {use(im), use(wr), use(ri)},
+                         "ni");
+    b.store(RE, {affineVar(1, 1, 0)}, use(nr), "sre");
+    b.store(IM, {affineVar(1, 1, 0)}, use(ni), "sim");
+    return b.build();
+}
+
+/**
+ * Strided transpose gather: stride-16 reads (one access per line,
+ * maximum conflict pressure) into contiguous writes.
+ */
+LoopNest
+loopTranspose()
+{
+    LoopNestBuilder b("turb3d.transpose");
+    b.loop("t", 0, N_FFT);
+    b.loop("j", 0, N / 16);
+    const auto RE = b.arrayAt("RE", {N}, BASE);
+    const auto TMP = b.arrayAt("TMP", {N / 16 + 1},
+                               BASE + 4 * STRIDE_8K + 0xE40);
+
+    const auto g = b.load(RE, {affineVar(1, 16, 0)}, "g");
+    const auto g2 = b.load(RE, {affineVar(1, 16, 8)}, "g2");
+    const auto s = b.op(Opcode::FAdd, {use(g), use(g2)}, "s");
+    b.store(TMP, {affineVar(1, 1, 0)}, use(s), "st");
+    return b.build();
+}
+
+/** Energy accumulation (reduction with complex magnitude). */
+LoopNest
+loopEnergy()
+{
+    LoopNestBuilder b("turb3d.energy");
+    b.loop("t", 0, N_FFT);
+    b.loop("j", 0, N / 2);
+    const auto RE = b.arrayAt("RE", {N}, BASE);
+    const auto IM = b.arrayAt("IM", {N}, BASE + STRIDE_8K);
+
+    const auto re = b.load(RE, {affineVar(1, 2, 0)}, "re");
+    const auto im = b.load(IM, {affineVar(1, 2, 0)}, "im");
+    const auto m = b.op(Opcode::FMul, {use(re), use(re)}, "m");
+    const auto mag = b.op(Opcode::FMadd, {use(im), use(im), use(m)},
+                          "mag");
+    b.op(Opcode::FAdd, {use(mag), use(b.nextOpId(), 1)}, "acc");
+    return b.build();
+}
+
+} // namespace
+
+Benchmark
+makeTurb3d()
+{
+    Benchmark bench;
+    bench.name = "turb3d";
+    bench.loops.push_back(loopButterfly());
+    bench.loops.push_back(loopTwiddle());
+    bench.loops.push_back(loopTranspose());
+    bench.loops.push_back(loopEnergy());
+    return bench;
+}
+
+} // namespace mvp::workloads

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the Cache Miss Equations framework: reuse analysis, the
+ * sampling solver, and agreement between the solver and the exact
+ * trace-driven oracle (the property the paper relies on when it lets
+ * CME guide cluster selection).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cme/oracle.hh"
+#include "cme/reuse.hh"
+#include "cme/solver.hh"
+#include "ir/builder.hh"
+
+namespace mvp::cme
+{
+namespace
+{
+
+using namespace mvp::ir;
+
+const CacheGeom GEOM_4K{4096, 32, 1};
+const CacheGeom GEOM_2K{2048, 32, 1};
+const CacheGeom GEOM_8K{8192, 32, 1};
+
+/** Unit-stride streaming loop over one array. */
+LoopNest
+streamingLoop(std::int64_t n = 512)
+{
+    LoopNestBuilder b("stream");
+    b.loop("r", 0, 8);
+    b.loop("i", 0, n);
+    const auto A = b.arrayAt("A", {n}, 0x10000);
+    const auto l = b.load(A, {affineVar(1)}, "l");
+    b.op(Opcode::FMul, {use(l), liveIn()});
+    return b.build();
+}
+
+/** The motivating example's ping-pong pair: same set in every config. */
+LoopNest
+pingPongLoop()
+{
+    LoopNestBuilder b("pingpong");
+    b.loop("r", 0, 8);
+    b.loop("i", 0, 512);
+    const auto B = b.arrayAt("B", {512}, 0x10000);
+    const auto C = b.arrayAt("C", {512}, 0x10000 + 0x2000);   // 8KB apart
+    const auto lb = b.load(B, {affineVar(1)}, "lb");
+    const auto lc = b.load(C, {affineVar(1)}, "lc");
+    b.op(Opcode::FMul, {use(lb), use(lc)});
+    return b.build();
+}
+
+/** Small loop so the solver runs in exhaustive mode. */
+LoopNest
+tinyLoop()
+{
+    LoopNestBuilder b("tiny");
+    b.loop("i", 0, 64);
+    const auto A = b.arrayAt("A", {64}, 0x10000);
+    const auto l = b.load(A, {affineVar(0)}, "l");
+    b.op(Opcode::FMul, {use(l), liveIn()});
+    return b.build();
+}
+
+// ---------------------------------------------------------------- reuse
+
+TEST(Reuse, InnerStride)
+{
+    const auto nest = streamingLoop();
+    const ReuseAnalysis ra(nest);
+    EXPECT_EQ(ra.innerStrideBytes(0), 4);
+    EXPECT_EQ(ra.selfReuse(0, 32), ReuseKind::SelfSpatial);
+}
+
+TEST(Reuse, ColumnWalkHasNoSpatialReuse)
+{
+    LoopNestBuilder b("col");
+    b.loop("c", 0, 4);
+    b.loop("l", 0, 16);
+    const auto A = b.arrayAt("A", {16, 64}, 0x1000);
+    const auto l = b.load(A, {affineVar(1), affineVar(0)}, "l");
+    b.op(Opcode::FMul, {use(l), liveIn()});
+    const auto nest = b.build();
+    const ReuseAnalysis ra(nest);
+    EXPECT_EQ(ra.innerStrideBytes(l), 64 * 4);
+    EXPECT_EQ(ra.selfReuse(l, 32), ReuseKind::None);
+}
+
+TEST(Reuse, TemporalWhenInnerInvariant)
+{
+    LoopNestBuilder b("inv");
+    b.loop("i", 0, 4);
+    b.loop("j", 0, 16);
+    const auto A = b.arrayAt("A", {4}, 0x1000);
+    const auto l = b.load(A, {affineVar(0)}, "l");
+    b.op(Opcode::FMul, {use(l), liveIn()});
+    const auto nest = b.build();
+    const ReuseAnalysis ra(nest);
+    EXPECT_EQ(ra.innerStrideBytes(l), 0);
+    EXPECT_EQ(ra.selfReuse(l, 32), ReuseKind::SelfTemporal);
+}
+
+TEST(Reuse, GroupTemporalPair)
+{
+    LoopNestBuilder b("grp");
+    b.loop("i", 0, 4);
+    b.loop("j", 1, 33);
+    const auto A = b.arrayAt("A", {4, 34}, 0x1000);
+    const auto lead = b.load(A, {affineVar(0), affineVar(1)}, "lead");
+    const auto trail =
+        b.load(A, {affineVar(0), affineVar(1, 1, -1)}, "trail");
+    b.op(Opcode::FAdd, {use(lead), use(trail)});
+    const auto nest = b.build();
+    const ReuseAnalysis ra(nest);
+    ASSERT_TRUE(ra.byteDelta(lead, trail).has_value());
+    EXPECT_EQ(*ra.byteDelta(lead, trail), 4);
+    const auto pairs = ra.groupPairs({lead, trail}, 32);
+    ASSERT_EQ(pairs.size(), 1u);
+    EXPECT_EQ(pairs[0].kind, ReuseKind::GroupTemporal);
+    EXPECT_EQ(pairs[0].from, lead);    // lead touches the element first
+    EXPECT_EQ(pairs[0].to, trail);
+    EXPECT_EQ(pairs[0].distance, 1);
+}
+
+TEST(Reuse, NonUniformPairHasNoByteDelta)
+{
+    LoopNestBuilder b("nug");
+    b.loop("j", 0, 16);
+    const auto A = b.arrayAt("A", {64}, 0x1000);
+    const auto a = b.load(A, {affineVar(0)}, "a");
+    const auto c = b.load(A, {affineVar(0, 2, 0)}, "c");
+    b.op(Opcode::FAdd, {use(a), use(c)});
+    const auto nest = b.build();
+    const ReuseAnalysis ra(nest);
+    EXPECT_FALSE(ra.byteDelta(a, c).has_value());
+}
+
+// --------------------------------------------------------------- solver
+
+TEST(CmeSolver, StreamingMissRatioIsOneEighth)
+{
+    // An 8KB array swept through a 4KB cache: every line is evicted
+    // before its next sweep, so with 8 elements per 32B line the miss
+    // ratio is 1/8.
+    const auto nest = streamingLoop(2048);
+    CmeAnalysis cme(nest);
+    const double ratio = cme.missRatio({}, 0, GEOM_4K);
+    EXPECT_NEAR(ratio, 0.125, 0.05);
+}
+
+TEST(CmeSolver, ResidentArrayOnlyColdMisses)
+{
+    // A 2KB array is resident in a 4KB cache: after the first of the 8
+    // outer sweeps every access hits, so the ratio is ~ 64/4096.
+    const auto nest = streamingLoop(512);
+    CmeAnalysis cme(nest);
+    EXPECT_LT(cme.missRatio({}, 0, GEOM_4K), 0.07);
+}
+
+TEST(CmeSolver, TemporalReuseHitsAlways)
+{
+    LoopNestBuilder b("inv");
+    b.loop("i", 0, 8);
+    b.loop("j", 0, 64);
+    const auto A = b.arrayAt("A", {8}, 0x1000);
+    const auto l = b.load(A, {affineVar(0)}, "l");
+    b.op(Opcode::FMul, {use(l), liveIn()});
+    const auto nest = b.build();
+    CmeAnalysis cme(nest);
+    // Only cold misses on a handful of sampled boundary points.
+    EXPECT_LT(cme.missRatio({}, l, GEOM_4K), 0.05);
+}
+
+TEST(CmeSolver, PingPongPairAlwaysMissesTogether)
+{
+    const auto nest = pingPongLoop();
+    CmeAnalysis cme(nest);
+    // Together in one 4KB cache: the 8KB-apart arrays share every set.
+    EXPECT_GT(cme.missRatio({0, 1}, 0, GEOM_4K), 0.9);
+    EXPECT_GT(cme.missRatio({0, 1}, 1, GEOM_4K), 0.9);
+    // Separated (each alone), both stream with spatial reuse.
+    EXPECT_LT(cme.missRatio({}, 0, GEOM_4K), 0.2);
+    EXPECT_LT(cme.missRatio({}, 1, GEOM_4K), 0.2);
+}
+
+TEST(CmeSolver, MissesPerIterationIsSumOfRatios)
+{
+    const auto nest = pingPongLoop();
+    CmeAnalysis cme(nest);
+    const double together = cme.missesPerIteration({0, 1}, GEOM_4K);
+    EXPECT_GT(together, 1.8);   // both references miss nearly always
+    const double split = cme.missesPerIteration({0}, GEOM_4K) +
+                         cme.missesPerIteration({1}, GEOM_4K);
+    EXPECT_LT(split, 0.4);      // ~ 0.125 each
+}
+
+TEST(CmeSolver, EmptySetHasNoMisses)
+{
+    const auto nest = tinyLoop();
+    CmeAnalysis cme(nest);
+    EXPECT_DOUBLE_EQ(cme.missesPerIteration({}, GEOM_4K), 0.0);
+}
+
+TEST(CmeSolver, ExhaustiveModeMatchesOracleExactly)
+{
+    // 64 points < maxSamples: the solver evaluates every point, so it
+    // must agree with the oracle to the last digit.
+    const auto nest = tinyLoop();
+    CmeAnalysis cme(nest);
+    CacheOracle oracle(nest);
+    EXPECT_DOUBLE_EQ(cme.missRatio({}, 0, GEOM_4K),
+                     oracle.missRatio({}, 0, GEOM_4K));
+}
+
+TEST(CmeSolver, DeterministicAcrossInstances)
+{
+    const auto nest = pingPongLoop();
+    CmeAnalysis a(nest);
+    CmeAnalysis b(nest);
+    EXPECT_DOUBLE_EQ(a.missRatio({0, 1}, 0, GEOM_2K),
+                     b.missRatio({0, 1}, 0, GEOM_2K));
+}
+
+TEST(CmeSolver, MemoisationCountsQueries)
+{
+    const auto nest = pingPongLoop();
+    CmeAnalysis cme(nest);
+    (void)cme.missRatio({0, 1}, 0, GEOM_4K);
+    const auto solved = cme.queriesSolved();
+    (void)cme.missRatio({0, 1}, 0, GEOM_4K);   // memoised
+    EXPECT_EQ(cme.queriesSolved(), solved);
+    (void)cme.missRatio({0, 1}, 0, GEOM_2K);   // new geometry
+    EXPECT_GT(cme.queriesSolved(), solved);
+}
+
+TEST(CmeSolver, AssociativityRemovesPingPong)
+{
+    const auto nest = pingPongLoop();
+    CmeAnalysis cme(nest);
+    const CacheGeom two_way{4096, 32, 2};
+    // A 2-way cache holds both streams: only cold/capacity misses.
+    EXPECT_LT(cme.missRatio({0, 1}, 0, two_way), 0.3);
+}
+
+// --------------------------------------------- solver vs oracle property
+
+struct GeomCase
+{
+    const char *name;
+    CacheGeom geom;
+};
+
+class SolverVsOracle : public ::testing::TestWithParam<GeomCase>
+{
+};
+
+TEST_P(SolverVsOracle, AgreesWithinTolerance)
+{
+    // Property: on a mixed loop (streaming + stencil + conflicts), the
+    // sampled CME estimate tracks the exact trace simulation within the
+    // CI target plus sampling noise.
+    LoopNestBuilder b("mixed");
+    b.loop("i", 1, 13);
+    b.loop("j", 1, 63);
+    const auto A = b.arrayAt("A", {14, 64}, 0x10000);
+    const auto B = b.arrayAt("B", {14, 64}, 0x10000 + 0x2000);
+    const auto a0 = b.load(A, {affineVar(0), affineVar(1)}, "a0");
+    const auto a1 = b.load(A, {affineVar(0), affineVar(1, 1, -1)}, "a1");
+    const auto bb = b.load(B, {affineVar(0), affineVar(1)}, "b");
+    const auto s = b.op(Opcode::FAdd, {use(a0), use(a1)});
+    const auto m = b.op(Opcode::FMul, {use(s), use(bb)});
+    b.store(B, {affineVar(0), affineVar(1)}, use(m), "sb");
+    const auto nest = b.build();
+
+    CmeParams params;
+    params.maxSamples = 480;
+    params.ciTarget = 0.03;
+    CmeAnalysis cme(nest, params);
+    CacheOracle oracle(nest);
+
+    const auto &geom = GetParam().geom;
+    const std::vector<OpId> set = {a0, a1, bb, 5};
+    for (OpId op : set) {
+        const double est = cme.missRatio(set, op, geom);
+        const double exact = oracle.missRatio(set, op, geom);
+        EXPECT_NEAR(est, exact, 0.12)
+            << "op " << op << " geom " << GetParam().name;
+    }
+    EXPECT_NEAR(cme.missesPerIteration(set, geom),
+                oracle.missesPerIteration(set, geom), 0.3)
+        << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, SolverVsOracle,
+    ::testing::Values(GeomCase{"2k_dm", GEOM_2K},
+                      GeomCase{"4k_dm", GEOM_4K},
+                      GeomCase{"8k_dm", GEOM_8K},
+                      GeomCase{"4k_2way", CacheGeom{4096, 32, 2}},
+                      GeomCase{"2k_64b", CacheGeom{2048, 64, 1}}),
+    [](const auto &info) { return info.param.name; });
+
+// --------------------------------------------------------------- oracle
+
+TEST(Oracle, ExactStreamingCounts)
+{
+    // 512 elements, 8 per line, 8 outer reps with cache large enough for
+    // the whole array after the first sweep? 512*4 = 2KB exactly fills
+    // the 2KB cache -> after the first rep everything hits.
+    const auto nest = streamingLoop(512);
+    CacheOracle oracle(nest);
+    const auto counts = oracle.missCounts({0}, GEOM_2K);
+    EXPECT_EQ(counts.at(0), 64);   // one cold miss per line, then resident
+}
+
+TEST(Oracle, ConflictEviction)
+{
+    const auto nest = pingPongLoop();
+    CacheOracle oracle(nest);
+    const auto counts = oracle.missCounts({0, 1}, GEOM_4K);
+    // Both references evict each other every iteration.
+    EXPECT_EQ(counts.at(0), 8 * 512);
+    EXPECT_EQ(counts.at(1), 8 * 512);
+}
+
+TEST(Oracle, MissRatioAddsOpToSet)
+{
+    const auto nest = pingPongLoop();
+    CacheOracle oracle(nest);
+    // Asking for op 0's ratio "in the set {1}" must include op 0 itself.
+    EXPECT_GT(oracle.missRatio({1}, 0, GEOM_4K), 0.9);
+}
+
+} // namespace
+} // namespace mvp::cme

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the experiment harness: workbench preparation, suite runs,
+ * and aggregate consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "machine/presets.hh"
+
+namespace mvp::harness
+{
+namespace
+{
+
+TEST(Workbench, PreparesAllSuites)
+{
+    Workbench bench;
+    EXPECT_EQ(bench.benchmarks().size(), 8u);
+    EXPECT_GE(bench.entries().size(), 32u);
+    for (const auto &e : bench.entries()) {
+        EXPECT_NE(e->ddg, nullptr);
+        EXPECT_NE(e->cme, nullptr);
+        EXPECT_EQ(&e->cme->loop(), &e->nest);
+    }
+}
+
+TEST(Workbench, FilterSelectsSubset)
+{
+    Workbench bench({"swim", "mgrid"});
+    EXPECT_EQ(bench.benchmarks().size(), 2u);
+    for (const auto &e : bench.entries())
+        EXPECT_TRUE(e->benchmark == "swim" || e->benchmark == "mgrid");
+}
+
+TEST(RunSuite, AggregatesMatchLoopSums)
+{
+    Workbench bench({"tomcatv"});
+    RunConfig config;
+    config.machine = makeTwoCluster();
+    config.sched = SchedKind::Rmca;
+    config.threshold = 1.0;
+    sim::SimParams params;
+    params.maxExecutions = 2;
+    const auto suite = runSuite(bench, config, params);
+
+    Cycle compute = 0;
+    Cycle stall = 0;
+    for (const auto &loop : suite.loops) {
+        compute += loop.sim.computeCycles;
+        stall += loop.sim.stallCycles;
+        EXPECT_TRUE(loop.sched.ok);
+    }
+    EXPECT_EQ(suite.compute, compute);
+    EXPECT_EQ(suite.stall, stall);
+    EXPECT_EQ(suite.total(), compute + stall);
+    ASSERT_EQ(suite.perBenchmark.size(), 1u);
+    EXPECT_EQ(suite.perBenchmark.at("tomcatv").first, compute);
+}
+
+TEST(RunSuite, DeterministicAcrossRuns)
+{
+    Workbench bench({"su2cor"});
+    RunConfig config;
+    config.machine = makeFourCluster();
+    config.sched = SchedKind::Baseline;
+    config.threshold = 0.25;
+    sim::SimParams params;
+    params.maxExecutions = 2;
+    const auto a = runSuite(bench, config, params);
+    const auto b = runSuite(bench, config, params);
+    EXPECT_EQ(a.compute, b.compute);
+    EXPECT_EQ(a.stall, b.stall);
+}
+
+TEST(RunSuite, RmcaNeverWorseOnConflictSuites)
+{
+    // The headline property on a conflict-heavy suite under the
+    // realistic bus configuration.
+    Workbench bench({"tomcatv"});
+    sim::SimParams params;
+    params.maxExecutions = 4;
+
+    RunConfig base;
+    base.machine = withLimitedBuses(makeFourCluster(), 1, 4);
+    base.sched = SchedKind::Baseline;
+    base.threshold = 1.0;
+    RunConfig rmca = base;
+    rmca.sched = SchedKind::Rmca;
+
+    const auto rb = runSuite(bench, base, params);
+    const auto rr = runSuite(bench, rmca, params);
+    EXPECT_LE(rr.total(), rb.total() * 105 / 100);   // within noise, <=
+}
+
+TEST(SchedKindName, Printable)
+{
+    EXPECT_EQ(schedKindName(SchedKind::Baseline), "Baseline");
+    EXPECT_EQ(schedKindName(SchedKind::Rmca), "RMCA");
+}
+
+} // namespace
+} // namespace mvp::harness

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for VLIW code expansion: kernel/prologue/epilogue structure,
+ * per-stage instance accounting, bus field encoding and utilisation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cme/solver.hh"
+#include "ir/builder.hh"
+#include "machine/presets.hh"
+#include "sched/scheduler.hh"
+#include "vliw/kernel.hh"
+
+namespace mvp::vliw
+{
+namespace
+{
+
+using namespace mvp::ir;
+
+LoopNest
+testLoop()
+{
+    LoopNestBuilder b("vliw");
+    b.loop("i", 0, 64);
+    const auto A = b.arrayAt("A", {66}, 0x10000);
+    const auto B = b.arrayAt("B", {66}, 0x12000);
+    const auto la = b.load(A, {affineVar(0)}, "la");
+    const auto lb = b.load(B, {affineVar(0, 1, 1)}, "lb");
+    const auto m = b.op(Opcode::FMul, {use(la), use(lb)}, "m");
+    const auto s = b.op(Opcode::FAdd, {use(m), liveIn()}, "s");
+    b.store(A, {affineVar(0)}, use(s), "sa");
+    return b.build();
+}
+
+struct Expanded
+{
+    ir::LoopNest nest;
+    std::unique_ptr<ddg::Ddg> graph;
+    MachineConfig machine;
+    sched::ScheduleResult sched;
+    KernelImage img;
+};
+
+Expanded
+expand(const MachineConfig &machine)
+{
+    Expanded e;
+    e.nest = testLoop();
+    e.machine = machine;
+    e.graph = std::make_unique<ddg::Ddg>(ddg::Ddg::build(e.nest, machine));
+    e.sched = sched::scheduleBaseline(*e.graph, machine);
+    EXPECT_TRUE(e.sched.ok) << e.sched.error;
+    EXPECT_EQ(e.sched.schedule.validate(*e.graph, machine), "");
+    e.img = KernelImage::generate(*e.graph, e.sched.schedule, machine);
+    return e;
+}
+
+/** Count occurrences of op @p v in a block. */
+int
+countOp(const std::vector<VliwInstr> &block, OpId v)
+{
+    int n = 0;
+    for (const auto &instr : block)
+        for (const auto &cw : instr.clusters)
+            for (const auto &units : cw.fu)
+                for (const auto &slot : units)
+                    n += (!slot.isNop() && slot.op == v) ? 1 : 0;
+    return n;
+}
+
+TEST(Kernel, BlockSizes)
+{
+    const auto e = expand(makeTwoCluster());
+    const auto ii = static_cast<std::size_t>(e.sched.schedule.ii());
+    const auto sc = static_cast<std::size_t>(
+        e.sched.schedule.stageCount());
+    EXPECT_EQ(e.img.kernel().size(), ii);
+    EXPECT_EQ(e.img.prologue().size(), (sc - 1) * ii);
+    EXPECT_EQ(e.img.epilogue().size(), (sc - 1) * ii);
+    EXPECT_EQ(e.img.codeSizeInstrs(), (2 * sc - 1) * ii);
+}
+
+TEST(Kernel, EveryOpOnceInKernel)
+{
+    const auto e = expand(makeTwoCluster());
+    for (OpId v = 0; v < static_cast<OpId>(e.nest.size()); ++v)
+        EXPECT_EQ(countOp(e.img.kernel(), v), 1) << "op " << v;
+}
+
+TEST(Kernel, RampInstancesMatchStages)
+{
+    // Op at stage s appears (SC-1-s) times in the prologue and s times
+    // in the epilogue: prologue + kernel + epilogue = SC instances.
+    const auto e = expand(makeTwoCluster());
+    const int sc = e.sched.schedule.stageCount();
+    for (OpId v = 0; v < static_cast<OpId>(e.nest.size()); ++v) {
+        const int stage = e.sched.schedule.stage(v);
+        EXPECT_EQ(countOp(e.img.prologue(), v), sc - 1 - stage)
+            << "op " << v;
+        EXPECT_EQ(countOp(e.img.epilogue(), v), stage) << "op " << v;
+    }
+}
+
+TEST(Kernel, BusFieldsEncodeEveryComm)
+{
+    const auto e = expand(makeTwoCluster());
+    int outs = 0;
+    int ins = 0;
+    for (const auto &instr : e.img.kernel()) {
+        for (const auto &cw : instr.clusters) {
+            for (const auto &bf : cw.buses) {
+                outs += bf.out != INVALID_ID ? 1 : 0;
+                ins += bf.in != INVALID_ID ? 1 : 0;
+            }
+        }
+    }
+    EXPECT_EQ(outs, static_cast<int>(e.sched.schedule.numComms()));
+    EXPECT_EQ(ins, static_cast<int>(e.sched.schedule.numComms()));
+}
+
+TEST(Kernel, UnifiedMachineHasNoBusFields)
+{
+    const auto e = expand(makeUnified());
+    for (const auto &instr : e.img.kernel())
+        for (const auto &cw : instr.clusters)
+            EXPECT_TRUE(cw.buses.empty());
+}
+
+TEST(Kernel, UtilisationConsistentWithCounts)
+{
+    const auto e = expand(makeFourCluster());
+    const double util = e.img.kernelUtilisation();
+    const double ops = static_cast<double>(e.nest.size());
+    const double slots =
+        static_cast<double>(e.sched.schedule.ii() * e.machine.issueWidth());
+    EXPECT_NEAR(util, ops / slots, 1e-9);
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(Kernel, FuSlotShapesMatchMachine)
+{
+    const auto e = expand(makeFourCluster());
+    for (const auto &instr : e.img.kernel()) {
+        ASSERT_EQ(instr.clusters.size(), 4u);
+        for (const auto &cw : instr.clusters) {
+            ASSERT_EQ(cw.fu.size(), 3u);
+            EXPECT_EQ(cw.fu[0].size(), 1u);   // 1 INT unit
+            EXPECT_EQ(cw.fu[1].size(), 1u);   // 1 FP unit
+            EXPECT_EQ(cw.fu[2].size(), 1u);   // 1 MEM unit
+            EXPECT_EQ(cw.buses.size(), 2u);   // 2 register buses
+        }
+    }
+}
+
+TEST(Kernel, RenderShowsOpsAndBuses)
+{
+    const auto e = expand(makeTwoCluster());
+    const std::string text = e.img.render(*e.graph, e.machine);
+    EXPECT_NE(text.find("kernel"), std::string::npos);
+    EXPECT_NE(text.find("prologue"), std::string::npos);
+    EXPECT_NE(text.find("epilogue"), std::string::npos);
+    EXPECT_NE(text.find("la("), std::string::npos);
+    if (e.sched.schedule.numComms() > 0) {
+        EXPECT_NE(text.find("out"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace mvp::vliw

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the SPECfp95-like workload suites: structural validity,
+ * the documented conflict layouts, and schedulability of every loop on
+ * every Table-1 machine (the property the harness relies on).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "machine/presets.hh"
+#include "sched/scheduler.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::workloads
+{
+namespace
+{
+
+TEST(Workloads, AllEightSuitesPresent)
+{
+    const auto all = allBenchmarks();
+    ASSERT_EQ(all.size(), 8u);
+    const auto names = benchmarkNames();
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].name, names[i]);
+}
+
+TEST(Workloads, LookupByName)
+{
+    const auto b = benchmarkByName("swim");
+    EXPECT_EQ(b.name, "swim");
+    EXPECT_GE(b.loops.size(), 3u);
+    EXPECT_EXIT((void)benchmarkByName("nonesuch"),
+                ::testing::ExitedWithCode(1), "unknown benchmark");
+}
+
+TEST(Workloads, EveryLoopValidatesAndIsNonTrivial)
+{
+    for (const auto &bench : allBenchmarks()) {
+        EXPECT_GE(bench.loops.size(), 4u) << bench.name;
+        for (const auto &loop : bench.loops) {
+            loop.validate();   // fatal on violation
+            EXPECT_GE(loop.size(), 3u) << loop.name();
+            EXPECT_FALSE(loop.memoryOps().empty()) << loop.name();
+            // The paper schedules loops with more than 4 iterations.
+            EXPECT_GT(loop.innerTripCount(), 4) << loop.name();
+            EXPECT_GE(loop.outerExecutions(), 1) << loop.name();
+        }
+    }
+}
+
+TEST(Workloads, LoopNamesAreUnique)
+{
+    std::set<std::string> names;
+    for (const auto &bench : allBenchmarks())
+        for (const auto &loop : bench.loops)
+            EXPECT_TRUE(names.insert(loop.name()).second) << loop.name();
+}
+
+TEST(Workloads, ConflictPairsShareCacheSets)
+{
+    // The suites place deliberately-conflicting arrays at 8 KB
+    // multiples; verify the property holds for the tomcatv X/Y pair in
+    // all three per-cluster geometries.
+    const auto bench = benchmarkByName("tomcatv");
+    const auto &nest = bench.loops[0];
+    const auto &x = nest.array(0);
+    const auto &y = nest.array(1);
+    for (std::int64_t cap : {2048, 4096, 8192}) {
+        const CacheGeom geom{cap, 32, 1};
+        EXPECT_EQ(geom.setOf(x.base), geom.setOf(y.base)) << cap;
+    }
+}
+
+TEST(Workloads, ArraysDisjointAndConsistentAcrossLoops)
+{
+    // Arrays shared between the loops of a suite must sit at identical
+    // addresses everywhere, and no two distinct arrays may overlap in
+    // memory (overlap would create phantom reuse the DDG knows nothing
+    // about).
+    for (const auto &bench : allBenchmarks()) {
+        std::map<std::string, std::pair<Addr, Addr>> ranges;
+        for (const auto &loop : bench.loops) {
+            for (const auto &arr : loop.arrays()) {
+                const auto range = std::make_pair(
+                    arr.base,
+                    arr.base + static_cast<Addr>(arr.sizeBytes()));
+                const auto it = ranges.find(arr.name);
+                if (it != ranges.end()) {
+                    EXPECT_EQ(it->second, range)
+                        << bench.name << "." << arr.name;
+                } else {
+                    ranges.emplace(arr.name, range);
+                }
+            }
+        }
+        for (auto i = ranges.begin(); i != ranges.end(); ++i) {
+            for (auto j = std::next(i); j != ranges.end(); ++j) {
+                const bool overlap = i->second.first < j->second.second &&
+                                     j->second.first < i->second.second;
+                EXPECT_FALSE(overlap) << bench.name << ": " << i->first
+                                      << " vs " << j->first;
+            }
+        }
+    }
+}
+
+TEST(Workloads, SuitesContainRecurrences)
+{
+    // Reductions / eliminations appear throughout SPECfp95; make sure
+    // the suites exercise them (RecMII > 1 somewhere).
+    const auto machine = makeUnified();
+    int recurrence_loops = 0;
+    for (const auto &bench : allBenchmarks())
+        for (const auto &loop : bench.loops)
+            if (ddg::Ddg::build(loop, machine).recMii() > 1)
+                ++recurrence_loops;
+    EXPECT_GE(recurrence_loops, 8);
+}
+
+TEST(Workloads, MemoryCarriedRecurrenceInApplu)
+{
+    const auto bench = benchmarkByName("applu");
+    const auto machine = makeUnified();
+    bool found = false;
+    for (const auto &loop : bench.loops) {
+        const auto g = ddg::Ddg::build(loop, machine);
+        for (const auto &e : g.edges())
+            if (e.kind == ddg::EdgeKind::MemFlow && e.distance >= 1)
+                found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+// ------------------------------------- schedulability on every machine
+
+struct WorkloadCase
+{
+    std::string bench;
+    int clusters;
+};
+
+class WorkloadSchedulable
+    : public ::testing::TestWithParam<WorkloadCase>
+{
+};
+
+TEST_P(WorkloadSchedulable, AllLoopsScheduleAndValidate)
+{
+    const auto param = GetParam();
+    const auto bench = benchmarkByName(param.bench);
+    const auto machine = makeConfig(param.clusters);
+    for (const auto &loop : bench.loops) {
+        const auto g = ddg::Ddg::build(loop, machine);
+        cme::CmeAnalysis cme(loop);
+        for (const bool rmca : {false, true}) {
+            sched::SchedulerOptions opt;
+            opt.memoryAware = rmca;
+            opt.missThreshold = rmca ? 0.25 : 1.0;
+            opt.locality = &cme;
+            auto r = sched::ClusteredModuloScheduler(g, machine, opt)
+                         .run();
+            ASSERT_TRUE(r.ok)
+                << loop.name() << " on " << machine.name << ": "
+                << r.error;
+            EXPECT_EQ(r.schedule.validate(g, machine), "")
+                << loop.name() << " rmca=" << rmca;
+            EXPECT_GE(r.schedule.ii(), r.stats.mii);
+        }
+    }
+}
+
+std::vector<WorkloadCase>
+allCases()
+{
+    std::vector<WorkloadCase> cases;
+    for (const auto &name : benchmarkNames())
+        for (int clusters : {1, 2, 4})
+            cases.push_back({name, clusters});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suites, WorkloadSchedulable, ::testing::ValuesIn(allCases()),
+    [](const auto &info) {
+        return info.param.bench + "_" +
+               std::to_string(info.param.clusters) + "c";
+    });
+
+} // namespace
+} // namespace mvp::workloads
