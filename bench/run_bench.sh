@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Run the scheduler/CME microbenchmarks and emit BENCH_sched.json at the
+# repo root so successive PRs can track the performance trajectory.
+#
+# Usage:
+#   bench/run_bench.sh [extra google-benchmark flags]
+#
+# Environment:
+#   BUILD_DIR       build tree (default: <repo>/build)
+#   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+#   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 2)
+#
+# The output is standard google-benchmark JSON plus one extra top-level
+# key, "seed_baseline", carrying the pre-optimisation reference numbers
+# of the benchmarks the build is gated on. An existing seed_baseline in
+# BENCH_sched.json is preserved across re-runs.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/BENCH_sched.json"
+
+if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
+    cmake -B "$BUILD_DIR" -S "$ROOT" -DMVP_BENCH=ON
+fi
+# Always rebuild so the numbers describe the checked-out tree, never a
+# stale binary.
+cmake --build "$BUILD_DIR" -j --target micro_sched
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+"$BUILD_DIR/micro_sched" \
+    --benchmark_filter="${BENCH_FILTER:-.*}" \
+    --benchmark_min_time="${BENCH_MIN_TIME:-2}" \
+    --benchmark_out="$TMP" \
+    --benchmark_out_format=json \
+    "$@"
+
+python3 - "$TMP" "$OUT" <<'EOF'
+import json
+import sys
+
+fresh_path, out_path = sys.argv[1], sys.argv[2]
+with open(fresh_path) as f:
+    fresh = json.load(f)
+
+# Merge into the existing record: a filtered run updates only the
+# benchmarks it measured, and the recorded pre-optimisation baseline
+# survives every re-run.
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+except (OSError, ValueError):
+    prev = {}
+
+if "seed_baseline" in prev:
+    fresh["seed_baseline"] = prev["seed_baseline"]
+measured = {b["name"] for b in fresh.get("benchmarks", [])}
+kept = [b for b in prev.get("benchmarks", [])
+        if b.get("name") not in measured]
+fresh["benchmarks"] = kept + fresh.get("benchmarks", [])
+
+with open(out_path, "w") as f:
+    json.dump(fresh, f, indent=2)
+    f.write("\n")
+EOF
+
+echo "wrote $OUT"

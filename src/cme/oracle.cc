@@ -7,38 +7,14 @@
 namespace mvp::cme
 {
 
-namespace
-{
-
-std::vector<OpId>
-sortedSet(const std::vector<OpId> &set)
-{
-    std::vector<OpId> s = set;
-    std::sort(s.begin(), s.end());
-    s.erase(std::unique(s.begin(), s.end()), s.end());
-    return s;
-}
-
-std::string
-setKey(const std::vector<OpId> &set, const CacheGeom &geom)
-{
-    std::string key = std::to_string(geom.capacityBytes) + "/" +
-                      std::to_string(geom.lineBytes) + "/" +
-                      std::to_string(geom.assoc) + "|";
-    for (OpId o : set)
-        key += std::to_string(o) + ",";
-    return key;
-}
-
-} // namespace
-
 CacheOracle::CacheOracle(const ir::LoopNest &nest) : nest_(nest) {}
 
 const CacheOracle::SimResult &
 CacheOracle::simulate(const std::vector<OpId> &set, const CacheGeom &geom)
 {
-    const std::string key = setKey(set, geom);
-    if (auto it = memo_.find(key); it != memo_.end())
+    const detail::QueryKeyRef ref{
+        detail::queryHash(geom, INVALID_ID, set), &geom, INVALID_ID, &set};
+    if (auto it = memo_.find(ref); it != memo_.end())
         return it->second;
 
     const std::int64_t num_sets = geom.numSets();
@@ -83,7 +59,10 @@ CacheOracle::simulate(const std::vector<OpId> &set, const CacheGeom &geom)
         }
     }
 
-    return memo_.emplace(key, std::move(res)).first->second;
+    return memo_
+        .emplace(detail::QueryKey{ref.hash, geom, INVALID_ID, set},
+                 std::move(res))
+        .first->second;
 }
 
 double
@@ -92,8 +71,8 @@ CacheOracle::missesPerIteration(const std::vector<OpId> &set,
 {
     if (set.empty())
         return 0.0;
-    const auto s = sortedSet(set);
-    const SimResult &res = simulate(s, geom);
+    const SimResult &res =
+        simulate(detail::canonicalInto(scratch_, set), geom);
     std::int64_t total = 0;
     for (const auto &[op, misses] : res.misses)
         total += misses;
@@ -105,10 +84,8 @@ CacheOracle::missRatio(const std::vector<OpId> &set, OpId op,
                        const CacheGeom &geom)
 {
     mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
-    std::vector<OpId> s = set;
-    s.push_back(op);
-    s = sortedSet(s);
-    const SimResult &res = simulate(s, geom);
+    const SimResult &res =
+        simulate(detail::canonicalInto(scratch_, set, op), geom);
     return static_cast<double>(res.misses.at(op)) /
            static_cast<double>(res.points);
 }
@@ -116,8 +93,7 @@ CacheOracle::missRatio(const std::vector<OpId> &set, OpId op,
 std::unordered_map<OpId, std::int64_t>
 CacheOracle::missCounts(const std::vector<OpId> &set, const CacheGeom &geom)
 {
-    const auto s = sortedSet(set);
-    return simulate(s, geom).misses;
+    return simulate(detail::canonicalInto(scratch_, set), geom).misses;
 }
 
 } // namespace mvp::cme

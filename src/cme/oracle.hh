@@ -12,11 +12,11 @@
 #ifndef MVP_CME_ORACLE_HH
 #define MVP_CME_ORACLE_HH
 
-#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "cme/locality.hh"
+#include "cme/setkey.hh"
 
 namespace mvp::cme
 {
@@ -48,11 +48,15 @@ class CacheOracle : public LocalityAnalysis
         std::int64_t points = 0;
     };
 
+    /** @p set must be canonical (sorted, duplicate-free). */
     const SimResult &simulate(const std::vector<OpId> &set,
                               const CacheGeom &geom);
 
     const ir::LoopNest &nest_;
-    std::unordered_map<std::string, SimResult> memo_;
+    std::unordered_map<detail::QueryKey, SimResult, detail::QueryHash,
+                       detail::QueryEq>
+        memo_;
+    std::vector<OpId> scratch_;   ///< canonical-set buffer
 };
 
 } // namespace mvp::cme

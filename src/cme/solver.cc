@@ -1,6 +1,7 @@
 #include "cme/solver.hh"
 
 #include <algorithm>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -23,16 +24,6 @@ fnv1a(const std::string &s)
     return h;
 }
 
-/** Sorted copy of a reference set (program order == OpId order). */
-std::vector<OpId>
-sortedSet(const std::vector<OpId> &set)
-{
-    std::vector<OpId> s = set;
-    std::sort(s.begin(), s.end());
-    s.erase(std::unique(s.begin(), s.end()), s.end());
-    return s;
-}
-
 } // namespace
 
 CmeAnalysis::CmeAnalysis(const ir::LoopNest &nest, CmeParams params)
@@ -43,8 +34,8 @@ CmeAnalysis::CmeAnalysis(const ir::LoopNest &nest, CmeParams params)
 }
 
 std::string
-CmeAnalysis::cacheKey(const std::vector<OpId> &set, OpId op,
-                      const CacheGeom &geom)
+CmeAnalysis::samplingKey(const std::vector<OpId> &set, OpId op,
+                         const CacheGeom &geom)
 {
     std::string key;
     key.reserve(16 + set.size() * 4);
@@ -71,7 +62,7 @@ CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
     const std::int64_t num_sets = geom.numSets();
     mvp_assert(num_sets > 0, "cache with no sets");
 
-    std::vector<std::int64_t> ivs;
+    std::vector<std::int64_t> &ivs = ivs_;
     space_.at(point, ivs);
 
     const auto &target_op = nest_.op(set[ref_pos]);
@@ -80,7 +71,8 @@ CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
     const std::int64_t target_set = target_line % num_sets;
 
     // Distinct interfering lines seen so far in the target set.
-    std::vector<std::int64_t> conflicts;
+    std::vector<std::int64_t> &conflicts = conflicts_;
+    conflicts.clear();
     conflicts.reserve(static_cast<std::size_t>(geom.assoc));
 
     std::int64_t cur_point = point;
@@ -132,9 +124,10 @@ double
 CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
                         const CacheGeom &geom)
 {
-    const std::string key = cacheKey(set, op, geom);
-    if (auto it = memo_.find(key); it != memo_.end())
-        return it->second;
+    const detail::QueryKeyRef ref{detail::queryHash(geom, op, set), &geom,
+                                  op, &set};
+    if (const double *hit = memo_.find(ref))
+        return *hit;
     ++queries_;
 
     const auto pos_it = std::find(set.begin(), set.end(), op);
@@ -151,7 +144,7 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
             misses += isMiss(set, ref_pos, p, geom) ? 1 : 0;
         ratio = static_cast<double>(misses) / static_cast<double>(points);
     } else {
-        Rng rng(params_.seed ^ fnv1a(key));
+        Rng rng(params_.seed ^ fnv1a(samplingKey(set, op, geom)));
         RunningStat stat;
         while (static_cast<int>(stat.count()) < params_.maxSamples) {
             const auto p = static_cast<std::int64_t>(
@@ -164,7 +157,7 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
         ratio = stat.mean();
     }
 
-    memo_.emplace(key, ratio);
+    memo_.insert(ref, ratio);
     return ratio;
 }
 
@@ -173,20 +166,17 @@ CmeAnalysis::missRatio(const std::vector<OpId> &set, OpId op,
                        const CacheGeom &geom)
 {
     mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
-    std::vector<OpId> s = set;
-    s.push_back(op);
-    s = sortedSet(s);
-    return solveRatio(s, op, geom);
+    return solveRatio(detail::canonicalInto(scratch_, set, op), op, geom);
 }
 
 double
 CmeAnalysis::missesPerIteration(const std::vector<OpId> &set,
                                 const CacheGeom &geom)
 {
-    const std::vector<OpId> s = sortedSet(set);
+    const std::vector<OpId> &s = detail::canonicalInto(scratch_, set);
     double total = 0.0;
-    for (OpId op : s)
-        total += solveRatio(s, op, geom);
+    for (std::size_t i = 0; i < s.size(); ++i)
+        total += solveRatio(s, s[i], geom);
     return total;
 }
 

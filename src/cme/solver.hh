@@ -28,10 +28,11 @@
 #define MVP_CME_SOLVER_HH
 
 #include <cstdint>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "cme/locality.hh"
+#include "cme/setkey.hh"
 #include "common/random.hh"
 
 namespace mvp::cme
@@ -92,17 +93,29 @@ class CmeAnalysis : public LocalityAnalysis
     bool isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
                 std::int64_t point, const CacheGeom &geom);
 
-    /** Memoised estimate of one op's miss ratio inside a set. */
+    /**
+     * Memoised estimate of one op's miss ratio inside a set. @p set must
+     * be canonical (sorted, duplicate-free) and contain @p op.
+     */
     double solveRatio(const std::vector<OpId> &set, OpId op,
                       const CacheGeom &geom);
 
-    static std::string cacheKey(const std::vector<OpId> &set, OpId op,
-                                const CacheGeom &geom);
+    /**
+     * Legacy string key; kept solely to derive the per-query sampling
+     * seed, so the hashed-key memo stays bit-identical to the original
+     * string-keyed implementation. Built only on memo misses that take
+     * the sampling path.
+     */
+    static std::string samplingKey(const std::vector<OpId> &set, OpId op,
+                                   const CacheGeom &geom);
 
     const ir::LoopNest &nest_;
     CmeParams params_;
     ir::IterationSpace space_;
-    std::unordered_map<std::string, double> memo_;
+    detail::RatioMemo memo_;
+    std::vector<OpId> scratch_;     ///< canonical-set buffer
+    std::vector<std::int64_t> ivs_; ///< iteration-vector buffer
+    std::vector<std::int64_t> conflicts_; ///< isMiss interference buffer
     std::size_t queries_ = 0;
     std::size_t points_ = 0;
 };

@@ -158,25 +158,26 @@ Ddg::opLatency(OpId op) const
     return op_latency_[static_cast<std::size_t>(op)];
 }
 
-bool
-Ddg::feasibleII(Cycle ii, const LatencyOverrides &overrides) const
+namespace
 {
-    mvp_assert(ii >= 1, "II must be positive");
-    // Bellman-Ford longest-path relaxation; a positive cycle exists iff
-    // some distance still relaxes after n_ rounds.
-    std::vector<Cycle> dist(n_, 0);
-    auto edge_weight = [&](const DdgEdge &e) -> Cycle {
-        Cycle lat = e.latency;
-        if (e.isRegFlow()) {
-            auto it = overrides.find(e.src);
-            if (it != overrides.end())
-                lat = it->second;
-        }
-        return lat - ii * e.distance;
-    };
-    for (std::size_t round = 0; round < n_; ++round) {
+
+/**
+ * Bellman-Ford longest-path relaxation; a positive cycle exists iff
+ * some distance still relaxes after n rounds. @p edge_weight maps a
+ * DdgEdge to its (possibly overridden) weight latency - II*distance.
+ */
+template <typename WeightFn>
+bool
+feasibleCore(std::size_t n, const std::vector<DdgEdge> &edges,
+             WeightFn &&edge_weight)
+{
+    // Reused across calls: the scheduler probes feasibility once per
+    // miss-promoted load per II attempt.
+    static thread_local std::vector<Cycle> dist;
+    dist.assign(n, 0);
+    for (std::size_t round = 0; round < n; ++round) {
         bool changed = false;
-        for (const auto &e : edges_) {
+        for (const auto &e : edges) {
             const Cycle cand =
                 dist[static_cast<std::size_t>(e.src)] + edge_weight(e);
             if (cand > dist[static_cast<std::size_t>(e.dst)]) {
@@ -188,12 +189,47 @@ Ddg::feasibleII(Cycle ii, const LatencyOverrides &overrides) const
             return true;
     }
     // One more round: any further relaxation proves a positive cycle.
-    for (const auto &e : edges_) {
+    for (const auto &e : edges) {
         if (dist[static_cast<std::size_t>(e.src)] + edge_weight(e) >
             dist[static_cast<std::size_t>(e.dst)])
             return false;
     }
     return true;
+}
+
+} // namespace
+
+bool
+Ddg::feasibleII(Cycle ii, const LatencyOverrides &overrides) const
+{
+    mvp_assert(ii >= 1, "II must be positive");
+    return feasibleCore(n_, edges_, [&](const DdgEdge &e) -> Cycle {
+        Cycle lat = e.latency;
+        if (e.isRegFlow()) {
+            auto it = overrides.find(e.src);
+            if (it != overrides.end())
+                lat = it->second;
+        }
+        return lat - ii * e.distance;
+    });
+}
+
+bool
+Ddg::feasibleII(Cycle ii, const std::vector<Cycle> &override_lat) const
+{
+    mvp_assert(ii >= 1, "II must be positive");
+    mvp_assert(override_lat.size() == n_,
+               "override table size mismatch");
+    return feasibleCore(n_, edges_, [&](const DdgEdge &e) -> Cycle {
+        Cycle lat = e.latency;
+        if (e.isRegFlow()) {
+            const Cycle o =
+                override_lat[static_cast<std::size_t>(e.src)];
+            if (o >= 0)
+                lat = o;
+        }
+        return lat - ii * e.distance;
+    });
 }
 
 Cycle

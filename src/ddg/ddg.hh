@@ -106,6 +106,16 @@ class Ddg
                     const LatencyOverrides &overrides = {}) const;
 
     /**
+     * feasibleII with a dense override table: override_lat[op] >= 0
+     * replaces the out-latency of op's register-flow edges, negative
+     * entries mean "no override". The scheduler's inner loop uses this
+     * form to probe miss-latency promotion without building a map per
+     * probe.
+     */
+    bool feasibleII(Cycle ii,
+                    const std::vector<Cycle> &override_lat) const;
+
+    /**
      * Strongly connected components (Tarjan). Components are returned in
      * reverse topological order; singleton components without a self-loop
      * are included.

@@ -16,12 +16,6 @@ floorDiv(Cycle a, Cycle b)
     return a >= 0 ? a / b : -((-a + b - 1) / b);
 }
 
-Cycle
-ceilDiv(Cycle a, Cycle b)
-{
-    return a >= 0 ? (a + b - 1) / b : -((-a) / b);
-}
-
 } // namespace
 
 LifetimeStats
@@ -35,7 +29,9 @@ computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
         Cycle from;
         Cycle to;   // inclusive
     };
-    std::vector<Interval> intervals;
+    static thread_local std::vector<Interval> intervals;
+    intervals.clear();
+    intervals.reserve(graph.size() + sched.comms().size());
 
     const auto &loop = graph.loop();
     for (const auto &op : loop.ops()) {
@@ -86,25 +82,39 @@ computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
         static_cast<std::size_t>(machine.nClusters), 0);
 
     // live(s) = sum over intervals of |{k : from <= s + k*II <= to}|.
-    std::vector<std::vector<Cycle>> live(
-        static_cast<std::size_t>(machine.nClusters),
-        std::vector<Cycle>(static_cast<std::size_t>(ii), 0));
+    // Flat [cluster x slot] table: one allocation, not one per cluster.
+    // Closed form per interval: a span of len cycles contributes
+    // floor(len/II) to every slot plus one to the len%II slots starting
+    // at from%II (wrapping) — two divisions per interval instead of two
+    // per (interval, slot) pair.
+    static thread_local std::vector<Cycle> live;
+    live.assign(static_cast<std::size_t>(machine.nClusters) *
+                    static_cast<std::size_t>(ii),
+                0);
     for (const auto &iv : intervals) {
-        stats.totalLifetime += iv.to - iv.from + 1;
-        for (Cycle s = 0; s < ii; ++s) {
-            const Cycle count = floorDiv(iv.to - s, ii) -
-                                ceilDiv(iv.from - s, ii) + 1;
-            if (count > 0)
-                live[static_cast<std::size_t>(iv.cluster)]
-                    [static_cast<std::size_t>(s)] += count;
+        const Cycle len = iv.to - iv.from + 1;
+        stats.totalLifetime += len;
+        Cycle *row = live.data() + static_cast<std::size_t>(iv.cluster) *
+                                       static_cast<std::size_t>(ii);
+        const Cycle base = len / ii;
+        Cycle rest = len % ii;
+        if (base > 0)
+            for (Cycle s = 0; s < ii; ++s)
+                row[static_cast<std::size_t>(s)] += base;
+        Cycle s = floorDiv(iv.from, ii) * -ii + iv.from;   // from mod II
+        for (; rest > 0; --rest) {
+            ++row[static_cast<std::size_t>(s)];
+            if (++s == ii)
+                s = 0;
         }
     }
     for (int c = 0; c < machine.nClusters; ++c) {
         Cycle max_live = 0;
         for (Cycle s = 0; s < ii; ++s)
             max_live = std::max(
-                max_live, live[static_cast<std::size_t>(c)]
-                              [static_cast<std::size_t>(s)]);
+                max_live, live[static_cast<std::size_t>(c) *
+                                   static_cast<std::size_t>(ii) +
+                               static_cast<std::size_t>(s)]);
         stats.maxLivePerCluster[static_cast<std::size_t>(c)] =
             static_cast<int>(max_live);
     }

@@ -21,6 +21,9 @@ namespace mvp::sched
 /** Bus index used when the machine has unbounded register buses. */
 constexpr int BUS_UNBOUNDED = -1;
 
+/** Returned by findFreeBus when no bus can take the transfer. */
+constexpr int BUS_NONE = -2;
+
 /**
  * Reservation table for one II attempt.
  */
@@ -29,11 +32,56 @@ class Mrt
   public:
     Mrt(const MachineConfig &machine, Cycle ii);
 
+    /** Empty the table for a new II attempt, reusing its buffers. */
+    void reset(Cycle ii);
+
     /** The II this table was built for. */
     Cycle ii() const { return ii_; }
 
     /** True when a @p type slot is free at flat cycle @p time. */
     bool fuFree(Cycle time, ClusterId cluster, ir::FuType type) const;
+
+    /**
+     * @name Division-free slot arithmetic
+     * The placement loop scans windows of consecutive cycles; converting
+     * each cycle with the modulo (an integer division) dominates the
+     * query cost. Callers convert the first cycle once with slot() and
+     * step with nextSlot()/prevSlot().
+     */
+    /// @{
+    std::size_t slot(Cycle time) const
+    {
+        Cycle m = time % ii_;
+        if (m < 0)
+            m += ii_;
+        return static_cast<std::size_t>(m);
+    }
+    std::size_t nextSlot(std::size_t s) const
+    {
+        return s + 1 == static_cast<std::size_t>(ii_) ? 0 : s + 1;
+    }
+    std::size_t prevSlot(std::size_t s) const
+    {
+        return s == 0 ? static_cast<std::size_t>(ii_) - 1 : s - 1;
+    }
+
+    /** fuFree with a precomputed modulo slot. */
+    bool fuFreeAt(std::size_t slot, ClusterId cluster,
+                  ir::FuType type) const
+    {
+        return fu_used_[fuIndexAt(slot, cluster, type)] <
+               machine_.fusPerCluster(type);
+    }
+
+    /** findFreeBus with a precomputed modulo slot. */
+    int findFreeBusAt(std::size_t slot) const;
+
+    /** reserveBus with the transfer's precomputed start slot. */
+    void reserveBusAt(int bus, std::size_t slot);
+
+    /** releaseBus with the transfer's precomputed start slot. */
+    void releaseBusAt(int bus, std::size_t slot);
+    /// @}
 
     /** Reserve a @p type slot (must be free). */
     void placeFu(Cycle time, ClusterId cluster, ir::FuType type);
@@ -46,10 +94,10 @@ class Mrt
 
     /**
      * Find a register bus free for the whole window [start, start +
-     * busLatency). Returns the bus index, BUS_UNBOUNDED for unbounded-bus
-     * machines, or -2 when no bus is free (including the structural case
-     * busLatency > II, where a transfer would overlap its own next
-     * instance).
+     * busLatency). Returns the lowest free bus index, BUS_UNBOUNDED for
+     * unbounded-bus machines, or BUS_NONE when no bus is free (including
+     * the structural case busLatency > II, where a transfer would
+     * overlap its own next instance).
      */
     int findFreeBus(Cycle start) const;
 
@@ -66,11 +114,28 @@ class Mrt
     std::size_t fuIndex(Cycle time, ClusterId cluster,
                         ir::FuType type) const;
 
+    std::size_t fuIndexAt(std::size_t slot, ClusterId cluster,
+                          ir::FuType type) const
+    {
+        return (slot * static_cast<std::size_t>(machine_.nClusters) +
+                static_cast<std::size_t>(cluster)) *
+                   ir::NUM_FU_TYPES +
+               static_cast<std::size_t>(type);
+    }
+
     const MachineConfig &machine_;
     Cycle ii_;
     std::vector<int> fu_used_;       ///< [slot][cluster][type] counts
     std::vector<int> fu_load_;       ///< [cluster][type] totals
-    std::vector<char> bus_busy_;     ///< [slot][bus]
+
+    /**
+     * Bus occupancy as bitmasks: bus_mask_[slot * words_ + w] holds bit
+     * b set iff bus w*64+b is busy at that modulo slot. findFreeBus ORs
+     * the window's masks and takes the lowest clear bit, replacing the
+     * per-bus-per-cycle rescan with one pass over the window.
+     */
+    std::vector<std::uint64_t> bus_mask_;
+    std::size_t words_ = 0;          ///< 64-bit words per slot
 };
 
 } // namespace mvp::sched

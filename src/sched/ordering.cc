@@ -10,28 +10,33 @@ namespace mvp::sched
 namespace
 {
 
-/** Reachability matrix (transitive, not reflexive) via per-node BFS. */
-std::vector<std::vector<char>>
-reachability(const ddg::Ddg &graph)
+/**
+ * Reachability matrix (transitive, not reflexive) via per-node BFS,
+ * stored flat (row-major n x n) in a caller-owned reusable buffer.
+ */
+void
+reachability(const ddg::Ddg &graph, std::vector<char> &reach)
 {
     const std::size_t n = graph.size();
-    std::vector<std::vector<char>> reach(n, std::vector<char>(n, 0));
+    reach.assign(n * n, 0);
+    static thread_local std::vector<OpId> work;
     for (std::size_t s = 0; s < n; ++s) {
-        std::vector<OpId> work{static_cast<OpId>(s)};
+        char *row = reach.data() + s * n;
+        work.clear();
+        work.push_back(static_cast<OpId>(s));
         while (!work.empty()) {
             const OpId u = work.back();
             work.pop_back();
             for (int ei : graph.outEdges(u)) {
                 const OpId v = graph.edges()[static_cast<std::size_t>(ei)]
                                    .dst;
-                if (!reach[s][static_cast<std::size_t>(v)]) {
-                    reach[s][static_cast<std::size_t>(v)] = 1;
+                if (!row[static_cast<std::size_t>(v)]) {
+                    row[static_cast<std::size_t>(v)] = 1;
                     work.push_back(v);
                 }
             }
         }
     }
-    return reach;
 }
 
 } // namespace
@@ -44,19 +49,40 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
         return {};
 
     const auto tb = graph.timeBounds(ii);
-    const auto reach = reachability(graph);
+
+    // Reusable per-thread workspace: the scheduler recomputes orderings
+    // constantly (one per scheduled loop) and every buffer here reaches
+    // a steady-state capacity after a few calls.
+    static thread_local std::vector<char> reach;
+    static thread_local std::vector<char> taken;
+    static thread_local std::vector<OpId> placed_union;
+    static thread_local std::vector<OpId> set_nodes;   // flat sets
+    static thread_local std::vector<std::size_t> set_begin;
+
+    // The reachability matrix is only consulted when a *second*
+    // recurrence set absorbs path nodes; most loops have at most one
+    // cyclic SCC, so it is built lazily.
+    bool have_reach = false;
+    auto ensure_reach = [&]() {
+        if (!have_reach) {
+            reachability(graph, reach);
+            have_reach = true;
+        }
+    };
 
     // ---- Step 1: the priority list of node sets. ----
     // Non-trivial SCCs by decreasing RecMII (ties: smaller first id);
     // the new set also absorbs every node lying on a path between the
     // union of earlier sets and the SCC. Remaining nodes form the final
-    // set.
+    // set. Sets are stored back to back in set_nodes; set_begin holds
+    // each set's start offset.
     struct SccInfo
     {
         int index;
         Cycle rec_mii;
     };
-    std::vector<SccInfo> recurrence_sccs;
+    static thread_local std::vector<SccInfo> recurrence_sccs;
+    recurrence_sccs.clear();
     const auto &sccs = graph.sccs();
     for (std::size_t s = 0; s < sccs.size(); ++s) {
         const bool cyclic =
@@ -73,21 +99,25 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
                          sccs[static_cast<std::size_t>(b.index)][0];
               });
 
-    std::vector<std::vector<OpId>> sets;
-    std::vector<char> taken(n, 0);
-    std::vector<OpId> placed_union;
+    taken.assign(n, 0);
+    placed_union.clear();
+    set_nodes.clear();
+    set_begin.clear();
     for (const auto &info : recurrence_sccs) {
-        std::vector<OpId> set;
+        const std::size_t start = set_nodes.size();
         for (OpId v : sccs[static_cast<std::size_t>(info.index)]) {
             if (!taken[static_cast<std::size_t>(v)]) {
                 taken[static_cast<std::size_t>(v)] = 1;
-                set.push_back(v);
+                set_nodes.push_back(v);
             }
         }
-        if (set.empty())
+        if (set_nodes.size() == start)
             continue;
-        // Absorb nodes on paths between earlier sets and this one.
+        // Absorb nodes on paths between earlier sets and this one (the
+        // set under construction is the flat tail, so growth during the
+        // scan is visible to later candidates, as before).
         if (!placed_union.empty()) {
+            ensure_reach();
             for (std::size_t v = 0; v < n; ++v) {
                 if (taken[v])
                     continue;
@@ -96,35 +126,39 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
                 bool from_set = false;
                 bool to_prev = false;
                 for (OpId p : placed_union) {
-                    from_prev |= reach[static_cast<std::size_t>(p)][v];
-                    to_prev |= reach[v][static_cast<std::size_t>(p)];
+                    from_prev |= reach[static_cast<std::size_t>(p) * n + v];
+                    to_prev |= reach[v * n + static_cast<std::size_t>(p)];
                 }
-                for (OpId s : set) {
-                    to_set |= reach[v][static_cast<std::size_t>(s)];
-                    from_set |= reach[static_cast<std::size_t>(s)][v];
+                for (std::size_t i = start; i < set_nodes.size(); ++i) {
+                    const auto s = static_cast<std::size_t>(set_nodes[i]);
+                    to_set |= reach[v * n + s];
+                    from_set |= reach[s * n + v];
                 }
                 if ((from_prev && to_set) || (from_set && to_prev)) {
                     taken[v] = 1;
-                    set.push_back(static_cast<OpId>(v));
+                    set_nodes.push_back(static_cast<OpId>(v));
                 }
             }
         }
-        for (OpId v : set)
-            placed_union.push_back(v);
-        sets.push_back(std::move(set));
+        for (std::size_t i = start; i < set_nodes.size(); ++i)
+            placed_union.push_back(set_nodes[i]);
+        set_begin.push_back(start);
     }
     // Final set: everything not yet taken.
-    std::vector<OpId> rest;
-    for (std::size_t v = 0; v < n; ++v)
-        if (!taken[v])
-            rest.push_back(static_cast<OpId>(v));
-    if (!rest.empty())
-        sets.push_back(std::move(rest));
+    {
+        const std::size_t start = set_nodes.size();
+        for (std::size_t v = 0; v < n; ++v)
+            if (!taken[v])
+                set_nodes.push_back(static_cast<OpId>(v));
+        if (set_nodes.size() > start)
+            set_begin.push_back(start);
+    }
 
     // ---- Step 2: swing ordering inside the concatenated sets. ----
     std::vector<OpId> order;
     order.reserve(n);
-    std::vector<char> ordered(n, 0);
+    static thread_local std::vector<char> ordered;
+    ordered.assign(n, 0);
 
     auto height = [&](OpId v) { return tb.height(v); };
     auto depth = [&](OpId v) { return tb.depth(v); };
@@ -145,33 +179,46 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
         return best;
     };
 
-    auto preds_in = [&](OpId v, const std::vector<char> &in_set) {
-        std::vector<OpId> out;
+    // Visit v's unordered predecessors / successors inside the current
+    // set, in edge order, without materialising a vector per call.
+    auto for_preds_in = [&](OpId v, const std::vector<char> &in_set,
+                            auto &&fn) {
         for (int ei : graph.inEdges(v)) {
             const OpId u =
                 graph.edges()[static_cast<std::size_t>(ei)].src;
             if (in_set[static_cast<std::size_t>(u)] &&
                 !ordered[static_cast<std::size_t>(u)])
-                out.push_back(u);
+                fn(u);
         }
-        return out;
     };
-    auto succs_in = [&](OpId v, const std::vector<char> &in_set) {
-        std::vector<OpId> out;
+    auto for_succs_in = [&](OpId v, const std::vector<char> &in_set,
+                            auto &&fn) {
         for (int ei : graph.outEdges(v)) {
             const OpId w =
                 graph.edges()[static_cast<std::size_t>(ei)].dst;
             if (in_set[static_cast<std::size_t>(w)] &&
                 !ordered[static_cast<std::size_t>(w)])
-                out.push_back(w);
+                fn(w);
         }
-        return out;
     };
 
-    for (const auto &set : sets) {
-        std::vector<char> in_set(n, 0);
+    static thread_local std::vector<char> in_set;
+    in_set.assign(n, 0);
+    static thread_local std::vector<OpId> r;
+    auto push_unique = [&](OpId w) {
+        if (std::find(r.begin(), r.end(), w) == r.end())
+            r.push_back(w);
+    };
+
+    for (std::size_t si = 0; si < set_begin.size(); ++si) {
+        const std::size_t begin = set_begin[si];
+        const std::size_t end = si + 1 < set_begin.size()
+                                    ? set_begin[si + 1]
+                                    : set_nodes.size();
+        std::fill(in_set.begin(), in_set.end(), 0);
         std::size_t remaining = 0;
-        for (OpId v : set) {
+        for (std::size_t i = begin; i < end; ++i) {
+            const OpId v = set_nodes[i];
             if (!ordered[static_cast<std::size_t>(v)]) {
                 in_set[static_cast<std::size_t>(v)] = 1;
                 ++remaining;
@@ -182,18 +229,17 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
             // Seed the sweep: unordered set members adjacent to the
             // global order so far; prefer the predecessor side
             // (bottom-up) as [22] does.
-            std::vector<OpId> r;
+            r.clear();
             bool top_down;
             // Predecessors of ordered nodes that lie in this set.
             for (OpId o : order)
-                for (OpId u : preds_in(o, in_set))
-                    r.push_back(u);
+                for_preds_in(o, in_set, [&](OpId u) { r.push_back(u); });
             if (!r.empty()) {
                 top_down = false;   // consume predecessors bottom-up
             } else {
                 for (OpId o : order)
-                    for (OpId w : succs_in(o, in_set))
-                        r.push_back(w);
+                    for_succs_in(o, in_set,
+                                 [&](OpId w) { r.push_back(w); });
                 if (!r.empty()) {
                     top_down = true;
                 } else {
@@ -217,21 +263,18 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
                     ordered[static_cast<std::size_t>(v)] = 1;
                     --remaining;
                     std::erase(r, v);
-                    const auto next =
-                        top_down ? succs_in(v, in_set)
-                                 : preds_in(v, in_set);
-                    for (OpId w : next)
-                        if (std::find(r.begin(), r.end(), w) == r.end())
-                            r.push_back(w);
+                    if (top_down)
+                        for_succs_in(v, in_set, push_unique);
+                    else
+                        for_preds_in(v, in_set, push_unique);
                 }
                 // Swing: pick up the other direction's frontier.
                 top_down = !top_down;
                 for (OpId o : order) {
-                    const auto next = top_down ? succs_in(o, in_set)
-                                               : preds_in(o, in_set);
-                    for (OpId w : next)
-                        if (std::find(r.begin(), r.end(), w) == r.end())
-                            r.push_back(w);
+                    if (top_down)
+                        for_succs_in(o, in_set, push_unique);
+                    else
+                        for_preds_in(o, in_set, push_unique);
                 }
                 if (r.empty())
                     break;

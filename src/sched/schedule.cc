@@ -16,6 +16,17 @@ ModuloSchedule::ModuloSchedule(Cycle ii, std::size_t n_ops, int n_clusters)
     mvp_assert(ii >= 1, "II must be positive");
 }
 
+void
+ModuloSchedule::reset(Cycle ii, std::size_t n_ops, int n_clusters)
+{
+    mvp_assert(ii >= 1, "II must be positive");
+    ii_ = ii;
+    n_clusters_ = n_clusters;
+    placed_.assign(n_ops, PlacedOp{});
+    comms_.clear();
+    max_live_.clear();
+}
+
 int
 ModuloSchedule::stageCount() const
 {

@@ -64,6 +64,13 @@ class ModuloSchedule
     ModuloSchedule() = default;
     ModuloSchedule(Cycle ii, std::size_t n_ops, int n_clusters);
 
+    /**
+     * Re-initialise for a fresh II attempt, reusing the placement and
+     * communication buffers (the scheduler resets one schedule across
+     * II bumps instead of reallocating).
+     */
+    void reset(Cycle ii, std::size_t n_ops, int n_clusters);
+
     /** Initiation interval. */
     Cycle ii() const { return ii_; }
 

@@ -1,7 +1,6 @@
 #include "sched/scheduler.hh"
 
 #include <algorithm>
-#include <map>
 #include <optional>
 
 #include "cme/reuse.hh"
@@ -27,6 +26,7 @@ struct NewComm
     ClusterId from;
     ClusterId to;
     Cycle xferStart;
+    std::size_t xferSlot;   ///< xferStart mod II, precomputed
     int bus;
 };
 
@@ -40,18 +40,62 @@ struct Placement
 
 /**
  * State of one II attempt.
+ *
+ * Constructed once per scheduler run and re-armed with reset() for every
+ * II bump, so the II search loop performs no per-attempt allocation. All
+ * placement-loop scratch state lives in flat, reusable buffers (no
+ * per-candidate maps or vectors): cross-cluster communication starts are
+ * a dense [op x cluster] table, the inbound / outbound transfer books of
+ * one trySlot() call are sparse arrays with an explicit id list, the
+ * placed neighbourhood of the op being placed is snapshotted once per
+ * place() instead of being re-walked per candidate cluster, and the
+ * per-cluster locality base is cached incrementally so the CME layer is
+ * queried once per (cluster, candidate) instead of twice.
  */
 class Attempt
 {
   public:
     Attempt(const ddg::Ddg &graph, const MachineConfig &machine,
-            const SchedulerOptions &options, Cycle ii)
-        : graph_(graph), machine_(machine), options_(options), ii_(ii),
-          mrt_(machine, ii),
-          sched_(ii, graph.size(), machine.nClusters),
-          is_placed_(graph.size(), false),
-          mem_set_(static_cast<std::size_t>(machine.nClusters))
+            const SchedulerOptions &options)
+        : graph_(graph), machine_(machine), options_(options), ii_(1),
+          mrt_(machine, 1),
+          sched_(1, graph.size(), machine.nClusters),
+          geom_(machine.clusterCacheGeom()),
+          reuse_(graph.loop())
     {
+        // Size the thread-local buffers for this graph/machine; assign()
+        // reuses the capacity left by earlier scheduler runs, so a warm
+        // thread schedules without heap traffic.
+        const auto n = graph.size();
+        const auto nc = static_cast<std::size_t>(machine.nClusters);
+        is_placed_.assign(n, false);
+        if (mem_set_.size() < nc)
+            mem_set_.resize(nc);
+        override_lat_.assign(n, -1);
+        comm_start_.assign(n * nc, CYCLE_MAX);
+        in_min_dist_.assign(n, -1);
+        in_need_ids_.clear();
+        out_budget_.assign(nc, CYCLE_MAX);
+        base_miss_.assign(nc, 0.0);
+        base_miss_valid_.assign(nc, false);
+        affinity_.assign(nc, 0);
+    }
+
+    /** Re-arm for a fresh II attempt, reusing every buffer. */
+    void reset(Cycle ii)
+    {
+        ii_ = ii;
+        mrt_.reset(ii);
+        sched_.reset(ii, graph_.size(), machine_.nClusters);
+        std::fill(is_placed_.begin(), is_placed_.end(), false);
+        for (auto &set : mem_set_)
+            set.clear();
+        std::fill(override_lat_.begin(), override_lat_.end(), -1);
+        std::fill(comm_start_.begin(), comm_start_.end(), CYCLE_MAX);
+        std::fill(in_min_dist_.begin(), in_min_dist_.end(), -1);
+        in_need_ids_.clear();
+        std::fill(base_miss_valid_.begin(), base_miss_valid_.end(),
+                  false);
     }
 
     /** Place one op; false aborts the attempt (II must grow). */
@@ -75,13 +119,50 @@ class Attempt
     }
 
   private:
-    std::optional<Placement> trySlot(OpId v, ClusterId c, Cycle out_lat);
+    /**
+     * Snapshot of one placed in-neighbour of the op being placed, with
+     * the cluster-independent arithmetic folded in at snapshot time.
+     */
+    struct InNb
+    {
+        OpId src;
+        int distance;
+        bool isReg;
+        ClusterId cluster;  ///< producer's cluster
+        Cycle iiDist;       ///< II * distance
+        Cycle ready;        ///< producer's time + outLatency
+        Cycle baseEarly;    ///< early bound without a bus transfer
+    };
+
+    /** Snapshot of one placed out-neighbour of the op being placed. */
+    struct OutNb
+    {
+        OpId dst;
+        bool isReg;
+        ClusterId cluster;  ///< consumer's cluster
+        Cycle budget;       ///< consumer's time + II * distance
+        Cycle lateNonReg;   ///< budget - edge latency (non-register)
+    };
+
+    void snapshotNeighbours(OpId v);
+    bool trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out);
+    bool tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
+                      Cycle out_lat, Placement &out);
     void commit(OpId v, ClusterId c, const Placement &p, bool miss);
     double addedMisses(OpId v, ClusterId c);
-    int regAffinity(OpId v, ClusterId c) const;
+    void computeAffinities(OpId v);
+    int cachedAffinity(OpId v, ClusterId c);
     bool betterCluster(OpId v, ClusterId cand, ClusterId best,
-                       double cand_miss, double best_miss,
-                       bool use_miss) const;
+                       double cand_miss, double best_miss, bool use_miss);
+
+    /** Start cycle of the committed transfer of @p u to cluster @p c. */
+    Cycle &commStart(OpId u, ClusterId c)
+    {
+        return comm_start_[static_cast<std::size_t>(u) *
+                               static_cast<std::size_t>(
+                                   machine_.nClusters) +
+                           static_cast<std::size_t>(c)];
+    }
 
     const ddg::Ddg &graph_;
     const MachineConfig &machine_;
@@ -89,126 +170,269 @@ class Attempt
     Cycle ii_;
     Mrt mrt_;
     ModuloSchedule sched_;
-    std::vector<char> is_placed_;
-    std::vector<std::vector<OpId>> mem_set_;   ///< memory ops per cluster
-    std::map<std::pair<OpId, ClusterId>, Cycle> comm_start_;
-    ddg::LatencyOverrides overrides_;          ///< miss-promoted loads
+    CacheGeom geom_;                           ///< per-cluster cache
+    cme::ReuseAnalysis reuse_;                 ///< hoisted out of place()
+    ir::FuType fu_ = ir::FuType::Int;          ///< FU class of current op
+    int out_needed_ = 0;              ///< clusters with an out budget
+    bool affinity_valid_ = false;     ///< per-sweep affinity memo flag
+
+    /**
+     * Every pure-buffer member below is thread-local and shared by all
+     * attempts of the thread: only one Attempt is live per scheduler
+     * run, runs never nest, and the constructor (re)sizes each buffer,
+     * so a warm thread reaches a steady state with zero heap traffic in
+     * the placement loop. (An \c inline \c static member inside an
+     * anonymous namespace is still one object per translation unit.)
+     */
+    inline static thread_local std::vector<char> is_placed_;
+    /** Memory ops per cluster. */
+    inline static thread_local std::vector<std::vector<OpId>> mem_set_;
+    /** [op] out-latency override of miss-promoted loads; -1 = none. */
+    inline static thread_local std::vector<Cycle> override_lat_;
+    /** [op x cluster] committed transfer starts; CYCLE_MAX = none. */
+    inline static thread_local std::vector<Cycle> comm_start_;
+
+    /** @name place() scratch (rebuilt per op, shared by the sweep) */
+    /// @{
+    inline static thread_local std::vector<InNb> in_nbs_;
+    inline static thread_local std::vector<OutNb> out_nbs_;
+    /// @}
+
+    /** @name trySlot() scratch (reset at every call) */
+    /// @{
+    /** Producers needing a transfer. */
+    inline static thread_local std::vector<OpId> in_need_ids_;
+    /** [op] min distance; -1 = unset. */
+    inline static thread_local std::vector<int> in_min_dist_;
+    /** [cluster] consumption budget; CYCLE_MAX = unset. */
+    inline static thread_local std::vector<Cycle> out_budget_;
+    /** Tentative bus reservations. */
+    inline static thread_local std::vector<NewComm> reserved_;
+    inline static thread_local Placement cur_placement_;
+    inline static thread_local Placement best_placement_;
+    /// @}
+
+    /** @name Incremental per-cluster locality cache */
+    /// @{
+    /** missesPerIteration(mem_set_) per cluster. */
+    inline static thread_local std::vector<double> base_miss_;
+    /** Invalidated on memory-op commit. */
+    inline static thread_local std::vector<char> base_miss_valid_;
+    /** set + candidate buffer. */
+    inline static thread_local std::vector<OpId> with_scratch_;
+    /// @}
+
+    /** [cluster] one-walk register-affinity profits. */
+    inline static thread_local std::vector<int> affinity_;
 };
 
-std::optional<Placement>
-Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat)
+/**
+ * Capture the placed neighbourhood of @p v once per place() call. The
+ * cluster sweep evaluates the same op against every cluster (and again
+ * for the miss-latency probe); walking the edge table and the placement
+ * array once instead of per candidate keeps trySlot() touching only the
+ * compact snapshot.
+ */
+void
+Attempt::snapshotNeighbours(OpId v)
 {
-    const Cycle lrb = machine_.regBusLatency;
-
-    // --- Collect window bounds from already-placed neighbours. ---
-    Cycle early = 0;
-    Cycle late = NO_BOUND;
-    bool has_pred = false;
-    bool has_succ = false;
-
-    // Inbound cross-cluster register values that need a *new* transfer:
-    // producer -> tightest arrival budget (t_v + II*min_dist).
-    std::map<OpId, int> in_need_min_dist;
-
+    in_nbs_.clear();
+    out_nbs_.clear();
     for (int ei : graph_.inEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
         if (e.src == v || !is_placed_[static_cast<std::size_t>(e.src)])
             continue;
         const auto &pu = sched_.placed(e.src);
-        has_pred = true;
-        if (e.isRegFlow() && pu.cluster != c) {
-            const auto key = std::make_pair(e.src, c);
-            if (auto it = comm_start_.find(key); it != comm_start_.end()) {
-                early = std::max(early,
-                                 it->second + lrb - ii_ * e.distance);
-            } else {
-                const Cycle ready = pu.time + pu.outLatency;
-                early = std::max(early, ready + lrb - ii_ * e.distance);
-                auto [mit, fresh] =
-                    in_need_min_dist.emplace(e.src, e.distance);
-                if (!fresh)
-                    mit->second = std::min(mit->second, e.distance);
-            }
-        } else {
-            const Cycle lat =
-                e.isRegFlow() ? pu.outLatency : e.latency;
-            early = std::max(early, pu.time + lat - ii_ * e.distance);
-        }
+        const Cycle ii_dist = ii_ * e.distance;
+        const Cycle ready = pu.time + pu.outLatency;
+        const Cycle base_early =
+            (e.isRegFlow() ? ready : pu.time + e.latency) - ii_dist;
+        in_nbs_.push_back({e.src, e.distance, e.isRegFlow(), pu.cluster,
+                           ii_dist, ready, base_early});
     }
-
-    // Outbound cross-cluster transfers to placed consumers: destination
-    // cluster -> tightest consumption budget min(t_w + II*dist).
-    std::map<ClusterId, Cycle> out_budget;
-
     for (int ei : graph_.outEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
         if (e.dst == v || !is_placed_[static_cast<std::size_t>(e.dst)])
             continue;
         const auto &pw = sched_.placed(e.dst);
-        has_succ = true;
         const Cycle budget = pw.time + ii_ * e.distance;
-        if (e.isRegFlow() && pw.cluster != c) {
-            auto [it, fresh] = out_budget.emplace(pw.cluster, budget);
-            if (!fresh)
-                it->second = std::min(it->second, budget);
+        out_nbs_.push_back({e.dst, e.isRegFlow(), pw.cluster, budget,
+                            budget - e.latency});
+    }
+}
+
+bool
+Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
+{
+    const Cycle lrb = machine_.regBusLatency;
+
+    // --- Reset the scratch books (cheap: only touched entries). ---
+    for (OpId u : in_need_ids_)
+        in_min_dist_[static_cast<std::size_t>(u)] = -1;
+    in_need_ids_.clear();
+    std::fill(out_budget_.begin(), out_budget_.end(), CYCLE_MAX);
+    out_needed_ = 0;
+
+    // --- Collect window bounds from the snapshotted neighbours. ---
+    Cycle early = 0;
+    Cycle late = NO_BOUND;
+    const bool has_pred = !in_nbs_.empty();
+    const bool has_succ = !out_nbs_.empty();
+
+    // Inbound cross-cluster register values that need a *new* transfer:
+    // producer -> tightest arrival budget (t_v + II*min_dist).
+    for (const InNb &nb : in_nbs_) {
+        if (nb.isReg && nb.cluster != c) {
+            if (const Cycle cs = commStart(nb.src, c); cs != CYCLE_MAX) {
+                early = std::max(early, cs + lrb - nb.iiDist);
+            } else {
+                early = std::max(early, nb.ready + lrb - nb.iiDist);
+                auto &min_dist =
+                    in_min_dist_[static_cast<std::size_t>(nb.src)];
+                if (min_dist < 0) {
+                    in_need_ids_.push_back(nb.src);
+                    min_dist = nb.distance;
+                } else {
+                    min_dist = std::min(min_dist, nb.distance);
+                }
+            }
         } else {
-            const Cycle lat = e.isRegFlow() ? out_lat : e.latency;
-            late = std::min(late, budget - lat);
+            early = std::max(early, nb.baseEarly);
         }
     }
-    for (const auto &[cluster, budget] : out_budget)
-        late = std::min(late, budget - lrb - out_lat);
+    // Bus reservation order must not depend on edge-visit order.
+    if (in_need_ids_.size() > 1)
+        std::sort(in_need_ids_.begin(), in_need_ids_.end());
+
+    // Outbound cross-cluster transfers to placed consumers: destination
+    // cluster -> tightest consumption budget min(t_w + II*dist).
+    for (const OutNb &nb : out_nbs_) {
+        if (nb.isReg && nb.cluster != c) {
+            auto &b = out_budget_[static_cast<std::size_t>(nb.cluster)];
+            if (b == CYCLE_MAX)
+                ++out_needed_;
+            b = std::min(b, nb.budget);
+        } else {
+            late = std::min(late,
+                            nb.isReg ? nb.budget - out_lat : nb.lateNonReg);
+        }
+    }
+    for (Cycle budget : out_budget_)
+        if (budget != CYCLE_MAX)
+            late = std::min(late, budget - lrb - out_lat);
 
     // With placed neighbours on both sides the window [early, late]
     // must be non-empty; one-sided windows are never empty (the scan
     // direction follows the constrained side, times may go negative).
     if (has_pred && has_succ && late < early)
-        return std::nullopt;
+        return false;
 
-    // --- Scan the window (at most II slots; SMS direction rule).
-    // Times may go negative while scheduling: modulo schedules are
-    // shift-invariant, and the attempt normalises by a multiple of II
-    // once every node is placed. ---
-    std::vector<Cycle> candidates;
+    // --- Scan the window in place (at most II slots; SMS direction
+    // rule). Times may go negative while scheduling: modulo schedules
+    // are shift-invariant, and the attempt normalises by a multiple of
+    // II once every node is placed. ---
     if (has_succ && !has_pred) {
         const Cycle hi = std::min(late, NO_BOUND);
         const Cycle lo = hi - ii_ + 1;
-        for (Cycle t = hi; t >= lo; --t)
-            candidates.push_back(t);
+        std::size_t s = mrt_.slot(hi);
+        for (Cycle t = hi; t >= lo; --t) {
+            if (tryCandidate(v, c, t, s, out_lat, out))
+                return true;
+            s = mrt_.prevSlot(s);
+        }
     } else {
         const Cycle hi = std::min(late, early + ii_ - 1);
-        for (Cycle t = early; t <= hi; ++t)
-            candidates.push_back(t);
+        if (early <= hi) {
+            std::size_t s = mrt_.slot(early);
+            for (Cycle t = early; t <= hi; ++t) {
+                if (tryCandidate(v, c, t, s, out_lat, out))
+                    return true;
+                s = mrt_.nextSlot(s);
+            }
+        }
+    }
+    return false;
+}
+
+/**
+ * Evaluate one candidate cycle: FU slot plus tentative bus reservations
+ * for every transfer trySlot() booked in the scratch arrays. The
+ * reservations are always rolled back — the caller re-applies them on
+ * commit; evaluation of other clusters must not hold them.
+ */
+bool
+Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
+                      Cycle out_lat, Placement &out)
+{
+    if (!mrt_.fuFreeAt(slot, c, fu_))
+        return false;
+
+    // Fast path: no bus transfer to book, the FU slot alone decides.
+    if (in_need_ids_.empty() && out_needed_ == 0) {
+        out.time = t;
+        out.outLatency = out_lat;
+        out.newComms.clear();
+        return true;
     }
 
-    const ir::FuType fu = graph_.loop().op(v).fuType();
-    for (Cycle t : candidates) {
-        if (!mrt_.fuFree(t, c, fu))
-            continue;
+    const Cycle lrb = machine_.regBusLatency;
+    reserved_.clear();
+    auto rollback = [&]() {
+        for (const auto &nc : reserved_)
+            mrt_.releaseBusAt(nc.bus, nc.xferSlot);
+        reserved_.clear();
+    };
+    bool ok = true;
 
-        // Reserve buses tentatively; roll back on any failure.
-        std::vector<NewComm> reserved;
-        auto rollback = [&]() {
-            for (const auto &nc : reserved)
-                mrt_.releaseBus(nc.bus, nc.xferStart);
-            reserved.clear();
-        };
-        bool ok = true;
-
-        // Inbound transfers (value of u must reach cluster c).
-        for (const auto &[u, min_dist] : in_need_min_dist) {
-            const auto &pu = sched_.placed(u);
-            const Cycle x_min = pu.time + pu.outLatency;
-            const Cycle x_max = t + ii_ * min_dist - lrb;
-            bool found = false;
-            const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+    // Inbound transfers (value of u must reach cluster c).
+    for (OpId u : in_need_ids_) {
+        const int min_dist = in_min_dist_[static_cast<std::size_t>(u)];
+        const auto &pu = sched_.placed(u);
+        const Cycle x_min = pu.time + pu.outLatency;
+        const Cycle x_max = t + ii_ * min_dist - lrb;
+        bool found = false;
+        const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+        if (x_min <= hi) {
+            std::size_t sx = mrt_.slot(x_min);
             for (Cycle x = x_min; x <= hi; ++x) {
-                const int bus = mrt_.findFreeBus(x);
-                if (bus != -2) {
-                    mrt_.reserveBus(bus, x);
-                    reserved.push_back({u, pu.cluster, c, x, bus});
+                const int bus = mrt_.findFreeBusAt(sx);
+                if (bus != BUS_NONE) {
+                    mrt_.reserveBusAt(bus, sx);
+                    reserved_.push_back({u, pu.cluster, c, x, sx, bus});
                     found = true;
                     break;
+                }
+                sx = mrt_.nextSlot(sx);
+            }
+        }
+        if (!found) {
+            ok = false;
+            break;
+        }
+    }
+
+    // Outbound transfers (v's value must reach consumer clusters).
+    if (ok) {
+        for (ClusterId dest = 0; dest < machine_.nClusters; ++dest) {
+            const Cycle budget =
+                out_budget_[static_cast<std::size_t>(dest)];
+            if (budget == CYCLE_MAX)
+                continue;
+            const Cycle x_min = t + out_lat;
+            const Cycle x_max = budget - lrb;
+            bool found = false;
+            const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+            if (x_min <= hi) {
+                std::size_t sx = mrt_.slot(x_min);
+                for (Cycle x = x_min; x <= hi; ++x) {
+                    const int bus = mrt_.findFreeBusAt(sx);
+                    if (bus != BUS_NONE) {
+                        mrt_.reserveBusAt(bus, sx);
+                        reserved_.push_back({v, c, dest, x, sx, bus});
+                        found = true;
+                        break;
+                    }
+                    sx = mrt_.nextSlot(sx);
                 }
             }
             if (!found) {
@@ -216,46 +440,18 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat)
                 break;
             }
         }
-
-        // Outbound transfers (v's value must reach consumer clusters).
-        if (ok) {
-            for (const auto &[dest, budget] : out_budget) {
-                const Cycle x_min = t + out_lat;
-                const Cycle x_max = budget - lrb;
-                bool found = false;
-                const Cycle hi = std::min(x_max, x_min + ii_ - 1);
-                for (Cycle x = x_min; x <= hi; ++x) {
-                    const int bus = mrt_.findFreeBus(x);
-                    if (bus != -2) {
-                        mrt_.reserveBus(bus, x);
-                        reserved.push_back({v, c, dest, x, bus});
-                        found = true;
-                        break;
-                    }
-                }
-                if (!found) {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-
-        if (!ok) {
-            rollback();
-            continue;
-        }
-
-        // Feasible: hand the reservations back (the caller re-applies
-        // them on commit; evaluation of other clusters must not hold
-        // them).
-        Placement p;
-        p.time = t;
-        p.outLatency = out_lat;
-        p.newComms = reserved;
-        rollback();
-        return p;
     }
-    return std::nullopt;
+
+    if (!ok) {
+        rollback();
+        return false;
+    }
+
+    out.time = t;
+    out.outLatency = out_lat;
+    out.newComms.assign(reserved_.begin(), reserved_.end());
+    rollback();
+    return true;
 }
 
 void
@@ -269,54 +465,67 @@ Attempt::commit(OpId v, ClusterId c, const Placement &p, bool miss)
     is_placed_[static_cast<std::size_t>(v)] = true;
     mrt_.placeFu(p.time, c, graph_.loop().op(v).fuType());
     for (const auto &nc : p.newComms) {
-        mrt_.reserveBus(nc.bus, nc.xferStart);
+        mrt_.reserveBusAt(nc.bus, nc.xferSlot);
         sched_.comms().push_back(
             {nc.producer, nc.from, nc.to, nc.xferStart, nc.bus});
-        comm_start_[{nc.producer, nc.to}] = nc.xferStart;
+        commStart(nc.producer, nc.to) = nc.xferStart;
     }
-    if (graph_.loop().op(v).isMemory())
+    if (graph_.loop().op(v).isMemory()) {
         mem_set_[static_cast<std::size_t>(c)].push_back(v);
+        base_miss_valid_[static_cast<std::size_t>(c)] = false;
+    }
     if (miss)
-        overrides_[v] = p.outLatency;
+        override_lat_[static_cast<std::size_t>(v)] = p.outLatency;
 }
 
 double
 Attempt::addedMisses(OpId v, ClusterId c)
 {
     auto *loc = options_.locality;
-    const CacheGeom geom = machine_.clusterCacheGeom();
     const auto &set = mem_set_[static_cast<std::size_t>(c)];
-    std::vector<OpId> with = set;
-    with.push_back(v);
-    return loc->missesPerIteration(with, geom) -
-           loc->missesPerIteration(set, geom);
+    // The base set only changes when a memory op is committed to this
+    // cluster, so its miss count is computed once per commit, not per
+    // candidate evaluated against it.
+    if (!base_miss_valid_[static_cast<std::size_t>(c)]) {
+        base_miss_[static_cast<std::size_t>(c)] =
+            loc->missesPerIteration(set, geom_);
+        base_miss_valid_[static_cast<std::size_t>(c)] = true;
+    }
+    with_scratch_.assign(set.begin(), set.end());
+    with_scratch_.push_back(v);
+    return loc->missesPerIteration(with_scratch_, geom_) -
+           base_miss_[static_cast<std::size_t>(c)];
 }
 
-int
-Attempt::regAffinity(OpId v, ClusterId c) const
+void
+Attempt::computeAffinities(OpId v)
 {
     // Output-edge profit of [22]: register edges between v and the ops
-    // already placed in c count double; additionally, a *sibling* bond
-    // counts once — a placed node in c adjacent to an unscheduled
-    // neighbour of v (e.g. the other operand of v's future consumer).
-    // Joining that cluster lets the shared neighbour be placed without
-    // any edge leaving the cluster's subgraph, which is exactly the
-    // exit-edge quantity the heuristic minimises.
-    int affinity = 0;
+    // already placed in a cluster count double; additionally, a
+    // *sibling* bond counts once — a placed node adjacent to an
+    // unscheduled neighbour of v (e.g. the other operand of v's future
+    // consumer). Joining that cluster lets the shared neighbour be
+    // placed without any edge leaving the cluster's subgraph, which is
+    // exactly the exit-edge quantity the heuristic minimises.
+    //
+    // One walk accumulates the profit of every cluster at once: each
+    // placed neighbour contributes to its own cluster's bucket, so the
+    // sweep never re-traverses the two-level neighbourhood per cluster.
+    std::fill(affinity_.begin(), affinity_.end(), 0);
     auto neighbour_cluster_bonus = [&](OpId other) {
         if (other == v)
             return;
         if (is_placed_[static_cast<std::size_t>(other)]) {
-            if (sched_.placed(other).cluster == c)
-                affinity += 2;
+            affinity_[static_cast<std::size_t>(
+                sched_.placed(other).cluster)] += 2;
             return;
         }
         // Unscheduled neighbour: look one level further.
         auto sibling = [&](OpId w) {
             if (w != v && w != other &&
-                is_placed_[static_cast<std::size_t>(w)] &&
-                sched_.placed(w).cluster == c)
-                ++affinity;
+                is_placed_[static_cast<std::size_t>(w)])
+                ++affinity_[static_cast<std::size_t>(
+                    sched_.placed(w).cluster)];
         };
         for (int ei : graph_.inEdges(other)) {
             const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
@@ -339,13 +548,27 @@ Attempt::regAffinity(OpId v, ClusterId c) const
         if (e.isRegFlow())
             neighbour_cluster_bonus(e.dst);
     }
-    return affinity;
+}
+
+/**
+ * Affinities are invariant during one cluster sweep (no placement
+ * changes mid-sweep), so the one-walk computation runs lazily on the
+ * first tie-break of a sweep; place() invalidates it per op.
+ */
+int
+Attempt::cachedAffinity(OpId v, ClusterId c)
+{
+    if (!affinity_valid_) {
+        computeAffinities(v);
+        affinity_valid_ = true;
+    }
+    return affinity_[static_cast<std::size_t>(c)];
 }
 
 bool
 Attempt::betterCluster(OpId v, ClusterId cand, ClusterId best,
                        double cand_miss, double best_miss,
-                       bool use_miss) const
+                       bool use_miss)
 {
     if (use_miss) {
         if (cand_miss < best_miss - EPS)
@@ -353,14 +576,13 @@ Attempt::betterCluster(OpId v, ClusterId cand, ClusterId best,
         if (cand_miss > best_miss + EPS)
             return false;
     }
-    const int a_cand = regAffinity(v, cand);
-    const int a_best = regAffinity(v, best);
+    const int a_cand = cachedAffinity(v, cand);
+    const int a_best = cachedAffinity(v, best);
     if (a_cand != a_best)
         return a_cand > a_best;
     // Workload balance: fewer ops of this FU class already placed.
-    const ir::FuType fu = graph_.loop().op(v).fuType();
-    const int l_cand = mrt_.fuLoad(cand, fu);
-    const int l_best = mrt_.fuLoad(best, fu);
+    const int l_cand = mrt_.fuLoad(cand, fu_);
+    const int l_best = mrt_.fuLoad(best, fu_);
     if (l_cand != l_best)
         return l_cand < l_best;
     return cand < best;
@@ -373,20 +595,21 @@ Attempt::place(OpId v)
     const Cycle hit_lat = graph_.opLatency(v);
     const bool mem_select = options_.memoryAware && op.isMemory() &&
                             options_.locality != nullptr;
+    fu_ = op.fuType();
+    snapshotNeighbours(v);
 
     // Evaluate every cluster with the hit latency.
+    affinity_valid_ = false;
     ClusterId best = INVALID_ID;
-    Placement best_placement;
     double best_miss = 0.0;
     for (ClusterId c = 0; c < machine_.nClusters; ++c) {
-        auto p = trySlot(v, c, hit_lat);
-        if (!p)
+        if (!trySlot(v, c, hit_lat, cur_placement_))
             continue;
         const double miss = mem_select ? addedMisses(v, c) : 0.0;
         if (best == INVALID_ID ||
             betterCluster(v, c, best, miss, best_miss, mem_select)) {
             best = c;
-            best_placement = std::move(*p);
+            std::swap(best_placement_, cur_placement_);
             best_miss = miss;
         }
     }
@@ -404,15 +627,13 @@ Attempt::place(OpId v)
     if (op.isLoad() && options_.missThreshold < 1.0 - EPS &&
         options_.locality != nullptr) {
         const double ratio = options_.locality->missRatio(
-            mem_set_[static_cast<std::size_t>(best)], v,
-            machine_.clusterCacheGeom());
+            mem_set_[static_cast<std::size_t>(best)], v, geom_);
         bool rides_promoted_fill = false;
         if (ratio <= options_.missThreshold + EPS) {
-            const cme::ReuseAnalysis reuse(graph_.loop());
             for (OpId u : mem_set_[static_cast<std::size_t>(best)]) {
                 if (!sched_.placed(u).missScheduled)
                     continue;
-                const auto delta = reuse.byteDelta(v, u);
+                const auto delta = reuse_.byteDelta(v, u);
                 if (delta && std::llabs(*delta) <
                                  machine_.cacheLineBytes) {
                     rides_promoted_fill = true;
@@ -424,22 +645,27 @@ Attempt::place(OpId v)
         if ((ratio > options_.missThreshold + EPS ||
              rides_promoted_fill) &&
             miss_lat > hit_lat) {
+            // Probe in place: v is unplaced, so its override slot is
+            // free; restore it unless the promotion actually commits.
             bool allowed = true;
             if (graph_.inRecurrence(v)) {
-                ddg::LatencyOverrides probe = overrides_;
-                probe[v] = miss_lat;
-                allowed = graph_.feasibleII(ii_, probe);
+                override_lat_[static_cast<std::size_t>(v)] = miss_lat;
+                allowed = graph_.feasibleII(ii_, override_lat_);
+                if (!allowed)
+                    override_lat_[static_cast<std::size_t>(v)] = -1;
             }
             if (allowed) {
-                if (auto p = trySlot(v, best, miss_lat)) {
-                    commit(v, best, *p, true);
+                if (trySlot(v, best, miss_lat, cur_placement_)) {
+                    commit(v, best, cur_placement_, true);
                     promoted = true;
+                } else {
+                    override_lat_[static_cast<std::size_t>(v)] = -1;
                 }
             }
         }
     }
     if (!promoted)
-        commit(v, best, best_placement, false);
+        commit(v, best, best_placement_, false);
     return true;
 }
 
@@ -499,9 +725,12 @@ ClusteredModuloScheduler::run()
     result.stats.orderingBothNeighbours =
         bothNeighbourCount(graph_, order);
 
+    // One attempt object reused across II bumps (reset() re-arms it
+    // without reallocating any buffer).
+    Attempt attempt(graph_, machine_, options_);
     for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
         ++result.stats.iiAttempts;
-        Attempt attempt(graph_, machine_, options_, ii);
+        attempt.reset(ii);
         bool ok = true;
         for (OpId v : order) {
             if (!attempt.place(v)) {

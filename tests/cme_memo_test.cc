@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Memo-consistency tests for the hashed-key locality caches.
+ *
+ * The CME solver and the exact oracle replaced their string memo keys
+ * with FNV-hashed struct keys (cme/setkey.hh) plus an open-addressing
+ * table in the solver. These tests pin the contract the scheduler relies
+ * on: a memoised answer is bit-identical to a fresh instance's answer,
+ * regardless of query order, set permutation, duplicate ops in the set,
+ * or how many entries the table has absorbed (growth/rehash included).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cme/oracle.hh"
+#include "cme/setkey.hh"
+#include "cme/solver.hh"
+#include "ir/builder.hh"
+
+namespace mvp::cme
+{
+namespace
+{
+
+using namespace mvp::ir;
+
+const CacheGeom GEOM_2K{2048, 32, 1};
+const CacheGeom GEOM_4K{4096, 32, 1};
+
+/** Several interfering references so distinct sets answer differently. */
+LoopNest
+interferenceLoop()
+{
+    LoopNestBuilder b("memo");
+    b.loop("r", 0, 8);
+    b.loop("i", 0, 512);
+    const auto A = b.arrayAt("A", {512}, 0x10000);
+    const auto B = b.arrayAt("B", {512}, 0x10000 + 0x2000);
+    const auto C = b.arrayAt("C", {512}, 0x10000 + 0x4000);
+    const auto la = b.load(A, {affineVar(1)}, "la");
+    const auto lb = b.load(B, {affineVar(1)}, "lb");
+    const auto lc = b.load(C, {affineVar(1)}, "lc");
+    const auto m = b.op(Opcode::FMul, {use(la), use(lb)});
+    const auto s = b.op(Opcode::FAdd, {use(m), use(lc)});
+    b.store(A, {affineVar(1)}, use(s));
+    return b.build();
+}
+
+TEST(CmeMemo, MemoisedEqualsFresh)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    CmeAnalysis warm(nest);
+
+    // Warm the memo with every subset query we are about to replay.
+    for (OpId op : mem) {
+        (void)warm.missRatio(mem, op, GEOM_2K);
+        (void)warm.missRatio(mem, op, GEOM_4K);
+    }
+    (void)warm.missesPerIteration(mem, GEOM_2K);
+    const std::size_t queries_after_warmup = warm.queriesSolved();
+
+    for (OpId op : mem) {
+        CmeAnalysis fresh(nest);
+        EXPECT_EQ(warm.missRatio(mem, op, GEOM_2K),
+                  fresh.missRatio(mem, op, GEOM_2K));
+        EXPECT_EQ(warm.missRatio(mem, op, GEOM_4K),
+                  fresh.missRatio(mem, op, GEOM_4K));
+    }
+    {
+        CmeAnalysis fresh(nest);
+        EXPECT_EQ(warm.missesPerIteration(mem, GEOM_2K),
+                  fresh.missesPerIteration(mem, GEOM_2K));
+    }
+    // Every replay above must have been served from the memo.
+    EXPECT_EQ(warm.queriesSolved(), queries_after_warmup);
+}
+
+TEST(CmeMemo, SetOrderAndDuplicatesAreCanonicalised)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    ASSERT_GE(mem.size(), 3u);
+
+    CmeAnalysis cme(nest);
+    const double ref = cme.missRatio(mem, mem[0], GEOM_2K);
+    const double ref_set = cme.missesPerIteration(mem, GEOM_2K);
+
+    std::vector<OpId> shuffled = mem;
+    std::reverse(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(cme.missRatio(shuffled, mem[0], GEOM_2K), ref);
+    EXPECT_EQ(cme.missesPerIteration(shuffled, GEOM_2K), ref_set);
+
+    std::vector<OpId> dup = mem;
+    dup.push_back(mem[1]);
+    dup.push_back(mem[0]);
+    EXPECT_EQ(cme.missRatio(dup, mem[0], GEOM_2K), ref);
+    EXPECT_EQ(cme.missesPerIteration(dup, GEOM_2K), ref_set);
+
+    // op absent from the set vector == op present (it joins the set).
+    std::vector<OpId> without;
+    for (OpId op : mem)
+        if (op != mem[0])
+            without.push_back(op);
+    EXPECT_EQ(cme.missRatio(without, mem[0], GEOM_2K), ref);
+}
+
+TEST(CmeMemo, OracleMemoMatchesFresh)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+
+    CacheOracle warm(nest);
+    (void)warm.missesPerIteration(mem, GEOM_2K);
+    for (OpId op : mem) {
+        CacheOracle fresh(nest);
+        EXPECT_EQ(warm.missRatio(mem, op, GEOM_2K),
+                  fresh.missRatio(mem, op, GEOM_2K));
+    }
+    std::vector<OpId> shuffled = mem;
+    std::reverse(shuffled.begin(), shuffled.end());
+    EXPECT_EQ(warm.missesPerIteration(shuffled, GEOM_2K),
+              warm.missesPerIteration(mem, GEOM_2K));
+}
+
+TEST(CmeMemo, RatioMemoSurvivesGrowth)
+{
+    // Push the open-addressing table through several growth cycles and
+    // verify every stored answer is still retrievable and correct.
+    detail::RatioMemo memo;
+    std::vector<OpId> set{1, 2, 3};
+    const CacheGeom geom = GEOM_2K;
+    constexpr int N = 1000;
+    for (int i = 0; i < N; ++i) {
+        set[0] = static_cast<OpId>(i);
+        const detail::QueryKeyRef ref{detail::queryHash(geom, set[0], set),
+                                      &geom, set[0], &set};
+        ASSERT_EQ(memo.find(ref), nullptr);
+        memo.insert(ref, static_cast<double>(i) * 0.5);
+    }
+    EXPECT_EQ(memo.size(), static_cast<std::size_t>(N));
+    for (int i = 0; i < N; ++i) {
+        set[0] = static_cast<OpId>(i);
+        const detail::QueryKeyRef ref{detail::queryHash(geom, set[0], set),
+                                      &geom, set[0], &set};
+        const double *hit = memo.find(ref);
+        ASSERT_NE(hit, nullptr);
+        EXPECT_EQ(*hit, static_cast<double>(i) * 0.5);
+    }
+    // A different geometry with the same ops must miss.
+    const CacheGeom other = GEOM_4K;
+    const detail::QueryKeyRef ref{detail::queryHash(other, set[0], set),
+                                  &other, set[0], &set};
+    EXPECT_EQ(memo.find(ref), nullptr);
+}
+
+TEST(CmeMemo, CanonicalViewFastPaths)
+{
+    std::vector<OpId> scratch;
+    const std::vector<OpId> sorted{1, 3, 5};
+
+    // Already canonical, no extra: the input itself is returned.
+    EXPECT_EQ(&detail::canonicalInto(scratch, sorted), &sorted);
+    // Already canonical and contains the extra op: still zero-copy.
+    EXPECT_EQ(&detail::canonicalInto(scratch, sorted, 3), &sorted);
+    // Missing extra is inserted in order.
+    {
+        const auto &c = detail::canonicalInto(scratch, sorted, 4);
+        EXPECT_EQ(&c, &scratch);
+        EXPECT_EQ(c, (std::vector<OpId>{1, 3, 4, 5}));
+    }
+    // Unsorted input with duplicates is sorted and deduplicated.
+    {
+        const std::vector<OpId> messy{5, 1, 3, 1};
+        const auto &c = detail::canonicalInto(scratch, messy, 3);
+        EXPECT_EQ(&c, &scratch);
+        EXPECT_EQ(c, (std::vector<OpId>{1, 3, 5}));
+    }
+}
+
+} // namespace
+} // namespace mvp::cme

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Schedule-equivalence regression: the scheduler hot-path optimisations
+ * (hashed CME memo keys, the incremental per-cluster locality cache,
+ * flat scratch buffers in the placement loop, the occupancy-count bus
+ * scan) must not change a single emitted schedule. Every workload loop
+ * is scheduled under every machine preset and scheduler variant and the
+ * complete result — II, placements, communications, MaxLive — is
+ * fingerprinted and compared against golden values captured from the
+ * pre-optimisation implementation.
+ *
+ * Regenerate the golden table (only legitimate after an *intentional*
+ * behaviour change) with:
+ *
+ *   MVP_DUMP_GOLDEN=1 ./sched_equiv_test > ../tests/golden_schedules.inc
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "cme/solver.hh"
+#include "ddg/ddg.hh"
+#include "machine/presets.hh"
+#include "sched/scheduler.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::sched
+{
+namespace
+{
+
+class Fingerprint
+{
+  public:
+    void add(std::uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (x >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ULL;
+        }
+    }
+
+    void add(std::int64_t x) { add(static_cast<std::uint64_t>(x)); }
+    void add(std::int32_t x)
+    {
+        add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+    }
+    void add(bool x) { add(static_cast<std::uint64_t>(x ? 1 : 0)); }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+std::uint64_t
+fingerprintResult(const ScheduleResult &r)
+{
+    Fingerprint f;
+    f.add(r.ok);
+    if (!r.ok)
+        return f.value();
+    const ModuloSchedule &s = r.schedule;
+    f.add(s.ii());
+    for (const auto &p : s.placements()) {
+        f.add(p.cluster);
+        f.add(p.time);
+        f.add(p.outLatency);
+        f.add(p.missScheduled);
+    }
+    for (const auto &c : s.comms()) {
+        f.add(c.producer);
+        f.add(c.from);
+        f.add(c.to);
+        f.add(c.xferStart);
+        f.add(static_cast<std::int32_t>(c.bus));
+    }
+    for (int ml : s.maxLive())
+        f.add(static_cast<std::int32_t>(ml));
+    f.add(static_cast<std::int64_t>(r.stats.iiAttempts));
+    f.add(static_cast<std::int64_t>(r.stats.missScheduledLoads));
+    return f.value();
+}
+
+/** All (config key -> schedule fingerprint) pairs, in a stable order. */
+std::map<std::string, std::uint64_t>
+computeFingerprints()
+{
+    std::map<std::string, std::uint64_t> out;
+    const int cluster_counts[] = {1, 2, 4};
+    for (const auto &bench : workloads::allBenchmarks()) {
+        for (std::size_t li = 0; li < bench.loops.size(); ++li) {
+            const auto &nest = bench.loops[li];
+            cme::CmeAnalysis cme(nest);
+            for (int nc : cluster_counts) {
+                const auto machine = makeConfig(nc);
+                const auto graph = ddg::Ddg::build(nest, machine);
+                const std::string base = bench.name + "/" +
+                                         std::to_string(li) + "/c" +
+                                         std::to_string(nc);
+                out[base + "/baseline"] = fingerprintResult(
+                    scheduleBaseline(graph, machine));
+                out[base + "/rmca_t0.25"] = fingerprintResult(
+                    scheduleRmca(graph, machine, 0.25, cme));
+                out[base + "/rmca_t0"] = fingerprintResult(
+                    scheduleRmca(graph, machine, 0.0, cme));
+            }
+        }
+    }
+    return out;
+}
+
+struct GoldenEntry
+{
+    const char *key;
+    std::uint64_t hash;
+};
+
+const GoldenEntry GOLDEN[] = {
+#include "golden_schedules.inc"
+};
+
+TEST(ScheduleEquivalence, MatchesSeedSchedules)
+{
+    const auto fp = computeFingerprints();
+
+    if (std::getenv("MVP_DUMP_GOLDEN") != nullptr) {
+        for (const auto &[key, hash] : fp)
+            std::printf("    {\"%s\", 0x%016llxULL},\n", key.c_str(),
+                        static_cast<unsigned long long>(hash));
+        GTEST_SKIP() << "golden dump mode";
+    }
+
+    std::map<std::string, std::uint64_t> golden;
+    for (const auto &e : GOLDEN)
+        golden.emplace(e.key, e.hash);
+
+    EXPECT_EQ(fp.size(), golden.size());
+    for (const auto &[key, hash] : fp) {
+        const auto it = golden.find(key);
+        ASSERT_NE(it, golden.end()) << "no golden entry for " << key;
+        EXPECT_EQ(hash, it->second)
+            << "schedule diverged from the seed scheduler for " << key;
+    }
+}
+
+/** Two independent scheduler runs must agree exactly (determinism). */
+TEST(ScheduleEquivalence, Deterministic)
+{
+    const auto a = computeFingerprints();
+    const auto b = computeFingerprints();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace mvp::sched

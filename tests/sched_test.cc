@@ -61,9 +61,9 @@ TEST(Mrt, BusReservationSpansLatency)
     const int bus = mrt.findFreeBus(1);
     ASSERT_EQ(bus, 0);
     mrt.reserveBus(bus, 1);   // occupies slots 1 and 2
-    EXPECT_EQ(mrt.findFreeBus(1), -2);
-    EXPECT_EQ(mrt.findFreeBus(2), -2);
-    EXPECT_EQ(mrt.findFreeBus(0), -2);   // would cover slots 0,1
+    EXPECT_EQ(mrt.findFreeBus(1), BUS_NONE);
+    EXPECT_EQ(mrt.findFreeBus(2), BUS_NONE);
+    EXPECT_EQ(mrt.findFreeBus(0), BUS_NONE); // would cover slots 0,1
     EXPECT_EQ(mrt.findFreeBus(3), 0);    // slots 3,0 free
     mrt.releaseBus(bus, 1);
     EXPECT_EQ(mrt.findFreeBus(1), 0);
@@ -77,7 +77,7 @@ TEST(Mrt, SecondBusUsedWhenFirstBusy)
     mrt.reserveBus(mrt.findFreeBus(0), 0);
     EXPECT_EQ(mrt.findFreeBus(0), 1);
     mrt.reserveBus(1, 0);
-    EXPECT_EQ(mrt.findFreeBus(0), -2);
+    EXPECT_EQ(mrt.findFreeBus(0), BUS_NONE);
     EXPECT_EQ(mrt.findFreeBus(1), 0);
 }
 
@@ -86,7 +86,7 @@ TEST(Mrt, BusLatencyBeyondIiIsStructurallyInfeasible)
     auto machine = makeTwoCluster();
     machine.regBusLatency = 4;
     Mrt mrt(machine, 3);
-    EXPECT_EQ(mrt.findFreeBus(0), -2);
+    EXPECT_EQ(mrt.findFreeBus(0), BUS_NONE);
 }
 
 TEST(Mrt, UnboundedBusesAlwaysFree)
@@ -96,6 +96,75 @@ TEST(Mrt, UnboundedBusesAlwaysFree)
     EXPECT_EQ(mrt.findFreeBus(0), BUS_UNBOUNDED);
     mrt.reserveBus(BUS_UNBOUNDED, 0);   // no-op
     EXPECT_EQ(mrt.findFreeBus(0), BUS_UNBOUNDED);
+}
+
+TEST(Mrt, SlotArithmeticMatchesModulo)
+{
+    const auto machine = makeTwoCluster();
+    Mrt mrt(machine, 5);
+    EXPECT_EQ(mrt.slot(0), 0u);
+    EXPECT_EQ(mrt.slot(7), 2u);
+    EXPECT_EQ(mrt.slot(-1), 4u);
+    EXPECT_EQ(mrt.slot(-6), 4u);
+    EXPECT_EQ(mrt.nextSlot(4), 0u);
+    EXPECT_EQ(mrt.nextSlot(0), 1u);
+    EXPECT_EQ(mrt.prevSlot(0), 4u);
+    EXPECT_EQ(mrt.prevSlot(3), 2u);
+}
+
+TEST(Mrt, SlotVariantsAgreeWithCycleVariants)
+{
+    auto machine = makeTwoCluster();
+    machine.nRegBuses = 2;
+    machine.regBusLatency = 2;
+    Mrt mrt(machine, 4);
+    mrt.placeFu(6, 1, ir::FuType::Mem);   // slot 2
+    for (Cycle t = 0; t < 8; ++t)
+        EXPECT_EQ(mrt.fuFreeAt(mrt.slot(t), 1, ir::FuType::Mem),
+                  mrt.fuFree(t, 1, ir::FuType::Mem));
+
+    mrt.reserveBusAt(0, mrt.slot(3));     // occupies slots 3 and 0
+    EXPECT_EQ(mrt.findFreeBusAt(mrt.slot(3)), mrt.findFreeBus(3));
+    EXPECT_EQ(mrt.findFreeBusAt(mrt.slot(3)), 1);
+    mrt.reserveBusAt(1, mrt.slot(3));
+    EXPECT_EQ(mrt.findFreeBus(3), BUS_NONE);
+    EXPECT_EQ(mrt.findFreeBus(0), BUS_NONE);   // covers slots 0,1
+    EXPECT_EQ(mrt.findFreeBus(1), 0);          // slots 1,2 free
+    mrt.releaseBusAt(0, mrt.slot(3));
+    mrt.releaseBusAt(1, mrt.slot(3));
+    EXPECT_EQ(mrt.busSlotsUsed(), 0);
+}
+
+TEST(Mrt, ResetClearsAndResizes)
+{
+    const auto machine = makeTwoCluster();
+    Mrt mrt(machine, 3);
+    mrt.placeFu(1, 0, ir::FuType::Int);
+    mrt.reserveBus(0, 2);
+    EXPECT_EQ(mrt.fuLoad(0, ir::FuType::Int), 1);
+    mrt.reset(5);
+    EXPECT_EQ(mrt.ii(), 5);
+    EXPECT_EQ(mrt.fuLoad(0, ir::FuType::Int), 0);
+    EXPECT_EQ(mrt.busSlotsUsed(), 0);
+    for (Cycle t = 0; t < 5; ++t)
+        EXPECT_TRUE(mrt.fuFree(t, 0, ir::FuType::Int));
+}
+
+TEST(Mrt, ManyBusesUseSecondMaskWord)
+{
+    // More than 64 buses exercises the multi-word occupancy path.
+    auto machine = makeTwoCluster();
+    machine.nRegBuses = 70;
+    machine.regBusLatency = 1;
+    Mrt mrt(machine, 2);
+    for (int b = 0; b < 70; ++b) {
+        EXPECT_EQ(mrt.findFreeBus(0), b);
+        mrt.reserveBus(b, 0);
+    }
+    EXPECT_EQ(mrt.findFreeBus(0), BUS_NONE);
+    EXPECT_EQ(mrt.findFreeBus(1), 0);
+    mrt.releaseBus(67, 0);
+    EXPECT_EQ(mrt.findFreeBus(0), 67);
 }
 
 // ------------------------------------------------------------------ MII
