@@ -13,6 +13,8 @@
 #include "ddg/ddg.hh"
 #include "harness/motivating.hh"
 #include "machine/presets.hh"
+#include "sched/backend.hh"
+#include "sched/exact/bnb.hh"
 #include "sched/ordering.hh"
 #include "sched/scheduler.hh"
 #include "sim/simulator.hh"
@@ -126,6 +128,48 @@ BM_ScheduleRmca(benchmark::State &state)
             sched::scheduleRmca(g, machine, 0.0, cme));
 }
 BENCHMARK(BM_ScheduleRmca)->Arg(2)->Arg(4);
+
+/**
+ * The exact branch-and-bound backend on the same loop: first feasible
+ * schedule only (the pressure tiebreak is a budgeted anytime search
+ * whose cost is the budget, not a property of the loop).
+ */
+void
+BM_ScheduleExact(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeConfig(static_cast<int>(state.range(0)));
+    const auto g = ddg::Ddg::build(nest, machine);
+    sched::exact::BnbOptions opt;
+    opt.tiebreakPressure = false;
+    std::int64_t nodes = 0;
+    for (auto _ : state) {
+        const auto r = sched::exact::scheduleExact(g, machine, opt);
+        nodes += r.stats.searchNodes;
+        benchmark::DoNotOptimize(r);
+    }
+    state.counters["nodes/s"] = benchmark::Counter(
+        static_cast<double>(nodes), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScheduleExact)->Arg(2)->Arg(4);
+
+/** Full verify mode (rmca + exact + gap) — the per-loop cost of the
+ * optimality-gap study. */
+void
+BM_ScheduleVerify(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeConfig(static_cast<int>(state.range(0)));
+    const auto g = ddg::Ddg::build(nest, machine);
+    cme::CmeAnalysis cme(nest);
+    sched::SchedulerOptions opt;
+    opt.missThreshold = 0.25;
+    opt.locality = &cme;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::scheduleWithBackend("verify", g, machine, opt));
+}
+BENCHMARK(BM_ScheduleVerify)->Arg(2)->Arg(4);
 
 void
 BM_SimulateLoop(benchmark::State &state)

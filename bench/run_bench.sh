@@ -3,11 +3,19 @@
 # repo root so successive PRs can track the performance trajectory.
 #
 # Usage:
-#   bench/run_bench.sh [extra google-benchmark flags]
+#   bench/run_bench.sh [--filter REGEX] [extra google-benchmark flags]
+#
+# --filter REGEX limits the run to matching benchmarks (and merges only
+# their numbers into BENCH_sched.json), e.g.
+#
+#   bench/run_bench.sh --filter 'BM_Schedule(Exact|Verify)'
+#
+# runs and gates the exact-backend benches in isolation.
 #
 # Environment:
 #   BUILD_DIR       build tree (default: <repo>/build)
-#   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+#   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks;
+#                   --filter wins when both are given)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 2)
 #
 # The output is standard google-benchmark JSON plus one extra top-level
@@ -20,6 +28,28 @@ set -euo pipefail
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 OUT="$ROOT/BENCH_sched.json"
+
+# --filter REGEX (anywhere on the command line; remaining args pass
+# through to google-benchmark untouched).
+ARGS=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --filter)
+        [ $# -ge 2 ] || { echo "--filter needs a regex" >&2; exit 2; }
+        BENCH_FILTER="$2"
+        shift 2
+        ;;
+      --filter=*)
+        BENCH_FILTER="${1#--filter=}"
+        shift
+        ;;
+      *)
+        ARGS+=("$1")
+        shift
+        ;;
+    esac
+done
+set -- ${ARGS+"${ARGS[@]}"}
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
     cmake -B "$BUILD_DIR" -S "$ROOT" -DMVP_BENCH=ON

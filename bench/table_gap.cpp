@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Optimality-gap table: for every workload loop, the II of the RMCA
+ * heuristic vs. the exact branch-and-bound backend, per clustered
+ * machine — the repo's analogue of the heuristic-vs-exact comparisons
+ * in the exact-modulo-scheduling literature (Roorda's SMT scheduler,
+ * Tirelli et al.'s SAT mapper). Loops the exact search cannot settle
+ * within its node budget show as "gap unknown".
+ *
+ * Usage: table_gap [node_budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/gapstudy.hh"
+#include "machine/presets.hh"
+
+using namespace mvp;
+
+int
+main(int argc, char **argv)
+{
+    std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
+    if (argc > 1)
+        budget = std::atoll(argv[1]);
+
+    harness::Workbench bench;
+    for (int clusters : {2, 4}) {
+        const MachineConfig machine = makeConfig(clusters);
+        std::printf("=== %s (search budget %lld nodes/loop) ===\n\n",
+                    machine.summary().c_str(),
+                    static_cast<long long>(budget));
+        const auto study =
+            harness::runGapStudy(bench, machine, 0.25, budget);
+        std::printf("%s\n\n", harness::formatGapTable(study).c_str());
+    }
+    return 0;
+}

@@ -419,8 +419,15 @@ Ddg::sccRecMii(int scc_index) const
 Ddg::TimeBounds
 Ddg::timeBounds(Cycle ii) const
 {
-    mvp_assert(feasibleII(ii), "timeBounds at infeasible II");
     TimeBounds tb;
+    timeBounds(ii, tb);
+    return tb;
+}
+
+void
+Ddg::timeBounds(Cycle ii, TimeBounds &tb) const
+{
+    mvp_assert(feasibleII(ii), "timeBounds at infeasible II");
     tb.asap.assign(n_, 0);
 
     // Longest path from sources (Bellman-Ford to fixpoint).
@@ -455,7 +462,6 @@ Ddg::timeBounds(Cycle ii) const
         if (!changed)
             break;
     }
-    return tb;
 }
 
 std::string

@@ -167,6 +167,13 @@ class Ddg
      */
     TimeBounds timeBounds(Cycle ii) const;
 
+    /**
+     * timeBounds into a caller-owned result, reusing its vectors'
+     * capacity (the scheduler keeps one thread-local TimeBounds and
+     * recomputes it once per scheduled loop without reallocating).
+     */
+    void timeBounds(Cycle ii, TimeBounds &out) const;
+
     /** Graphviz-free textual dump for debugging. */
     std::string toString() const;
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "machine/presets.hh"
+#include "sched/backend.hh"
 
 namespace mvp::harness
 {
@@ -16,6 +17,14 @@ schedKindName(SchedKind kind)
       case SchedKind::Rmca: return "RMCA";
     }
     mvp_panic("unknown SchedKind");
+}
+
+std::string
+backendName(const RunConfig &config)
+{
+    if (!config.backend.empty())
+        return config.backend;
+    return config.sched == SchedKind::Rmca ? "rmca" : "baseline";
 }
 
 Workbench::Workbench(const std::vector<std::string> &only)
@@ -57,12 +66,12 @@ runLoop(Workbench::Entry &entry, const RunConfig &config,
     res.loop = entry.nest.name();
 
     sched::SchedulerOptions opt;
-    opt.memoryAware = config.sched == SchedKind::Rmca;
     opt.missThreshold = config.threshold;
     opt.locality = entry.cme.get();
-    res.sched = sched::ClusteredModuloScheduler(*entry.ddg,
-                                                config.machine, opt)
-                    .run();
+    opt.searchBudget = config.searchBudget;
+    res.sched = sched::scheduleWithBackend(backendName(config),
+                                           *entry.ddg, config.machine,
+                                           opt);
     if (!res.sched.ok)
         mvp_fatal("scheduling failed for '", res.loop,
                   "': ", res.sched.error);

@@ -26,7 +26,7 @@
 namespace mvp::harness
 {
 
-/** Scheduler selector. */
+/** Scheduler selector (shorthand for the two heuristic backends). */
 enum class SchedKind { Baseline, Rmca };
 
 /** Printable name. */
@@ -38,7 +38,20 @@ struct RunConfig
     MachineConfig machine;
     SchedKind sched = SchedKind::Baseline;
     double threshold = 1.0;
+
+    /**
+     * Scheduler backend by registry name ("baseline", "rmca", "exact",
+     * "verify", or anything registered at runtime). Empty = derive
+     * from the SchedKind shorthand above; when set, it wins.
+     */
+    std::string backend;
+
+    /** Node budget forwarded to search-based backends. */
+    std::int64_t searchBudget = sched::DEFAULT_SEARCH_BUDGET;
 };
+
+/** The registry name runLoop() will resolve @p config to. */
+std::string backendName(const RunConfig &config);
 
 /** Per-loop outcome. */
 struct LoopRunResult

@@ -1,0 +1,133 @@
+#include "harness/gapstudy.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sched/backend.hh"
+
+namespace mvp::harness
+{
+
+int
+GapStudy::known() const
+{
+    int n = 0;
+    for (const auto &r : rows)
+        n += r.gapKnown ? 1 : 0;
+    return n;
+}
+
+int
+GapStudy::tight() const
+{
+    int n = 0;
+    for (const auto &r : rows)
+        n += (r.gapKnown && r.gap == 0) ? 1 : 0;
+    return n;
+}
+
+Cycle
+GapStudy::totalGap() const
+{
+    Cycle g = 0;
+    for (const auto &r : rows)
+        if (r.gapKnown)
+            g += r.gap;
+    return g;
+}
+
+GapStudy
+runGapStudy(Workbench &bench, const MachineConfig &machine,
+            double threshold, std::int64_t search_budget)
+{
+    GapStudy study;
+    auto verify = sched::BackendRegistry::instance().create("verify");
+    for (auto &entry : bench.entries()) {
+        sched::SchedulerOptions opt;
+        opt.missThreshold = threshold;
+        opt.locality = entry->cme.get();
+        opt.searchBudget = search_budget;
+        const auto res =
+            verify->schedule(*entry->ddg, machine, opt);
+        if (!res.ok)
+            mvp_fatal("gap study: heuristic failed for '",
+                      entry->nest.name(), "': ", res.error);
+
+        GapRow row;
+        row.benchmark = entry->benchmark;
+        row.loop = entry->nest.name();
+        row.mii = res.stats.mii;
+        row.heuristicII = res.schedule.ii();
+        row.gapKnown = res.stats.gapKnown;
+        row.exactII = res.stats.exactII;
+        row.gap = res.stats.iiGap;
+        row.provenOptimal = res.stats.provenOptimal;
+        row.searchNodes = res.stats.searchNodes;
+        study.rows.push_back(std::move(row));
+    }
+    return study;
+}
+
+std::string
+formatGapTable(const GapStudy &study)
+{
+    TextTable table({"benchmark", "loop", "MII", "rmca II", "exact II",
+                     "gap", "certificate"});
+    table.setTitle("RMCA optimality gap (exact = branch-and-bound)");
+    std::string last_bench;
+    for (const auto &r : study.rows) {
+        if (!last_bench.empty() && r.benchmark != last_bench)
+            table.addRule();
+        last_bench = r.benchmark;
+        table.addRow(
+            {r.benchmark, r.loop, std::to_string(r.mii),
+             std::to_string(r.heuristicII),
+             r.gapKnown ? std::to_string(r.exactII) : "?",
+             r.gapKnown ? std::to_string(r.gap) : "unknown",
+             !r.gapKnown        ? "budget exhausted"
+             : r.provenOptimal  ? "proven (II == lower bound)"
+                                : "best found in budget"});
+    }
+
+    // Per-benchmark aggregates.
+    struct Agg
+    {
+        int loops = 0;
+        int known = 0;
+        int tight = 0;
+        Cycle gap = 0;
+    };
+    std::map<std::string, Agg> aggs;
+    std::vector<std::string> bench_order;
+    for (const auto &r : study.rows) {
+        if (!aggs.count(r.benchmark))
+            bench_order.push_back(r.benchmark);
+        auto &a = aggs[r.benchmark];
+        ++a.loops;
+        if (r.gapKnown) {
+            ++a.known;
+            a.gap += r.gap;
+            if (r.gap == 0)
+                ++a.tight;
+        }
+    }
+    TextTable sum({"benchmark", "loops", "gap known", "rmca optimal",
+                   "total gap (II cycles)"});
+    sum.setTitle("Per-workload summary");
+    for (const auto &name : bench_order) {
+        const Agg &a = aggs.at(name);
+        sum.addRow({name, std::to_string(a.loops),
+                    std::to_string(a.known), std::to_string(a.tight),
+                    std::to_string(a.gap)});
+    }
+    sum.addRule();
+    sum.addRow({"all", std::to_string(study.rows.size()),
+                std::to_string(study.known()),
+                std::to_string(study.tight()),
+                std::to_string(study.totalGap())});
+
+    return table.render() + "\n" + sum.render();
+}
+
+} // namespace mvp::harness

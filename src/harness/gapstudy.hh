@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Optimality-gap study: schedule every workbench loop with the rmca
+ * heuristic and the exact branch-and-bound backend and tabulate the II
+ * gap — the repo's analogue of the heuristic-vs-exact comparisons in
+ * the SMT/SAT exact-modulo-scheduling literature (Roorda; Tirelli et
+ * al.). Loops the exact search cannot settle within its node budget
+ * are reported as "gap unknown" rather than guessed.
+ */
+
+#ifndef MVP_HARNESS_GAPSTUDY_HH
+#define MVP_HARNESS_GAPSTUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace mvp::harness
+{
+
+/** Per-loop outcome of the gap study. */
+struct GapRow
+{
+    std::string benchmark;
+    std::string loop;
+    Cycle mii = 0;
+    Cycle heuristicII = 0;
+    Cycle exactII = 0;        ///< 0 when the exact search did not settle
+    Cycle gap = 0;            ///< heuristicII - exactII (when known)
+    bool gapKnown = false;    ///< exact solved within budget
+    bool provenOptimal = false;   ///< exact II carries a certificate
+    std::int64_t searchNodes = 0;
+};
+
+/** Whole-suite outcome plus per-benchmark aggregates. */
+struct GapStudy
+{
+    std::vector<GapRow> rows;
+
+    /** Rows with a known gap. */
+    int known() const;
+
+    /** Rows where the heuristic was optimal (gap == 0, known). */
+    int tight() const;
+
+    /** Sum of known gaps (cycles of II lost by the heuristic). */
+    Cycle totalGap() const;
+};
+
+/**
+ * Run the study over every loop of @p bench on @p machine, with the
+ * rmca heuristic at @p threshold and the exact backend under
+ * @p search_budget nodes per loop.
+ */
+GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
+                     double threshold = 0.25,
+                     std::int64_t search_budget =
+                         sched::DEFAULT_SEARCH_BUDGET);
+
+/**
+ * Render the study: one row per loop plus a per-benchmark aggregate
+ * block (loops, gaps known, heuristic-optimal count, total gap).
+ */
+std::string formatGapTable(const GapStudy &study);
+
+} // namespace mvp::harness
+
+#endif // MVP_HARNESS_GAPSTUDY_HH

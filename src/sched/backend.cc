@@ -1,0 +1,174 @@
+#include "sched/backend.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sched/exact/bnb.hh"
+
+namespace mvp::sched
+{
+
+namespace
+{
+
+/** The two heuristic engines share one wrapper; only memoryAware
+ * differs. */
+class HeuristicBackend : public SchedulerBackend
+{
+  public:
+    HeuristicBackend(std::string_view name, bool memory_aware)
+        : name_(name), memory_aware_(memory_aware)
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options)
+        const override
+    {
+        SchedulerOptions opt = options;
+        opt.memoryAware = memory_aware_;
+        return ClusteredModuloScheduler(graph, machine, opt).run();
+    }
+
+  private:
+    std::string_view name_;
+    bool memory_aware_;
+};
+
+class ExactBackend : public SchedulerBackend
+{
+  public:
+    std::string_view name() const override { return "exact"; }
+
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options)
+        const override
+    {
+        exact::BnbOptions bnb;
+        bnb.maxII = options.maxII;
+        bnb.nodeBudget = options.searchBudget;
+        return exact::scheduleExact(graph, machine, bnb);
+    }
+};
+
+/**
+ * Runs the rmca heuristic and the exact scheduler on the same loop and
+ * reports the II optimality gap of the heuristic. The heuristic
+ * schedule is the one returned (verify is a *measurement* mode, not a
+ * better scheduler); the gap fields land in the stats.
+ */
+class VerifyBackend : public SchedulerBackend
+{
+  public:
+    std::string_view name() const override { return "verify"; }
+
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options)
+        const override
+    {
+        SchedulerOptions heur_opt = options;
+        heur_opt.memoryAware = true;
+        ScheduleResult res =
+            ClusteredModuloScheduler(graph, machine, heur_opt).run();
+
+        exact::BnbOptions bnb;
+        bnb.maxII = options.maxII;
+        bnb.nodeBudget = options.searchBudget;
+        const ScheduleResult ex =
+            exact::scheduleExact(graph, machine, bnb);
+
+        res.stats.searchNodes = ex.stats.searchNodes;
+        res.stats.budgetExhausted = ex.stats.budgetExhausted;
+        res.stats.iiLowerBound = ex.stats.iiLowerBound;
+        if (ex.ok) {
+            res.stats.gapKnown = true;
+            res.stats.exactII = ex.schedule.ii();
+            res.stats.provenOptimal = ex.stats.provenOptimal;
+            if (res.ok)
+                res.stats.iiGap =
+                    res.schedule.ii() - ex.schedule.ii();
+        }
+        return res;
+    }
+};
+
+} // namespace
+
+BackendRegistry::BackendRegistry()
+{
+    add("baseline", [] {
+        return std::make_unique<HeuristicBackend>("baseline", false);
+    });
+    add("rmca", [] {
+        return std::make_unique<HeuristicBackend>("rmca", true);
+    });
+    add("exact", [] { return std::make_unique<ExactBackend>(); });
+    add("verify", [] { return std::make_unique<VerifyBackend>(); });
+}
+
+BackendRegistry &
+BackendRegistry::instance()
+{
+    static BackendRegistry registry;
+    return registry;
+}
+
+void
+BackendRegistry::add(std::string name, BackendFactory factory)
+{
+    for (auto &[existing, f] : entries_) {
+        if (existing == name) {
+            f = std::move(factory);
+            return;
+        }
+    }
+    entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool
+BackendRegistry::has(const std::string &name) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const auto &e) { return e.first == name; });
+}
+
+std::unique_ptr<SchedulerBackend>
+BackendRegistry::create(const std::string &name) const
+{
+    for (const auto &[existing, factory] : entries_)
+        if (existing == name)
+            return factory();
+    std::string known;
+    for (const auto &n : names())
+        known += (known.empty() ? "" : ", ") + n;
+    mvp_fatal("unknown scheduler backend '", name, "' (known: ", known,
+              ")");
+}
+
+std::vector<std::string>
+BackendRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, factory] : entries_)
+        out.push_back(name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+ScheduleResult
+scheduleWithBackend(const std::string &backend_name,
+                    const ddg::Ddg &graph, const MachineConfig &machine,
+                    const SchedulerOptions &options)
+{
+    return BackendRegistry::instance()
+        .create(backend_name)
+        ->schedule(graph, machine, options);
+}
+
+} // namespace mvp::sched

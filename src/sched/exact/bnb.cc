@@ -1,0 +1,591 @@
+#include "sched/exact/bnb.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "sched/lifetimes.hh"
+#include "sched/mii.hh"
+#include "sched/mrt.hh"
+#include "sched/ordering.hh"
+
+namespace mvp::sched::exact
+{
+
+namespace
+{
+
+constexpr Cycle NO_BOUND = CYCLE_MAX / 4;
+
+/** Outcome of one DFS subtree. */
+enum class Walk
+{
+    Continue,   ///< subtree exhausted, keep searching siblings
+    Stop,       ///< a satisfying schedule was found, unwind
+    Abort,      ///< node budget exhausted, unwind
+};
+
+/**
+ * One committed transfer, kept on an undo stack so backtracking can
+ * release the bus and the comm-start entry it booked.
+ */
+struct BookedComm
+{
+    OpId producer;
+    ClusterId from;
+    ClusterId to;
+    Cycle xferStart;
+    std::size_t xferSlot;
+    int bus;
+};
+
+/**
+ * Depth-first branch-and-bound over (op -> cluster, cycle) placements
+ * at one II at a time. State mirrors the heuristic Attempt — the same
+ * Mrt, the same comm-start table, the same neighbour windows — but
+ * every commit is invertible, which is what turns the greedy placement
+ * loop into an exhaustive search. Two symmetry breaks keep the tree
+ * small without losing any schedule shape:
+ *
+ *  - the first op is pinned to cycle 0 (modulo schedules are
+ *    shift-invariant, so every solution has a shifted twin there);
+ *  - an op may only enter a cluster that is already populated or the
+ *    single lowest-numbered empty one (clusters are interchangeable in
+ *    the machine model, so every solution has a relabelled twin whose
+ *    clusters first appear in DFS order).
+ */
+class Searcher
+{
+  public:
+    Searcher(const ddg::Ddg &graph, const MachineConfig &machine,
+             const BnbOptions &options)
+        : graph_(graph), machine_(machine), options_(options),
+          mrt_(machine, 1), sched_(1, graph.size(), machine.nClusters)
+    {
+        const auto n = graph_.size();
+        const auto nc = static_cast<std::size_t>(machine_.nClusters);
+        placed_.assign(n, 0);
+        comm_start_.assign(n * nc, CYCLE_MAX);
+        out_budget_.assign(nc, CYCLE_MAX);
+        in_min_dist_.assign(n, DIST_UNSET);
+        cluster_pop_.assign(nc, 0);
+        need_in_.resize(n);
+        need_out_.resize(n);
+        in_nbs_.resize(n);
+        out_nbs_.resize(n);
+        for (int f = 0; f < ir::NUM_FU_TYPES; ++f) {
+            remaining_[f] = 0;
+            used_[f] = 0;
+        }
+        for (std::size_t v = 0; v < n; ++v)
+            ++remaining_[static_cast<int>(
+                graph_.loop().op(static_cast<OpId>(v)).fuType())];
+    }
+
+    /** Run the full II iteration; fills the result. */
+    ScheduleResult run();
+
+  private:
+    struct InNb
+    {
+        OpId src;
+        int distance;
+        bool isReg;
+        Cycle iiDist;
+        Cycle ready;      ///< producer time + out latency
+        Cycle baseEarly;  ///< early bound without a bus transfer
+        ClusterId cluster;
+    };
+    struct OutNb
+    {
+        bool isReg;
+        ClusterId cluster;
+        Cycle budget;      ///< consumer time + II * distance
+        Cycle lateNonReg;  ///< budget - edge latency (non-register)
+    };
+
+    Walk dfs(std::size_t k);
+    Walk leaf();
+    Walk tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
+                  std::size_t k);
+    void snapshotNeighbours(OpId v, std::size_t k);
+    bool bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k);
+    void unbook(std::size_t mark);
+    bool resourcesFit() const;
+
+    Cycle &commStart(OpId u, ClusterId c)
+    {
+        return comm_start_[static_cast<std::size_t>(u) *
+                               static_cast<std::size_t>(
+                                   machine_.nClusters) +
+                           static_cast<std::size_t>(c)];
+    }
+
+    const ddg::Ddg &graph_;
+    const MachineConfig &machine_;
+    const BnbOptions &options_;
+
+    Cycle ii_ = 1;
+    Mrt mrt_;
+    ModuloSchedule sched_;
+    std::vector<OpId> order_;
+    std::vector<char> placed_;
+    std::vector<Cycle> comm_start_;
+    std::vector<BookedComm> booked_;   ///< undo stack of transfers
+    std::vector<int> cluster_pop_;     ///< ops per cluster
+    ClusterId opened_ = 0;             ///< populated clusters
+
+    /**
+     * Depth-indexed scratch: unlike the heuristic's flat thread-local
+     * buffers, the search re-enters the placement logic recursively,
+     * so everything a level still needs after recursing lives in a
+     * per-depth slot.
+     */
+    std::vector<std::vector<InNb>> in_nbs_;
+    std::vector<std::vector<OutNb>> out_nbs_;
+    /** Producers needing a new transfer: (producer, min distance). */
+    std::vector<std::vector<std::pair<OpId, int>>> need_in_;
+    /** Destination clusters needing a transfer: (cluster, budget). */
+    std::vector<std::vector<std::pair<ClusterId, Cycle>>> need_out_;
+
+    /** Transient dedup scratch, clean between uses. */
+    std::vector<OpId> in_need_ids_;
+    std::vector<int> in_min_dist_;
+    std::vector<Cycle> out_budget_;
+
+    /** FU-class counting bound. */
+    int remaining_[ir::NUM_FU_TYPES];
+    int used_[ir::NUM_FU_TYPES];
+
+    std::int64_t nodes_ = 0;
+    std::int64_t attempt_limit_ = 0;   ///< nodes_ cap of this II attempt
+    bool budget_hit_ = false;
+
+    bool found_ = false;
+    Cycle best_pressure_ = CYCLE_MAX;
+    ModuloSchedule best_;
+    std::vector<int> best_max_live_;
+};
+
+void
+Searcher::snapshotNeighbours(OpId v, std::size_t k)
+{
+    auto &ins = in_nbs_[k];
+    auto &outs = out_nbs_[k];
+    ins.clear();
+    outs.clear();
+    for (int ei : graph_.inEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.src == v || !placed_[static_cast<std::size_t>(e.src)])
+            continue;
+        const auto &pu = sched_.placed(e.src);
+        const Cycle ii_dist = ii_ * e.distance;
+        const Cycle ready = pu.time + pu.outLatency;
+        const Cycle base_early =
+            (e.isRegFlow() ? ready : pu.time + e.latency) - ii_dist;
+        ins.push_back({e.src, e.distance, e.isRegFlow(), ii_dist, ready,
+                       base_early, pu.cluster});
+    }
+    for (int ei : graph_.outEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.dst == v || !placed_[static_cast<std::size_t>(e.dst)])
+            continue;
+        const auto &pw = sched_.placed(e.dst);
+        const Cycle budget = pw.time + ii_ * e.distance;
+        outs.push_back(
+            {e.isRegFlow(), pw.cluster, budget, budget - e.latency});
+    }
+}
+
+/**
+ * The per-class counting bound: every unplaced op needs one slot of
+ * its FU class somewhere in the II x clusters reservation table.
+ */
+bool
+Searcher::resourcesFit() const
+{
+    for (int f = 0; f < ir::NUM_FU_TYPES; ++f) {
+        const auto type = static_cast<ir::FuType>(f);
+        const int capacity =
+            static_cast<int>(ii_) * machine_.totalFus(type);
+        if (remaining_[f] > capacity - used_[f])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Book every cross-cluster transfer the placement (v -> c at t) needs,
+ * earliest-fit on the lowest free bus (the same deterministic rule the
+ * heuristic applies, so its schedules are all reachable). On failure
+ * everything booked by this call is rolled back.
+ */
+bool
+Searcher::bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k)
+{
+    const Cycle lrb = machine_.regBusLatency;
+    const Cycle out_lat = graph_.opLatency(v);
+    const std::size_t mark = booked_.size();
+
+    for (const auto &[u, min_dist] : need_in_[k]) {
+        const auto &pu = sched_.placed(u);
+        const Cycle x_min = pu.time + pu.outLatency;
+        const Cycle x_max = t + ii_ * min_dist - lrb;
+        const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+        bool ok = false;
+        if (x_min <= hi) {
+            std::size_t sx = mrt_.slot(x_min);
+            for (Cycle x = x_min; x <= hi; ++x) {
+                const int bus = mrt_.findFreeBusAt(sx);
+                if (bus != BUS_NONE) {
+                    mrt_.reserveBusAt(bus, sx);
+                    booked_.push_back({u, pu.cluster, c, x, sx, bus});
+                    commStart(u, c) = x;
+                    ok = true;
+                    break;
+                }
+                sx = mrt_.nextSlot(sx);
+            }
+        }
+        if (!ok) {
+            unbook(mark);
+            return false;
+        }
+    }
+
+    for (const auto &[dest, budget] : need_out_[k]) {
+        const Cycle x_min = t + out_lat;
+        const Cycle x_max = budget - lrb;
+        const Cycle hi = std::min(x_max, x_min + ii_ - 1);
+        bool ok = false;
+        if (x_min <= hi) {
+            std::size_t sx = mrt_.slot(x_min);
+            for (Cycle x = x_min; x <= hi; ++x) {
+                const int bus = mrt_.findFreeBusAt(sx);
+                if (bus != BUS_NONE) {
+                    mrt_.reserveBusAt(bus, sx);
+                    booked_.push_back({v, c, dest, x, sx, bus});
+                    commStart(v, dest) = x;
+                    ok = true;
+                    break;
+                }
+                sx = mrt_.nextSlot(sx);
+            }
+        }
+        if (!ok) {
+            unbook(mark);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+Searcher::unbook(std::size_t mark)
+{
+    while (booked_.size() > mark) {
+        const BookedComm &bc = booked_.back();
+        mrt_.releaseBusAt(bc.bus, bc.xferSlot);
+        commStart(bc.producer, bc.to) = CYCLE_MAX;
+        booked_.pop_back();
+    }
+}
+
+Walk
+Searcher::leaf()
+{
+    const LifetimeStats lt = computeLifetimes(graph_, sched_, machine_);
+    for (int ml : lt.maxLivePerCluster)
+        if (ml > machine_.regsPerCluster)
+            return Walk::Continue;   // dead leaf: register file overflow
+
+    Cycle pressure = 0;
+    for (int ml : lt.maxLivePerCluster)
+        pressure += ml;
+    if (!found_ || pressure < best_pressure_) {
+        best_ = sched_;
+        best_max_live_ = lt.maxLivePerCluster;
+        best_pressure_ = pressure;
+    }
+    found_ = true;
+    // Keep searching this II for a lower-pressure schedule (bounded by
+    // the node budget), or stop at the first one when the tiebreak is
+    // off.
+    return options_.tiebreakPressure ? Walk::Continue : Walk::Stop;
+}
+
+Walk
+Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
+                   std::size_t k)
+{
+    if (++nodes_ > attempt_limit_) {
+        budget_hit_ = true;
+        return Walk::Abort;
+    }
+    const auto fu = graph_.loop().op(v).fuType();
+    if (!mrt_.fuFreeAt(slot, c, fu))
+        return Walk::Continue;
+
+    const std::size_t comm_mark = booked_.size();
+    const std::size_t sched_comm_mark = sched_.comms().size();
+    if (!bookTransfers(v, c, t, k))
+        return Walk::Continue;
+
+    // Commit the placement.
+    auto &pv = sched_.placed(v);
+    pv.cluster = c;
+    pv.time = t;
+    pv.outLatency = graph_.opLatency(v);
+    pv.missScheduled = false;
+    placed_[static_cast<std::size_t>(v)] = 1;
+    mrt_.placeFu(t, c, fu);
+    ++used_[static_cast<int>(fu)];
+    --remaining_[static_cast<int>(fu)];
+    if (cluster_pop_[static_cast<std::size_t>(c)]++ == 0)
+        ++opened_;
+    for (std::size_t i = comm_mark; i < booked_.size(); ++i) {
+        const BookedComm &bc = booked_[i];
+        sched_.comms().push_back(
+            {bc.producer, bc.from, bc.to, bc.xferStart, bc.bus});
+    }
+
+    const Walk w = resourcesFit() ? dfs(k + 1) : Walk::Continue;
+
+    // Undo in reverse commit order.
+    sched_.comms().resize(sched_comm_mark);
+    if (--cluster_pop_[static_cast<std::size_t>(c)] == 0)
+        --opened_;
+    ++remaining_[static_cast<int>(fu)];
+    --used_[static_cast<int>(fu)];
+    mrt_.removeFu(t, c, fu);
+    placed_[static_cast<std::size_t>(v)] = 0;
+    pv = PlacedOp{};
+    unbook(comm_mark);
+    return w;
+}
+
+Walk
+Searcher::dfs(std::size_t k)
+{
+    if (k == order_.size())
+        return leaf();
+
+    const OpId v = order_[k];
+    const Cycle lrb = machine_.regBusLatency;
+    const Cycle out_lat = graph_.opLatency(v);
+
+    snapshotNeighbours(v, k);
+    const auto &ins = in_nbs_[k];
+    const auto &outs = out_nbs_[k];
+    const bool has_pred = !ins.empty();
+    const bool has_succ = !outs.empty();
+
+    // Cluster-symmetry break: populated clusters plus one fresh one.
+    const ClusterId c_limit = std::min<ClusterId>(
+        machine_.nClusters, opened_ + 1);
+    for (ClusterId c = 0; c < c_limit; ++c) {
+        // --- Window bounds and transfer needs for this cluster, the
+        // same arithmetic as the heuristic's trySlot(). The dedup
+        // scratch drains into this depth's need lists so recursion
+        // below cannot clobber them. ---
+        auto &need_in = need_in_[k];
+        auto &need_out = need_out_[k];
+        need_in.clear();
+        need_out.clear();
+
+        Cycle early = 0;
+        Cycle late = NO_BOUND;
+        for (const InNb &nb : ins) {
+            if (nb.isReg && nb.cluster != c) {
+                if (const Cycle cs = commStart(nb.src, c);
+                    cs != CYCLE_MAX) {
+                    early = std::max(early, cs + lrb - nb.iiDist);
+                } else {
+                    early = std::max(early, nb.ready + lrb - nb.iiDist);
+                    auto &min_dist =
+                        in_min_dist_[static_cast<std::size_t>(nb.src)];
+                    if (min_dist == DIST_UNSET) {
+                        in_need_ids_.push_back(nb.src);
+                        min_dist = nb.distance;
+                    } else {
+                        min_dist = std::min(min_dist, nb.distance);
+                    }
+                }
+            } else {
+                early = std::max(early, nb.baseEarly);
+            }
+        }
+        // Bus reservation order must not depend on edge-visit order.
+        if (in_need_ids_.size() > 1)
+            std::sort(in_need_ids_.begin(), in_need_ids_.end());
+        for (OpId u : in_need_ids_) {
+            need_in.emplace_back(
+                u, in_min_dist_[static_cast<std::size_t>(u)]);
+            in_min_dist_[static_cast<std::size_t>(u)] = DIST_UNSET;
+        }
+        in_need_ids_.clear();
+
+        for (const OutNb &nb : outs) {
+            if (nb.isReg && nb.cluster != c) {
+                auto &b =
+                    out_budget_[static_cast<std::size_t>(nb.cluster)];
+                b = std::min(b, nb.budget);
+            } else {
+                late = std::min(late, nb.isReg ? nb.budget - out_lat
+                                               : nb.lateNonReg);
+            }
+        }
+        for (ClusterId dest = 0; dest < machine_.nClusters; ++dest) {
+            auto &b = out_budget_[static_cast<std::size_t>(dest)];
+            if (b != CYCLE_MAX) {
+                late = std::min(late, b - lrb - out_lat);
+                need_out.emplace_back(dest, b);
+                b = CYCLE_MAX;
+            }
+        }
+        if (has_pred && has_succ && late < early)
+            continue;
+
+        // --- Enumerate every candidate cycle in the window (the
+        // heuristic stops at the first fit; the search tries all). ---
+        if (has_succ && !has_pred) {
+            const Cycle hi = std::min(late, NO_BOUND);
+            const Cycle lo = hi - ii_ + 1;
+            std::size_t s = mrt_.slot(hi);
+            for (Cycle t = hi; t >= lo; --t) {
+                const Walk w = tryPlace(v, c, t, s, k);
+                if (w != Walk::Continue)
+                    return w;
+                s = mrt_.prevSlot(s);
+            }
+        } else {
+            // Shift-invariance: the root op anchors the schedule, so a
+            // single candidate cycle covers every shifted solution.
+            const Cycle hi = (k == 0 && !has_pred && !has_succ)
+                                 ? early
+                                 : std::min(late, early + ii_ - 1);
+            std::size_t s = mrt_.slot(early);
+            for (Cycle t = early; t <= hi; ++t) {
+                const Walk w = tryPlace(v, c, t, s, k);
+                if (w != Walk::Continue)
+                    return w;
+                s = mrt_.nextSlot(s);
+            }
+        }
+    }
+    return Walk::Continue;
+}
+
+ScheduleResult
+Searcher::run()
+{
+    ScheduleResult result;
+    result.stats.resMii = resMii(graph_.loop(), machine_);
+    result.stats.recMii = graph_.recMii();
+    result.stats.mii =
+        std::max(result.stats.resMii, result.stats.recMii);
+    result.stats.iiLowerBound = result.stats.mii;
+    if (graph_.size() == 0) {
+        result.error = "empty loop";
+        return result;
+    }
+
+    // Same placement order as the heuristic (computed once at MII):
+    // the search tree then contains every heuristic run as one path.
+    computeOrdering(graph_, result.stats.mii, order_);
+
+    // Up to this many II attempts may burn their whole node budget
+    // without settling before the search gives up; each unsettled
+    // attempt costs at most nodeBudget nodes, so the total work is
+    // bounded even on pathological loops.
+    constexpr int MAX_ABORTED_ATTEMPTS = 4;
+    int aborted_attempts = 0;
+
+    for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
+        ++result.stats.iiAttempts;
+        ii_ = ii;
+        mrt_.reset(ii);
+        sched_.reset(ii, graph_.size(), machine_.nClusters);
+        std::fill(placed_.begin(), placed_.end(), 0);
+        std::fill(comm_start_.begin(), comm_start_.end(), CYCLE_MAX);
+        std::fill(cluster_pop_.begin(), cluster_pop_.end(), 0);
+        opened_ = 0;
+        booked_.clear();
+        for (int f = 0; f < ir::NUM_FU_TYPES; ++f)
+            used_[f] = 0;
+        attempt_limit_ = nodes_ + options_.nodeBudget;
+
+        const Walk w = dfs(0);
+        if (found_) {
+            // The first feasible II is minimal over the search space;
+            // it carries the certificate when it meets the lower
+            // bound — MII itself, or MII raised by exhaustive
+            // refutation of every II below. An aborted attempt on the
+            // way here left the lower bound behind, so the schedule
+            // is then reported as best-in-budget, not proven.
+            result.ok = true;
+            result.stats.provenOptimal =
+                ii == result.stats.iiLowerBound;
+            result.stats.pressureOptimal =
+                options_.tiebreakPressure && w != Walk::Abort;
+            break;
+        }
+        if (w == Walk::Abort) {
+            // Budget gone with nothing found at this II: the II is
+            // neither feasible-in-space nor refuted. Move on (a larger
+            // II is usually much easier) until the abort allowance is
+            // spent; the lower bound must not rise past this II.
+            if (++aborted_attempts >= MAX_ABORTED_ATTEMPTS)
+                break;
+            continue;
+        }
+        // DFS ran dry within budget: II == ii is refuted; the lower
+        // bound rises only while refutations are gapless from MII.
+        if (result.stats.iiLowerBound == ii)
+            result.stats.iiLowerBound = ii + 1;
+        mvp_verbose("exact: loop '", graph_.loop().name(), "' II=", ii,
+                    " refuted (", nodes_, " nodes)");
+    }
+
+    result.stats.searchNodes = nodes_;
+    result.stats.budgetExhausted = budget_hit_;
+    if (!result.ok) {
+        result.error =
+            budget_hit_
+                ? "exact search budget exhausted before any schedule "
+                  "was found for loop '" +
+                      graph_.loop().name() + "'"
+                : "no feasible II up to " +
+                      std::to_string(options_.maxII) + " for loop '" +
+                      graph_.loop().name() + "'";
+        return result;
+    }
+
+    // Normalise the winner (placement may have gone below cycle zero;
+    // modulo schedules are shift-invariant) and attach MaxLive.
+    Cycle min_time = 0;
+    for (const auto &p : best_.placements())
+        min_time = std::min(min_time, p.time);
+    if (min_time < 0) {
+        const Cycle shift =
+            ((-min_time + best_.ii() - 1) / best_.ii()) * best_.ii();
+        for (std::size_t v = 0; v < graph_.size(); ++v)
+            best_.placed(static_cast<OpId>(v)).time += shift;
+        for (auto &cm : best_.comms())
+            cm.xferStart += shift;
+    }
+    best_.setMaxLive(best_max_live_);
+    result.schedule = std::move(best_);
+    result.stats.comms = static_cast<int>(result.schedule.numComms());
+    return result;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleExact(const ddg::Ddg &graph, const MachineConfig &machine,
+              const BnbOptions &options)
+{
+    return Searcher(graph, machine, options).run();
+}
+
+} // namespace mvp::sched::exact

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Exact modulo scheduling by branch and bound.
+ *
+ * The search enumerates, at a fixed II, every (cluster, cycle) placement
+ * of every operation over the same candidate windows the heuristic
+ * scheduler scans (SMS direction rule, at most II slots per op, with
+ * cross-cluster transfers booked earliest-fit on the register buses),
+ * backtracking through the modulo reservation table. The II iterates
+ * upward from MII until a feasible schedule exists; the first feasible
+ * II is minimal over the enumerated placement space, which contains
+ * every schedule the heuristic family (baseline and RMCA, any
+ * threshold) can emit — so the reported heuristic-vs-exact II gap is
+ * exact for this scheduler family.
+ *
+ * Certificate semantics: a schedule found at II == MII is optimal in
+ * the absolute sense (the resource/recurrence lower bound is the
+ * certificate). When lower IIs were instead ruled out by exhausting
+ * the search (refutation lifting), the provenOptimal flag is relative
+ * to the enumerated placement space — the compact per-op windows and
+ * earliest-fit transfer rule could in principle exclude an exotic
+ * schedule (e.g. one that spreads lifetimes across extra stages to
+ * duck under the register limit), so such a certificate proves "no
+ * scheduler of this family can do better", not absolute infeasibility
+ * below.
+ *
+ * Pruning bounds, reused from the heuristic stack:
+ *  - MII = max(ResMII, RecMII) floors the II iteration (mii.cc);
+ *  - per-class FU counts prune partial schedules whose unplaced ops no
+ *    longer fit the remaining reservation-table slots (mrt.cc);
+ *  - dependence windows (early/late from placed neighbours) cut the
+ *    candidate cycles per op to at most II;
+ *  - bus saturation fails a candidate before it is committed;
+ *  - register pressure (lifetimes.cc) rejects complete schedules whose
+ *    MaxLive exceeds a cluster's register file.
+ *
+ * Once a feasible schedule is found at the minimal II, the remaining
+ * node budget is spent minimising the register-pressure tiebreak
+ * (summed MaxLive over clusters). A node/time budget degrades the whole
+ * search gracefully: on exhaustion the best schedule so far is returned
+ * with provenOptimal == false ("gap unknown").
+ */
+
+#ifndef MVP_SCHED_EXACT_BNB_HH
+#define MVP_SCHED_EXACT_BNB_HH
+
+#include "ddg/ddg.hh"
+#include "machine/machine.hh"
+#include "sched/scheduler.hh"
+
+namespace mvp::sched::exact
+{
+
+/** Branch-and-bound knobs. */
+struct BnbOptions
+{
+    /** Give up (fail the loop) beyond this II. */
+    Cycle maxII = 512;
+
+    /**
+     * Candidate placements evaluated per II attempt before that
+     * attempt is abandoned (neither feasible nor refuted). A few
+     * abandoned attempts in a row fail the whole search.
+     */
+    std::int64_t nodeBudget = DEFAULT_SEARCH_BUDGET;
+
+    /**
+     * After the minimal II is secured, keep searching that II for the
+     * schedule with the smallest summed MaxLive (the tiebreak of the
+     * exact-scheduling literature). Off = stop at the first feasible
+     * schedule.
+     */
+    bool tiebreakPressure = true;
+};
+
+/**
+ * Schedule @p graph exactly. Never throws; failure (no feasible II
+ * within maxII, or a budget exhausted before any schedule was found) is
+ * reported in the result. The stats fields filled in: resMii, recMii,
+ * mii, iiAttempts, comms, provenOptimal, iiLowerBound, pressureOptimal,
+ * searchNodes, budgetExhausted.
+ */
+ScheduleResult scheduleExact(const ddg::Ddg &graph,
+                             const MachineConfig &machine,
+                             const BnbOptions &options = {});
+
+} // namespace mvp::sched::exact
+
+#endif // MVP_SCHED_EXACT_BNB_HH

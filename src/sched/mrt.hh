@@ -14,15 +14,10 @@
 #include "common/types.hh"
 #include "ir/opcode.hh"
 #include "machine/machine.hh"
+#include "sched/sentinels.hh"
 
 namespace mvp::sched
 {
-
-/** Bus index used when the machine has unbounded register buses. */
-constexpr int BUS_UNBOUNDED = -1;
-
-/** Returned by findFreeBus when no bus can take the transfer. */
-constexpr int BUS_NONE = -2;
 
 /**
  * Reservation table for one II attempt.

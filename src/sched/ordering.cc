@@ -44,11 +44,24 @@ reachability(const ddg::Ddg &graph, std::vector<char> &reach)
 std::vector<OpId>
 computeOrdering(const ddg::Ddg &graph, Cycle ii)
 {
+    std::vector<OpId> order;
+    computeOrdering(graph, ii, order);
+    return order;
+}
+
+void
+computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
+{
+    order.clear();
     const std::size_t n = graph.size();
     if (n == 0)
-        return {};
+        return;
 
-    const auto tb = graph.timeBounds(ii);
+    // The ASAP/ALAP tables live in the thread-local workspace with the
+    // rest of the ordering scratch: one scheduler run recomputes them
+    // once, allocation-free on a warm thread.
+    static thread_local ddg::Ddg::TimeBounds tb;
+    graph.timeBounds(ii, tb);
 
     // Reusable per-thread workspace: the scheduler recomputes orderings
     // constantly (one per scheduled loop) and every buffer here reaches
@@ -155,7 +168,6 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
     }
 
     // ---- Step 2: swing ordering inside the concatenated sets. ----
-    std::vector<OpId> order;
     order.reserve(n);
     static thread_local std::vector<char> ordered;
     ordered.assign(n, 0);
@@ -283,13 +295,13 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
     }
 
     mvp_assert(order.size() == n, "ordering lost nodes");
-    return order;
 }
 
 int
 bothNeighbourCount(const ddg::Ddg &graph, const std::vector<OpId> &order)
 {
-    std::vector<char> before(graph.size(), 0);
+    static thread_local std::vector<char> before;
+    before.assign(graph.size(), 0);
     int count = 0;
     for (OpId v : order) {
         bool has_pred = false;

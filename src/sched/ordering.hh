@@ -32,6 +32,14 @@ namespace mvp::sched
 std::vector<OpId> computeOrdering(const ddg::Ddg &graph, Cycle ii);
 
 /**
+ * computeOrdering into a caller-owned vector, reusing its capacity. The
+ * scheduler keeps a thread-local order buffer so a full scheduler run
+ * performs no ordering-related allocation once the thread is warm.
+ */
+void computeOrdering(const ddg::Ddg &graph, Cycle ii,
+                     std::vector<OpId> &order);
+
+/**
  * Count the ordering-quality metric of [22]: the number of positions
  * whose node has both a predecessor and a successor among the nodes
  * preceding it. Lower is better; used by tests and the ablation bench.

@@ -14,6 +14,7 @@
 #include "common/types.hh"
 #include "ddg/ddg.hh"
 #include "machine/machine.hh"
+#include "sched/sentinels.hh"
 
 namespace mvp::sched
 {
@@ -24,7 +25,7 @@ struct PlacedOp
     ClusterId cluster = INVALID_ID;
 
     /** Flat schedule cycle (stage * II + slot). */
-    Cycle time = -1;
+    Cycle time = TIME_UNPLACED;
 
     /**
      * Effective result latency the schedule guarantees: the hit latency
@@ -49,10 +50,10 @@ struct Comm
     ClusterId to = INVALID_ID;
 
     /** Flat cycle (relative to the producer's iteration) of the OUT BUS. */
-    Cycle xferStart = -1;
+    Cycle xferStart = TIME_UNPLACED;
 
-    /** Bus index, or -1 when the machine has unbounded buses. */
-    int bus = -1;
+    /** Bus index, or BUS_UNBOUNDED when the machine has unbounded buses. */
+    int bus = BUS_UNBOUNDED;
 };
 
 /**

@@ -33,7 +33,7 @@ struct NewComm
 /** A candidate placement of one op in one cluster. */
 struct Placement
 {
-    Cycle time = -1;
+    Cycle time = TIME_UNPLACED;
     Cycle outLatency = 0;
     std::vector<NewComm> newComms;
 };
@@ -71,9 +71,9 @@ class Attempt
         is_placed_.assign(n, false);
         if (mem_set_.size() < nc)
             mem_set_.resize(nc);
-        override_lat_.assign(n, -1);
+        override_lat_.assign(n, LAT_NO_OVERRIDE);
         comm_start_.assign(n * nc, CYCLE_MAX);
-        in_min_dist_.assign(n, -1);
+        in_min_dist_.assign(n, DIST_UNSET);
         in_need_ids_.clear();
         out_budget_.assign(nc, CYCLE_MAX);
         base_miss_.assign(nc, 0.0);
@@ -90,9 +90,10 @@ class Attempt
         std::fill(is_placed_.begin(), is_placed_.end(), false);
         for (auto &set : mem_set_)
             set.clear();
-        std::fill(override_lat_.begin(), override_lat_.end(), -1);
+        std::fill(override_lat_.begin(), override_lat_.end(),
+                  LAT_NO_OVERRIDE);
         std::fill(comm_start_.begin(), comm_start_.end(), CYCLE_MAX);
-        std::fill(in_min_dist_.begin(), in_min_dist_.end(), -1);
+        std::fill(in_min_dist_.begin(), in_min_dist_.end(), DIST_UNSET);
         in_need_ids_.clear();
         std::fill(base_miss_valid_.begin(), base_miss_valid_.end(),
                   false);
@@ -187,7 +188,7 @@ class Attempt
     inline static thread_local std::vector<char> is_placed_;
     /** Memory ops per cluster. */
     inline static thread_local std::vector<std::vector<OpId>> mem_set_;
-    /** [op] out-latency override of miss-promoted loads; -1 = none. */
+    /** [op] override of miss-promoted loads; LAT_NO_OVERRIDE = none. */
     inline static thread_local std::vector<Cycle> override_lat_;
     /** [op x cluster] committed transfer starts; CYCLE_MAX = none. */
     inline static thread_local std::vector<Cycle> comm_start_;
@@ -202,7 +203,7 @@ class Attempt
     /// @{
     /** Producers needing a transfer. */
     inline static thread_local std::vector<OpId> in_need_ids_;
-    /** [op] min distance; -1 = unset. */
+    /** [op] min distance; DIST_UNSET = unset. */
     inline static thread_local std::vector<int> in_min_dist_;
     /** [cluster] consumption budget; CYCLE_MAX = unset. */
     inline static thread_local std::vector<Cycle> out_budget_;
@@ -268,7 +269,7 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
 
     // --- Reset the scratch books (cheap: only touched entries). ---
     for (OpId u : in_need_ids_)
-        in_min_dist_[static_cast<std::size_t>(u)] = -1;
+        in_min_dist_[static_cast<std::size_t>(u)] = DIST_UNSET;
     in_need_ids_.clear();
     std::fill(out_budget_.begin(), out_budget_.end(), CYCLE_MAX);
     out_needed_ = 0;
@@ -289,7 +290,7 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
                 early = std::max(early, nb.ready + lrb - nb.iiDist);
                 auto &min_dist =
                     in_min_dist_[static_cast<std::size_t>(nb.src)];
-                if (min_dist < 0) {
+                if (min_dist == DIST_UNSET) {
                     in_need_ids_.push_back(nb.src);
                     min_dist = nb.distance;
                 } else {
@@ -652,14 +653,16 @@ Attempt::place(OpId v)
                 override_lat_[static_cast<std::size_t>(v)] = miss_lat;
                 allowed = graph_.feasibleII(ii_, override_lat_);
                 if (!allowed)
-                    override_lat_[static_cast<std::size_t>(v)] = -1;
+                    override_lat_[static_cast<std::size_t>(v)] =
+                        LAT_NO_OVERRIDE;
             }
             if (allowed) {
                 if (trySlot(v, best, miss_lat, cur_placement_)) {
                     commit(v, best, cur_placement_, true);
                     promoted = true;
                 } else {
-                    override_lat_[static_cast<std::size_t>(v)] = -1;
+                    override_lat_[static_cast<std::size_t>(v)] =
+                        LAT_NO_OVERRIDE;
                 }
             }
         }
@@ -720,8 +723,10 @@ ClusteredModuloScheduler::run()
     result.stats.mii =
         std::max(result.stats.resMii, result.stats.recMii);
 
-    // The ordering is computed once at mII and kept across II bumps.
-    const auto order = computeOrdering(graph_, result.stats.mii);
+    // The ordering is computed once at mII and kept across II bumps,
+    // in a thread-local buffer (part of the scratch workspace).
+    static thread_local std::vector<OpId> order;
+    computeOrdering(graph_, result.stats.mii, order);
     result.stats.orderingBothNeighbours =
         bothNeighbourCount(graph_, order);
 

@@ -24,6 +24,7 @@
 #ifndef MVP_SCHED_SCHEDULER_HH
 #define MVP_SCHED_SCHEDULER_HH
 
+#include <cstdint>
 #include <string>
 
 #include "cme/locality.hh"
@@ -33,6 +34,13 @@
 
 namespace mvp::sched
 {
+
+/**
+ * Default branch-and-bound node budget per II attempt (exact backend);
+ * one shared constant so the scheduler, harness, benches and docs
+ * cannot drift apart.
+ */
+constexpr std::int64_t DEFAULT_SEARCH_BUDGET = 2'000'000;
 
 /** Scheduler configuration. */
 struct SchedulerOptions
@@ -56,6 +64,17 @@ struct SchedulerOptions
 
     /** Give up (fail the loop) beyond this II. */
     Cycle maxII = 512;
+
+    /**
+     * Branch-and-bound node budget of the exact backend, per II
+     * attempt (candidate placements evaluated). When an attempt runs
+     * out the search degrades gracefully: an unrefuted II is skipped
+     * rather than proven, later schedules lose the optimality
+     * certificate ("gap unknown"), and a budget-capped pressure
+     * tiebreak keeps the best schedule seen. Ignored by the heuristic
+     * backends.
+     */
+    std::int64_t searchBudget = DEFAULT_SEARCH_BUDGET;
 };
 
 /** Static quantities the scheduler reports alongside the schedule. */
@@ -69,6 +88,26 @@ struct SchedStats
     int missScheduledLoads = 0;
     int orderingBothNeighbours = 0;   ///< ordering-quality metric of [22]
     double predictedMissesPerIter = 0.0;   ///< CME estimate, all clusters
+
+    /** @name Exact-backend / verify-mode fields (zero for heuristics) */
+    /// @{
+    /** II carries an optimality certificate (II == proven lower bound). */
+    bool provenOptimal = false;
+    /** Tightest II lower bound established (MII, raised by refutation). */
+    Cycle iiLowerBound = 0;
+    /** Register-pressure tiebreak search ran to completion. */
+    bool pressureOptimal = false;
+    /** Branch-and-bound candidates evaluated. */
+    std::int64_t searchNodes = 0;
+    /** Search stopped on the node budget ("gap unknown"). */
+    bool budgetExhausted = false;
+    /** Verify mode: the exact backend solved within budget. */
+    bool gapKnown = false;
+    /** Verify mode: II of the exact schedule (0 when unsolved). */
+    Cycle exactII = 0;
+    /** Verify mode: heuristic II - exact II (>= 0 when gapKnown). */
+    Cycle iiGap = 0;
+    /// @}
 };
 
 /** Scheduling outcome. */

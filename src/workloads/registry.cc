@@ -20,6 +20,18 @@ allBenchmarks()
     return all;
 }
 
+std::vector<NamedLoop>
+allLoops()
+{
+    std::vector<NamedLoop> out;
+    for (auto &bench : allBenchmarks()) {
+        std::size_t index = 0;
+        for (auto &nest : bench.loops)
+            out.push_back({bench.name, index++, std::move(nest)});
+    }
+    return out;
+}
+
 Benchmark
 benchmarkByName(const std::string &name)
 {

@@ -54,6 +54,21 @@ Benchmark makeApsi();
 /** All eight suites, in the paper's order. */
 std::vector<Benchmark> allBenchmarks();
 
+/** One loop with its suite attribution, for flat sweeps. */
+struct NamedLoop
+{
+    std::string benchmark;
+    std::size_t index = 0;   ///< position within the benchmark
+    ir::LoopNest nest;
+};
+
+/**
+ * Every loop of every suite as a flat list (paper order). The backend
+ * sweeps — gap study, exact-vs-rmca tests, benches — iterate loops,
+ * not suites; this saves each of them the same double loop.
+ */
+std::vector<NamedLoop> allLoops();
+
 /** Lookup by name; fatal() when unknown. */
 Benchmark benchmarkByName(const std::string &name);
 
