@@ -12,9 +12,13 @@
  * Also reports the node-ordering quality metric of [22] and the
  * schedulers' static figures (mean II, communications, promoted loads)
  * so the contribution of each design choice is visible in isolation.
+ *
+ * Usage: ablation_components [--jobs N]
  */
 
 #include <cstdio>
+#include <map>
+#include <vector>
 
 #include "common/strutil.hh"
 #include "common/table.hh"
@@ -23,11 +27,11 @@
 
 using namespace mvp;
 using harness::RunConfig;
-using harness::SchedKind;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     harness::Workbench bench;
     const auto machine = withLimitedBuses(makeFourCluster(), 1, 4);
     std::printf("machine: %s\n\n", machine.summary().c_str());
@@ -35,30 +39,34 @@ main()
     struct Variant
     {
         const char *label;
-        SchedKind sched;
+        const char *backend;
         double thr;
     };
     const Variant variants[] = {
-        {"neither (Baseline, thr 1.00)", SchedKind::Baseline, 1.0},
-        {"prefetch only (Baseline, thr 0.00)", SchedKind::Baseline, 0.0},
-        {"CME clusters only (RMCA, thr 1.00)", SchedKind::Rmca, 1.0},
-        {"full RMCA (thr 0.00)", SchedKind::Rmca, 0.0},
+        {"neither (Baseline, thr 1.00)", "baseline", 1.0},
+        {"prefetch only (Baseline, thr 0.00)", "baseline", 0.0},
+        {"CME clusters only (RMCA, thr 1.00)", "rmca", 1.0},
+        {"full RMCA (thr 0.00)", "rmca", 0.0},
     };
+
+    std::vector<RunConfig> configs;
+    for (const auto &v : variants) {
+        RunConfig cfg;
+        cfg.machine = machine;
+        cfg.backend = v.backend;
+        cfg.threshold = v.thr;
+        configs.push_back(cfg);
+    }
+    const auto results =
+        harness::runSuiteSweep(bench, configs, {}, driver);
 
     TextTable table({"variant", "compute", "stall", "total", "vs none",
                      "mean II", "comms", "promoted", "fills"});
     table.setTitle("RMCA component ablation (4-cluster, NMB=1, LMB=4)");
 
-    double none_total = 0;
-    for (const auto &v : variants) {
-        RunConfig cfg;
-        cfg.machine = machine;
-        cfg.sched = v.sched;
-        cfg.threshold = v.thr;
-        const auto res = runSuite(bench, cfg);
-        if (none_total == 0)
-            none_total = static_cast<double>(res.total());
-
+    const double none_total = static_cast<double>(results[0].total());
+    for (std::size_t vi = 0; vi < std::size(variants); ++vi) {
+        const auto &res = results[vi];
         double ii_sum = 0;
         std::int64_t comms = 0;
         std::int64_t promoted = 0;
@@ -70,7 +78,7 @@ main()
             promoted += loop.sched.stats.missScheduledLoads;
             fills += loop.sim.memStats.value("memory_fills");
         }
-        table.addRow({v.label, std::to_string(res.compute),
+        table.addRow({variants[vi].label, std::to_string(res.compute),
                       std::to_string(res.stall),
                       std::to_string(res.total()),
                       fmtDouble(static_cast<double>(res.total()) /
@@ -84,19 +92,15 @@ main()
     }
     std::printf("%s\n", table.render().c_str());
 
-    // Ordering quality: the metric [22] minimises, per suite.
+    // Ordering quality: the metric [22] minimises, per suite. The
+    // per-loop stats already sit in the RMCA/1.00 sweep results.
     TextTable ord({"benchmark", "loops", "both-neighbour positions"});
     ord.setTitle("Swing ordering quality (0 = ideal for acyclic parts)");
     std::map<std::string, std::pair<int, int>> per_bench;
-    for (const auto &entry : bench.entries()) {
-        RunConfig cfg;
-        cfg.machine = machine;
-        cfg.sched = SchedKind::Rmca;
-        cfg.threshold = 1.0;
-        auto r = harness::runLoop(*entry, cfg);
-        auto &slot = per_bench[entry->benchmark];
+    for (const auto &loop : results[2].loops) {
+        auto &slot = per_bench[loop.benchmark];
         slot.first += 1;
-        slot.second += r.sched.stats.orderingBothNeighbours;
+        slot.second += loop.sched.stats.orderingBothNeighbours;
     }
     for (const auto &[name, counts] : per_bench)
         ord.addRow({name, std::to_string(counts.first),

@@ -16,7 +16,7 @@
 #include "cme/solver.hh"
 #include "ddg/ddg.hh"
 #include "harness/motivating.hh"
-#include "sched/scheduler.hh"
+#include "sched/backend.hh"
 #include "sim/simulator.hh"
 
 using namespace mvp;
@@ -28,6 +28,7 @@ main()
     const auto machine = harness::motivatingMachine();
     const auto graph = ddg::Ddg::build(nest, machine);
     cme::CmeAnalysis cme(nest);
+    sched::SchedContext ctx;   // both runs share one warm context
 
     std::printf("machine: %s\n\n%s\n", machine.summary().c_str(),
                 nest.toString().c_str());
@@ -35,19 +36,18 @@ main()
     struct Variant
     {
         const char *label;
-        bool rmca;
+        const char *backend;
     };
     sim::SimResult results[2];
     for (int i = 0; const Variant v : {Variant{"(a) register-optimal "
-                                               "(Baseline)", false},
+                                               "(Baseline)", "baseline"},
                                        Variant{"(b) memory-aware (RMCA)",
-                                               true}}) {
+                                               "rmca"}}) {
         sched::SchedulerOptions opt;
-        opt.memoryAware = v.rmca;
         opt.missThreshold = 1.0;
         opt.locality = &cme;
-        auto r = sched::ClusteredModuloScheduler(graph, machine, opt)
-                     .run();
+        auto r = sched::scheduleWithBackend(v.backend, graph, machine,
+                                            opt, ctx);
         if (!r.ok) {
             std::printf("scheduling failed: %s\n", r.error.c_str());
             return 1;

@@ -16,10 +16,20 @@
  *  - RMCA <= Baseline everywhere;
  *  - lower thresholds raise compute and cut stall; at 0.00 stall ~ 0;
  *  - at threshold 0.00 clustered totals approach the unified ones.
+ *
+ * The whole grid is one runSuiteSweep: every (loop, configuration)
+ * point is an independent work item sharded over --jobs workers
+ * (default: all cores), and the emitted table is byte-identical at any
+ * job count.
+ *
+ * Usage: fig5_unbounded [--jobs N]
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "common/logging.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
@@ -27,7 +37,6 @@
 
 using namespace mvp;
 using harness::RunConfig;
-using harness::SchedKind;
 
 namespace
 {
@@ -37,77 +46,108 @@ const double THRESHOLDS[] = {1.00, 0.75, 0.25, 0.00};
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     harness::Workbench bench;
 
-    // Normaliser: unified machine, threshold 1.00.
-    RunConfig base_cfg;
-    base_cfg.machine = withUnboundedBuses(makeUnified(), 1, 1);
-    base_cfg.sched = SchedKind::Rmca;
-    base_cfg.threshold = 1.0;
-    const auto base = runSuite(bench, base_cfg);
-    const double norm = static_cast<double>(base.total());
-
-    TextTable table({"config", "LRB", "LMB", "sched", "thr", "compute",
-                     "stall", "total", "norm"});
-    table.setTitle(
-        "Figure 5: unbounded buses, cycles normalised to unified@1.00");
-
-    auto emit = [&](const MachineConfig &machine, Cycle lrb, Cycle lmb,
-                    SchedKind sched, double thr) {
-        RunConfig cfg;
-        cfg.machine = machine;
-        cfg.sched = sched;
-        cfg.threshold = thr;
-        const auto res = runSuite(bench, cfg);
-        table.addRow({machine.isClustered()
-                          ? std::to_string(machine.nClusters) + "-cluster"
-                          : "unified",
-                      machine.isClustered() ? std::to_string(lrb) : "-",
-                      std::to_string(lmb),
-                      std::string(schedKindName(sched)),
-                      fmtDouble(thr, 2),
-                      std::to_string(res.compute),
-                      std::to_string(res.stall),
-                      std::to_string(res.total()),
-                      fmtDouble(static_cast<double>(res.total()) / norm,
-                                3)});
+    // --- Collect every configuration of the figure, then sweep once:
+    // the sharded item space is (configs x loops). ---
+    struct Row
+    {
+        MachineConfig machine;
+        Cycle lrb;
+        Cycle lmb;
+        const char *sched;
+        double thr;
+        bool ruleAfter = false;
+    };
+    std::vector<Row> rows;
+    auto add = [&](const MachineConfig &machine, Cycle lrb, Cycle lmb,
+                   const char *sched, double thr) -> Row & {
+        rows.push_back({machine, lrb, lmb, sched, thr});
+        return rows.back();
     };
 
     // Unified: the four threshold bars (scheduler identical for one
     // cluster; bus latencies are irrelevant to register traffic).
     for (double thr : THRESHOLDS)
-        emit(withUnboundedBuses(makeUnified(), 1, 1), 1, 1,
-             SchedKind::Rmca, thr);
-    table.addRule();
+        add(withUnboundedBuses(makeUnified(), 1, 1), 1, 1, "rmca", thr);
+    rows.back().ruleAfter = true;
 
     for (int clusters : {2, 4}) {
         for (Cycle lrb : {1, 2, 4}) {
             for (Cycle lmb : {1, 2, 4}) {
                 const auto machine = withUnboundedBuses(
                     makeConfig(clusters), lrb, lmb);
-                for (SchedKind sched :
-                     {SchedKind::Baseline, SchedKind::Rmca})
+                for (const char *sched : {"baseline", "rmca"})
                     for (double thr : THRESHOLDS)
-                        emit(machine, lrb, lmb, sched, thr);
-                table.addRule();
+                        add(machine, lrb, lmb, sched, thr);
+                rows.back().ruleAfter = true;
             }
         }
     }
+
+    std::vector<RunConfig> configs;
+    configs.reserve(rows.size());
+    for (const Row &row : rows) {
+        RunConfig cfg;
+        cfg.machine = row.machine;
+        cfg.backend = row.sched;
+        cfg.threshold = row.thr;
+        configs.push_back(cfg);
+    }
+    const auto results =
+        harness::runSuiteSweep(bench, configs, {}, driver);
+
+    // Normaliser: unified machine, threshold 1.00 (the first row).
+    const double norm = static_cast<double>(results[0].total());
+
+    TextTable table({"config", "LRB", "LMB", "sched", "thr", "compute",
+                     "stall", "total", "norm"});
+    table.setTitle(
+        "Figure 5: unbounded buses, cycles normalised to unified@1.00");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &row = rows[i];
+        const auto &res = results[i];
+        table.addRow({row.machine.isClustered()
+                          ? std::to_string(row.machine.nClusters) +
+                                "-cluster"
+                          : "unified",
+                      row.machine.isClustered() ? std::to_string(row.lrb)
+                                                : "-",
+                      std::to_string(row.lmb),
+                      row.sched == std::string("rmca") ? "RMCA"
+                                                       : "Baseline",
+                      fmtDouble(row.thr, 2),
+                      std::to_string(res.compute),
+                      std::to_string(res.stall),
+                      std::to_string(res.total()),
+                      fmtDouble(static_cast<double>(res.total()) / norm,
+                                3)});
+        if (row.ruleAfter)
+            table.addRule();
+    }
     std::printf("%s\n", table.render().c_str());
 
-    // Paper-claim summary at the reference point LRB=1, LMB=1.
+    // Paper-claim summary at the reference point LRB=1, LMB=1. The
+    // needed points are rows of the grid above: find them by key.
+    auto find = [&](int clusters, const char *sched,
+                    double thr) -> const harness::SuiteResult & {
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &row = rows[i];
+            if (row.machine.nClusters == clusters && row.lrb == 1 &&
+                row.lmb == 1 && row.thr == thr &&
+                row.sched == std::string(sched))
+                return results[i];
+        }
+        mvp_fatal("figure grid is missing a summary point");
+    };
     std::printf("checks (LRB=1, LMB=1):\n");
     for (int clusters : {2, 4}) {
-        const auto machine =
-            withUnboundedBuses(makeConfig(clusters), 1, 1);
-        RunConfig b{machine, SchedKind::Baseline, 0.0};
-        RunConfig r{machine, SchedKind::Rmca, 0.0};
-        RunConfig r1{machine, SchedKind::Rmca, 1.0};
-        const auto rb = runSuite(bench, b);
-        const auto rr = runSuite(bench, r);
-        const auto rr1 = runSuite(bench, r1);
+        const auto &rb = find(clusters, "baseline", 0.0);
+        const auto &rr = find(clusters, "rmca", 0.0);
+        const auto &rr1 = find(clusters, "rmca", 1.0);
         std::printf("  %d-cluster thr=0.00: RMCA/Baseline = %.3f "
                     "(<= 1 expected), stall share = %.1f%% "
                     "(~0 expected), thr 1.00 -> 0.00 stall %.0f%% -> "

@@ -130,6 +130,29 @@ BM_ScheduleRmca(benchmark::State &state)
 BENCHMARK(BM_ScheduleRmca)->Arg(2)->Arg(4);
 
 /**
+ * The same schedule through the backend registry with an explicitly
+ * reused SchedContext — the steady state of a driver worker, where the
+ * scratch buffers stay warm across loops (BM_ScheduleRmca above pays a
+ * transient context per run).
+ */
+void
+BM_ScheduleRmcaWarmContext(benchmark::State &state)
+{
+    const auto &nest = bigLoop();
+    const auto machine = makeConfig(static_cast<int>(state.range(0)));
+    const auto g = ddg::Ddg::build(nest, machine);
+    cme::CmeAnalysis cme(nest);
+    sched::SchedulerOptions opt;
+    opt.missThreshold = 0.0;
+    opt.locality = &cme;
+    sched::SchedContext ctx;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::scheduleWithBackend("rmca", g, machine, opt, ctx));
+}
+BENCHMARK(BM_ScheduleRmcaWarmContext)->Arg(2)->Arg(4);
+
+/**
  * The exact branch-and-bound backend on the same loop: first feasible
  * schedule only (the pressure tiebreak is a budgeted anytime search
  * whose cost is the budget, not a property of the loop).

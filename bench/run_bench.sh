@@ -3,7 +3,8 @@
 # repo root so successive PRs can track the performance trajectory.
 #
 # Usage:
-#   bench/run_bench.sh [--filter REGEX] [extra google-benchmark flags]
+#   bench/run_bench.sh [--filter REGEX] [--jobs N] [--sweep|--no-sweep]
+#                      [extra google-benchmark flags]
 #
 # --filter REGEX limits the run to matching benchmarks (and merges only
 # their numbers into BENCH_sched.json), e.g.
@@ -12,16 +13,25 @@
 #
 # runs and gates the exact-backend benches in isolation.
 #
+# --jobs N sets the worker count forwarded to the suite-sweep binary
+# (default: nproc); the job count and both wall-clock numbers (jobs=1
+# and jobs=N) are recorded under "parallel_sweep" in BENCH_sched.json.
+# The sweep runs by default on a full benchmark pass and is skipped on
+# --filter runs (pass --sweep to force, --no-sweep to suppress).
+#
 # Environment:
 #   BUILD_DIR       build tree (default: <repo>/build)
 #   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks;
 #                   --filter wins when both are given)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 2)
+#   SWEEP_BUDGET    exact-search node budget for the sweep timing
+#                   (default: the library default)
 #
-# The output is standard google-benchmark JSON plus one extra top-level
-# key, "seed_baseline", carrying the pre-optimisation reference numbers
-# of the benchmarks the build is gated on. An existing seed_baseline in
-# BENCH_sched.json is preserved across re-runs.
+# The output is standard google-benchmark JSON plus two extra top-level
+# keys: "seed_baseline", carrying the pre-optimisation reference numbers
+# of the benchmarks the build is gated on, and "parallel_sweep" with the
+# sharded-driver wall-clock record. Existing values of both are
+# preserved across re-runs that do not remeasure them.
 
 set -euo pipefail
 
@@ -29,8 +39,8 @@ ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 OUT="$ROOT/BENCH_sched.json"
 
-# --filter REGEX (anywhere on the command line; remaining args pass
-# through to google-benchmark untouched).
+JOBS="$(nproc 2>/dev/null || echo 1)"
+SWEEP=auto
 ARGS=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -43,6 +53,23 @@ while [ $# -gt 0 ]; do
         BENCH_FILTER="${1#--filter=}"
         shift
         ;;
+      --jobs)
+        [ $# -ge 2 ] || { echo "--jobs needs a count" >&2; exit 2; }
+        JOBS="$2"
+        shift 2
+        ;;
+      --jobs=*)
+        JOBS="${1#--jobs=}"
+        shift
+        ;;
+      --sweep)
+        SWEEP=yes
+        shift
+        ;;
+      --no-sweep)
+        SWEEP=no
+        shift
+        ;;
       *)
         ARGS+=("$1")
         shift
@@ -51,15 +78,22 @@ while [ $# -gt 0 ]; do
 done
 set -- ${ARGS+"${ARGS[@]}"}
 
+# A filtered run is a targeted micro probe: skip the multi-second suite
+# sweep unless explicitly requested.
+if [ "$SWEEP" = auto ]; then
+    if [ -n "${BENCH_FILTER:-}" ]; then SWEEP=no; else SWEEP=yes; fi
+fi
+
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
     cmake -B "$BUILD_DIR" -S "$ROOT" -DMVP_BENCH=ON
 fi
 # Always rebuild so the numbers describe the checked-out tree, never a
 # stale binary.
-cmake --build "$BUILD_DIR" -j --target micro_sched
+cmake --build "$BUILD_DIR" -j --target micro_sched sweep_bench
 
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+SWEEP_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$SWEEP_TMP"' EXIT
 
 "$BUILD_DIR/micro_sched" \
     --benchmark_filter="${BENCH_FILTER:-.*}" \
@@ -68,11 +102,24 @@ trap 'rm -f "$TMP"' EXIT
     --benchmark_out_format=json \
     "$@"
 
-python3 - "$TMP" "$OUT" <<'EOF'
+# Suite-sweep wall clock: jobs=1 vs jobs=N through the same sharded
+# driver (the acceptance number for the parallel pipeline).
+if [ "$SWEEP" = yes ]; then
+    SWEEP_ARGS=(--exact)
+    [ -n "${SWEEP_BUDGET:-}" ] && SWEEP_ARGS+=(--budget "$SWEEP_BUDGET")
+    echo "suite sweep at jobs=1 and jobs=$JOBS ..."
+    "$BUILD_DIR/sweep_bench" --jobs 1 "${SWEEP_ARGS[@]}" | tee -a "$SWEEP_TMP"
+    if [ "$JOBS" != 1 ]; then
+        "$BUILD_DIR/sweep_bench" --jobs "$JOBS" "${SWEEP_ARGS[@]}" \
+            | tee -a "$SWEEP_TMP"
+    fi
+fi
+
+python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" <<'EOF'
 import json
 import sys
 
-fresh_path, out_path = sys.argv[1], sys.argv[2]
+fresh_path, out_path, sweep_path, jobs = sys.argv[1:5]
 with open(fresh_path) as f:
     fresh = json.load(f)
 
@@ -91,6 +138,32 @@ measured = {b["name"] for b in fresh.get("benchmarks", [])}
 kept = [b for b in prev.get("benchmarks", [])
         if b.get("name") not in measured]
 fresh["benchmarks"] = kept + fresh.get("benchmarks", [])
+
+# Parse the sweep_bench lines into {"jobs": N, "<sweep>": {...}}.
+sweep = prev.get("parallel_sweep", {})
+try:
+    with open(sweep_path) as f:
+        lines = [l.split() for l in f if l.startswith("sweep=")]
+except OSError:
+    lines = []
+for fields in lines:
+    kv = dict(field.split("=", 1) for field in fields)
+    name = kv["sweep"]
+    entry = sweep.setdefault(name, {})
+    entry["items"] = int(kv["items"])
+    entry["fingerprint"] = kv["fingerprint"]
+    entry["wall_ms_jobs%s" % kv["jobs"]] = float(kv["wall_ms"])
+if lines:
+    sweep["jobs"] = int(jobs)
+    for entry in sweep.values():
+        if not isinstance(entry, dict):
+            continue
+        one = entry.get("wall_ms_jobs1")
+        n = entry.get("wall_ms_jobs%s" % jobs)
+        if one and n:
+            entry["speedup_jobs%s" % jobs] = round(one / n, 2)
+if sweep:
+    fresh["parallel_sweep"] = sweep
 
 with open(out_path, "w") as f:
     json.dump(fresh, f, indent=2)

@@ -42,6 +42,7 @@ main()
     const MachineConfig machine = makeFourCluster();
     const auto graph = ddg::Ddg::build(nest, machine);
     cme::CmeAnalysis locality(nest);
+    sched::SchedContext ctx;   // one warm scratch context for every run
 
     // --- 2. Every backend, by registry name. ---
     auto &registry = sched::BackendRegistry::instance();
@@ -55,7 +56,7 @@ main()
         opt.missThreshold = 0.25;
         opt.locality = &locality;
         const auto r = sched::scheduleWithBackend(name, graph, machine,
-                                                  opt);
+                                                  opt, ctx);
         if (!r.ok) {
             std::printf("%-8s failed: %s\n", name.c_str(),
                         r.error.c_str());
@@ -73,7 +74,7 @@ main()
     opt.missThreshold = 0.25;
     opt.locality = &locality;
     const auto v = sched::scheduleWithBackend("verify", graph, machine,
-                                              opt);
+                                              opt, ctx);
     if (v.ok && v.stats.gapKnown)
         std::printf("\nverify: rmca II=%lld, exact II=%lld, gap=%lld "
                     "(%s; %lld search nodes)\n",

@@ -7,6 +7,19 @@
 namespace mvp::cme
 {
 
+namespace
+{
+
+/** Per-thread canonical-set buffer (the oracle is shared by workers). */
+std::vector<OpId> &
+canonicalScratch()
+{
+    static thread_local std::vector<OpId> scratch;
+    return scratch;
+}
+
+} // namespace
+
 CacheOracle::CacheOracle(const ir::LoopNest &nest) : nest_(nest) {}
 
 const CacheOracle::SimResult &
@@ -14,8 +27,11 @@ CacheOracle::simulate(const std::vector<OpId> &set, const CacheGeom &geom)
 {
     const detail::QueryKeyRef ref{
         detail::queryHash(geom, INVALID_ID, set), &geom, INVALID_ID, &set};
-    if (auto it = memo_.find(ref); it != memo_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (auto it = memo_.find(ref); it != memo_.end())
+            return it->second;
+    }
 
     const std::int64_t num_sets = geom.numSets();
     const auto assoc = static_cast<std::size_t>(geom.assoc);
@@ -59,6 +75,10 @@ CacheOracle::simulate(const std::vector<OpId> &set, const CacheGeom &geom)
         }
     }
 
+    // A concurrent simulation of the same set may have inserted first;
+    // emplace then keeps the winner. Both results are identical (the
+    // trace simulation is deterministic), so callers cannot tell.
+    std::lock_guard<std::mutex> lock(mu_);
     return memo_
         .emplace(detail::QueryKey{ref.hash, geom, INVALID_ID, set},
                  std::move(res))
@@ -72,7 +92,7 @@ CacheOracle::missesPerIteration(const std::vector<OpId> &set,
     if (set.empty())
         return 0.0;
     const SimResult &res =
-        simulate(detail::canonicalInto(scratch_, set), geom);
+        simulate(detail::canonicalInto(canonicalScratch(), set), geom);
     std::int64_t total = 0;
     for (const auto &[op, misses] : res.misses)
         total += misses;
@@ -85,7 +105,7 @@ CacheOracle::missRatio(const std::vector<OpId> &set, OpId op,
 {
     mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
     const SimResult &res =
-        simulate(detail::canonicalInto(scratch_, set, op), geom);
+        simulate(detail::canonicalInto(canonicalScratch(), set, op), geom);
     return static_cast<double>(res.misses.at(op)) /
            static_cast<double>(res.points);
 }
@@ -93,7 +113,7 @@ CacheOracle::missRatio(const std::vector<OpId> &set, OpId op,
 std::unordered_map<OpId, std::int64_t>
 CacheOracle::missCounts(const std::vector<OpId> &set, const CacheGeom &geom)
 {
-    return simulate(detail::canonicalInto(scratch_, set), geom).misses;
+    return simulate(detail::canonicalInto(canonicalScratch(), set), geom).misses;
 }
 
 } // namespace mvp::cme

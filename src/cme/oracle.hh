@@ -12,6 +12,7 @@
 #ifndef MVP_CME_ORACLE_HH
 #define MVP_CME_ORACLE_HH
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -22,7 +23,10 @@ namespace mvp::cme
 {
 
 /**
- * Exact cache-behaviour oracle bound to one loop nest.
+ * Exact cache-behaviour oracle bound to one loop nest. Thread-safe:
+ * concurrent queries share the memo under a mutex (simulation itself
+ * runs unlocked; a race on one fresh set costs a redundant identical
+ * simulation, never a wrong answer).
  */
 class CacheOracle : public LocalityAnalysis
 {
@@ -48,15 +52,20 @@ class CacheOracle : public LocalityAnalysis
         std::int64_t points = 0;
     };
 
-    /** @p set must be canonical (sorted, duplicate-free). */
+    /**
+     * @p set must be canonical (sorted, duplicate-free). The returned
+     * reference stays valid for the oracle's lifetime (unordered_map
+     * references survive rehash, and memoised results are never
+     * mutated).
+     */
     const SimResult &simulate(const std::vector<OpId> &set,
                               const CacheGeom &geom);
 
     const ir::LoopNest &nest_;
+    mutable std::mutex mu_;   ///< guards memo_
     std::unordered_map<detail::QueryKey, SimResult, detail::QueryHash,
                        detail::QueryEq>
         memo_;
-    std::vector<OpId> scratch_;   ///< canonical-set buffer
 };
 
 } // namespace mvp::cme

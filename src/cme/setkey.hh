@@ -15,7 +15,9 @@
 #define MVP_CME_SETKEY_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/types.hh"
@@ -204,6 +206,81 @@ class RatioMemo
 
     std::vector<Entry> entries_;
     std::vector<std::int32_t> table_;   ///< entry index or -1 (empty)
+};
+
+/**
+ * Concurrency-safe RatioMemo: the open-addressing table sharded by the
+ * high bits of the query hash, one mutex per shard. The parallel
+ * experiment driver queries one loop's CmeAnalysis from every worker at
+ * once; striping keeps the common case (different queries hitting
+ * different shards) contention-free while the per-shard probe sequence
+ * stays exactly the single-threaded RatioMemo's.
+ *
+ * Determinism does not depend on interleaving: a memoised value is a
+ * pure function of the key (the sampling seed derives from the key, not
+ * from query order), so when two threads race to answer the same fresh
+ * query they compute identical values and tryInsert() keeps whichever
+ * arrives first. Shard selection uses bits the in-shard probe (low
+ * bits) ignores, so sharding does not degrade probe clustering.
+ */
+class ShardedRatioMemo
+{
+  public:
+    /** True (and *out filled) when @p ref is memoised. */
+    bool lookup(const QueryKeyRef &ref, double *out) const
+    {
+        const Shard &shard = shards_[shardOf(ref.hash)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (const double *hit = shard.memo.find(ref)) {
+            *out = *hit;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Memoise @p value for @p ref unless another thread already did;
+     * returns the value that ended up in the memo (identical to
+     * @p value for deterministic solvers — asserted by the tests).
+     */
+    double tryInsert(const QueryKeyRef &ref, double value)
+    {
+        Shard &shard = shards_[shardOf(ref.hash)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (const double *hit = shard.memo.find(ref))
+            return *hit;
+        shard.memo.insert(ref, value);
+        return value;
+    }
+
+    /** Total memoised queries (locks every shard; not a hot path). */
+    std::size_t size() const
+    {
+        std::size_t n = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n += shard.memo.size();
+        }
+        return n;
+    }
+
+  private:
+    static constexpr std::size_t NUM_SHARDS = 16;   // power of two
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        RatioMemo memo;
+    };
+
+    /** High hash bits: disjoint from the low bits RatioMemo probes
+     * with. */
+    static std::size_t shardOf(std::uint64_t hash)
+    {
+        return static_cast<std::size_t>(hash >> 60) & (NUM_SHARDS - 1);
+    }
+
+    std::array<Shard, NUM_SHARDS> shards_;
 };
 
 } // namespace mvp::cme::detail

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "common/strutil.hh"
 
 namespace mvp::cme
 {
@@ -12,16 +13,24 @@ namespace mvp::cme
 namespace
 {
 
-/** FNV-1a over a string, used to derive per-query sampling seeds. */
-std::uint64_t
-fnv1a(const std::string &s)
+/**
+ * Per-thread working buffers of the solver. The analysis object is
+ * shared by every worker of a parallel sweep, so the scratch cannot
+ * live in the object; per-thread buffers keep the hot path
+ * allocation-free exactly as the member buffers did single-threaded.
+ */
+struct SolverScratch
 {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ULL;
-    }
-    return h;
+    std::vector<OpId> canonical;          ///< canonical-set buffer
+    std::vector<std::int64_t> ivs;        ///< iteration-vector buffer
+    std::vector<std::int64_t> conflicts;  ///< isMiss interference buffer
+};
+
+SolverScratch &
+solverScratch()
+{
+    static thread_local SolverScratch scratch;
+    return scratch;
 }
 
 } // namespace
@@ -56,13 +65,14 @@ CmeAnalysis::samplingKey(const std::vector<OpId> &set, OpId op,
 
 bool
 CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
-                    std::int64_t point, const CacheGeom &geom)
+                    std::int64_t point, const CacheGeom &geom,
+                    std::vector<std::int64_t> &ivs,
+                    std::vector<std::int64_t> &conflicts)
 {
-    ++points_;
+    points_.fetch_add(1, std::memory_order_relaxed);
     const std::int64_t num_sets = geom.numSets();
     mvp_assert(num_sets > 0, "cache with no sets");
 
-    std::vector<std::int64_t> &ivs = ivs_;
     space_.at(point, ivs);
 
     const auto &target_op = nest_.op(set[ref_pos]);
@@ -71,7 +81,6 @@ CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
     const std::int64_t target_set = target_line % num_sets;
 
     // Distinct interfering lines seen so far in the target set.
-    std::vector<std::int64_t> &conflicts = conflicts_;
     conflicts.clear();
     conflicts.reserve(static_cast<std::size_t>(geom.assoc));
 
@@ -126,30 +135,40 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
 {
     const detail::QueryKeyRef ref{detail::queryHash(geom, op, set), &geom,
                                   op, &set};
-    if (const double *hit = memo_.find(ref))
-        return *hit;
-    ++queries_;
+    if (double hit; memo_.lookup(ref, &hit))
+        return hit;
+    queries_.fetch_add(1, std::memory_order_relaxed);
 
     const auto pos_it = std::find(set.begin(), set.end(), op);
     mvp_assert(pos_it != set.end(), "op not in reference set");
     const auto ref_pos =
         static_cast<std::size_t>(pos_it - set.begin());
 
+    SolverScratch &scratch = solverScratch();
     double ratio;
     const std::int64_t points = space_.points();
     if (points <= params_.maxSamples) {
         // Exhaustive mode: evaluate every iteration point.
         std::int64_t misses = 0;
         for (std::int64_t p = 0; p < points; ++p)
-            misses += isMiss(set, ref_pos, p, geom) ? 1 : 0;
+            misses += isMiss(set, ref_pos, p, geom, scratch.ivs,
+                             scratch.conflicts)
+                          ? 1
+                          : 0;
         ratio = static_cast<double>(misses) / static_cast<double>(points);
     } else {
+        // The sampling seed is a pure function of the query key, so two
+        // threads racing on the same fresh query draw identical sample
+        // sequences and compute identical ratios.
         Rng rng(params_.seed ^ fnv1a(samplingKey(set, op, geom)));
         RunningStat stat;
         while (static_cast<int>(stat.count()) < params_.maxSamples) {
             const auto p = static_cast<std::int64_t>(
                 rng.nextBounded(static_cast<std::uint64_t>(points)));
-            stat.add(isMiss(set, ref_pos, p, geom) ? 1.0 : 0.0);
+            stat.add(isMiss(set, ref_pos, p, geom, scratch.ivs,
+                            scratch.conflicts)
+                         ? 1.0
+                         : 0.0);
             if (static_cast<int>(stat.count()) >= params_.minSamples &&
                 stat.ciHalfWidth() <= params_.ciTarget)
                 break;
@@ -157,8 +176,7 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
         ratio = stat.mean();
     }
 
-    memo_.insert(ref, ratio);
-    return ratio;
+    return memo_.tryInsert(ref, ratio);
 }
 
 double
@@ -166,14 +184,17 @@ CmeAnalysis::missRatio(const std::vector<OpId> &set, OpId op,
                        const CacheGeom &geom)
 {
     mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
-    return solveRatio(detail::canonicalInto(scratch_, set, op), op, geom);
+    return solveRatio(
+        detail::canonicalInto(solverScratch().canonical, set, op), op,
+        geom);
 }
 
 double
 CmeAnalysis::missesPerIteration(const std::vector<OpId> &set,
                                 const CacheGeom &geom)
 {
-    const std::vector<OpId> &s = detail::canonicalInto(scratch_, set);
+    const std::vector<OpId> &s =
+        detail::canonicalInto(solverScratch().canonical, set);
     double total = 0.0;
     for (std::size_t i = 0; i < s.size(); ++i)
         total += solveRatio(s, s[i], geom);

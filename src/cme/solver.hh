@@ -27,6 +27,7 @@
 #ifndef MVP_CME_SOLVER_HH
 #define MVP_CME_SOLVER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -62,8 +63,13 @@ struct CmeParams
 };
 
 /**
- * Sampling CME solver bound to one loop nest. Thread-compatible (use one
- * instance per thread); memoises every query.
+ * Sampling CME solver bound to one loop nest. Thread-safe: any number
+ * of threads may query one instance concurrently (the experiment
+ * driver's workers share the per-loop analysis of a sweep). The memo is
+ * a lock-striped open-addressing table; working buffers are per-thread;
+ * results are bit-identical regardless of interleaving because every
+ * ratio — including its sampling seed — is a pure function of the
+ * (set, op, geometry) key.
  */
 class CmeAnalysis : public LocalityAnalysis
 {
@@ -78,20 +84,33 @@ class CmeAnalysis : public LocalityAnalysis
     double missRatio(const std::vector<OpId> &set, OpId op,
                      const CacheGeom &geom) override;
 
-    /** Number of distinct (set, op, geometry) queries answered so far. */
-    std::size_t queriesSolved() const { return queries_; }
+    /**
+     * Number of distinct (set, op, geometry) queries answered so far.
+     * Under concurrent use this can momentarily exceed the memo size
+     * (two threads racing on the same fresh query both count).
+     */
+    std::size_t queriesSolved() const
+    {
+        return queries_.load(std::memory_order_relaxed);
+    }
 
     /** Total equation evaluations (sampled points) so far. */
-    std::size_t pointsEvaluated() const { return points_; }
+    std::size_t pointsEvaluated() const
+    {
+        return points_.load(std::memory_order_relaxed);
+    }
 
   private:
     /**
      * Decide hit/miss for @p ref_pos (index into @p set) at iteration
      * point @p point (linear index) under @p geom by evaluating the
-     * cold/replacement equations with a bounded backward walk.
+     * cold/replacement equations with a bounded backward walk. Working
+     * vectors come from the calling thread's scratch.
      */
     bool isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
-                std::int64_t point, const CacheGeom &geom);
+                std::int64_t point, const CacheGeom &geom,
+                std::vector<std::int64_t> &ivs,
+                std::vector<std::int64_t> &conflicts);
 
     /**
      * Memoised estimate of one op's miss ratio inside a set. @p set must
@@ -112,12 +131,9 @@ class CmeAnalysis : public LocalityAnalysis
     const ir::LoopNest &nest_;
     CmeParams params_;
     ir::IterationSpace space_;
-    detail::RatioMemo memo_;
-    std::vector<OpId> scratch_;     ///< canonical-set buffer
-    std::vector<std::int64_t> ivs_; ///< iteration-vector buffer
-    std::vector<std::int64_t> conflicts_; ///< isMiss interference buffer
-    std::size_t queries_ = 0;
-    std::size_t points_ = 0;
+    detail::ShardedRatioMemo memo_;
+    std::atomic<std::size_t> queries_{0};
+    std::atomic<std::size_t> points_{0};
 };
 
 } // namespace mvp::cme

@@ -6,11 +6,30 @@
 #ifndef MVP_COMMON_STRUTIL_HH
 #define MVP_COMMON_STRUTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 namespace mvp
 {
+
+/**
+ * FNV-1a over a string's bytes. Load-bearing in the CME solver (the
+ * per-query sampling seed derives from it, so changing it changes
+ * every sampled schedule) and reused wherever a stable digest of
+ * rendered output is wanted (e.g. sweep_bench's table fingerprints) —
+ * one definition so the two can never drift apart.
+ */
+inline std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

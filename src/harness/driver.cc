@@ -1,0 +1,106 @@
+#include "harness/driver.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mvp::harness
+{
+
+int
+defaultJobs()
+{
+    if (const char *env = std::getenv("MVP_JOBS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        mvp_warn("ignoring MVP_JOBS='", env, "' (want an integer >= 1)");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int
+parseJobsFlag(int &argc, char **argv)
+{
+    int jobs = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--jobs") {
+            if (i + 1 >= argc)
+                mvp_fatal("--jobs needs a worker count");
+            value = argv[++i];
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            value = arg.substr(7);
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        jobs = std::atoi(value.c_str());
+        if (jobs < 1)
+            mvp_fatal("--jobs wants an integer >= 1, got '", value, "'");
+    }
+    argc = out;
+    return jobs;
+}
+
+ParallelDriver::ParallelDriver(int jobs)
+    : jobs_(jobs >= 1 ? jobs : defaultJobs())
+{
+}
+
+void
+ParallelDriver::run(
+    std::size_t n,
+    const std::function<void(std::size_t, sched::SchedContext &)> &work)
+    const
+{
+    if (n == 0)
+        return;
+
+    const auto workers =
+        static_cast<std::size_t>(jobs_) < n
+            ? static_cast<std::size_t>(jobs_)
+            : n;
+    if (workers <= 1) {
+        // Serial fast path: same code path as a one-worker pool, minus
+        // the thread. The determinism tests compare this against the
+        // sharded runs.
+        sched::SchedContext ctx;
+        for (std::size_t i = 0; i < n; ++i)
+            work(i, ctx);
+        return;
+    }
+
+    // Dynamic self-scheduling: each idle worker claims (steals) the
+    // next unclaimed item, so the pool load-balances itself around
+    // expensive items — exact-backend loops cost up to ~10^3x a
+    // heuristic one, which static round-robin sharding would serialise
+    // behind the unluckiest worker.
+    std::atomic<std::size_t> next{0};
+    auto worker_main = [&]() {
+        sched::SchedContext ctx;
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            work(i, ctx);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(worker_main);
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace mvp::harness

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Sharded deterministic experiment driver.
+ *
+ * The paper's results are whole-suite sweeps — every (loop, machine,
+ * scheduler, threshold) point over eight benchmark suites — and each
+ * point is independent of every other: the scheduler takes an explicit
+ * SchedContext (sched/context.hh) and the per-loop CME analysis answers
+ * concurrent queries deterministically. The ParallelDriver exploits
+ * that: work items are claimed dynamically from a shared queue by a
+ * --jobs-sized pool (an idle worker steals the next unclaimed item, so
+ * an expensive loop never serialises the sweep behind it), each worker
+ * owns one SchedContext for its whole lifetime (warm buffers across
+ * items), and results land in their item's slot so callers merge them
+ * in canonical (benchmark, loop, config) order.
+ *
+ * Determinism contract: every output — suite tables, gap tables, golden
+ * schedule fingerprints — is byte-identical for jobs=1 and jobs=N,
+ * enforced by tests/driver_test.cc. The pieces that make this true:
+ * per-item results are pure functions of the item (no cross-item
+ * state), CME sampling seeds derive from query keys rather than query
+ * order, and the merge step runs in item order on one thread.
+ */
+
+#ifndef MVP_HARNESS_DRIVER_HH
+#define MVP_HARNESS_DRIVER_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "sched/context.hh"
+
+namespace mvp::harness
+{
+
+/**
+ * Worker count to use when the caller does not say: the MVP_JOBS
+ * environment variable when set (>= 1), otherwise the hardware
+ * concurrency, always at least 1.
+ */
+int defaultJobs();
+
+/**
+ * Parse and strip a `--jobs N` / `--jobs=N` flag from an argv vector
+ * (the bench and example binaries all share this). Returns 0 when the
+ * flag is absent — the ParallelDriver constructor maps 0 to
+ * defaultJobs().
+ */
+int parseJobsFlag(int &argc, char **argv);
+
+/**
+ * A fixed-size worker pool that shards independent work items.
+ *
+ * One driver may run any number of sweeps; threads are spawned per
+ * run() call (a sweep runs for seconds — thread startup is noise) and
+ * joined before it returns. Item indices are claimed atomically, so
+ * scheduling is dynamic: workers that finish early steal the remaining
+ * items of slower ones.
+ */
+class ParallelDriver
+{
+  public:
+    /** @p jobs <= 0 means defaultJobs(). */
+    explicit ParallelDriver(int jobs = 0);
+
+    /** The worker count run() will use. */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Run @p work(item, ctx) for every item index in [0, n). @p ctx is
+     * the claiming worker's private SchedContext — reused across all
+     * items that worker claims, never shared between workers. Blocks
+     * until every item has completed. @p work must not touch shared
+     * mutable state other than its own item's result slot (and the
+     * thread-safe analyses).
+     */
+    void run(std::size_t n,
+             const std::function<void(std::size_t, sched::SchedContext &)>
+                 &work) const;
+
+  private:
+    int jobs_;
+};
+
+} // namespace mvp::harness
+
+#endif // MVP_HARNESS_DRIVER_HH

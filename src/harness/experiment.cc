@@ -19,12 +19,54 @@ schedKindName(SchedKind kind)
     mvp_panic("unknown SchedKind");
 }
 
+std::string_view
+backendFor(SchedKind kind)
+{
+    return kind == SchedKind::Rmca ? "rmca" : "baseline";
+}
+
 std::string
 backendName(const RunConfig &config)
 {
-    if (!config.backend.empty())
-        return config.backend;
-    return config.sched == SchedKind::Rmca ? "rmca" : "baseline";
+    return config.backend.empty() ? "baseline" : config.backend;
+}
+
+std::string
+formatSuiteResult(const SuiteResult &suite)
+{
+    std::string out;
+    for (const auto &loop : suite.loops) {
+        out += "loop ";
+        out += loop.benchmark;
+        out += ' ';
+        out += loop.loop;
+        out += " ii=";
+        out += std::to_string(loop.sched.schedule.ii());
+        out += " comms=";
+        out += std::to_string(loop.sched.stats.comms);
+        out += " promoted=";
+        out += std::to_string(loop.sched.stats.missScheduledLoads);
+        out += " compute=";
+        out += std::to_string(loop.sim.computeCycles);
+        out += " stall=";
+        out += std::to_string(loop.sim.stallCycles);
+        out += '\n';
+    }
+    for (const auto &[name, cycles] : suite.perBenchmark) {
+        out += "benchmark ";
+        out += name;
+        out += " compute=";
+        out += std::to_string(cycles.first);
+        out += " stall=";
+        out += std::to_string(cycles.second);
+        out += '\n';
+    }
+    out += "total compute=";
+    out += std::to_string(suite.compute);
+    out += " stall=";
+    out += std::to_string(suite.stall);
+    out += '\n';
+    return out;
 }
 
 Workbench::Workbench(const std::vector<std::string> &only)
@@ -41,6 +83,12 @@ Workbench::Workbench(const std::vector<std::string> &only)
             entry->nest = std::move(nest);
             entry->ddg = std::make_unique<ddg::Ddg>(
                 ddg::Ddg::build(entry->nest, lat_machine));
+            // Warm the DDG's lazily-computed SCC tables now, while the
+            // graph is still private: from here on every query the
+            // schedulers issue (sccs, inRecurrence, timeBounds,
+            // feasibleII) is a pure read, so one graph can serve any
+            // number of workers.
+            entry->ddg->sccs();
             entry->cme = std::make_unique<cme::CmeAnalysis>(entry->nest);
             entries_.push_back(std::move(entry));
         }
@@ -57,11 +105,22 @@ Workbench::benchmarks() const
     return out;
 }
 
-LoopRunResult
-runLoop(Workbench::Entry &entry, const RunConfig &config,
-        sim::SimParams sim_params)
+namespace
 {
-    LoopRunResult res;
+
+/**
+ * runLoop minus the fatal: returns the failure text ("" on success).
+ * The sharded suite runners call this from worker threads — a fatal
+ * there would std::exit() while sibling workers still run, racing
+ * static destructors and garbling the diagnostic — and report the
+ * first failure (in canonical item order) from the main thread after
+ * the pool joins.
+ */
+std::string
+tryRunLoop(Workbench::Entry &entry, const RunConfig &config,
+           sim::SimParams sim_params, sched::SchedContext &ctx,
+           LoopRunResult &res)
+{
     res.benchmark = entry.benchmark;
     res.loop = entry.nest.name();
 
@@ -71,28 +130,74 @@ runLoop(Workbench::Entry &entry, const RunConfig &config,
     opt.searchBudget = config.searchBudget;
     res.sched = sched::scheduleWithBackend(backendName(config),
                                            *entry.ddg, config.machine,
-                                           opt);
+                                           opt, ctx);
     if (!res.sched.ok)
-        mvp_fatal("scheduling failed for '", res.loop,
-                  "': ", res.sched.error);
+        return "scheduling failed for '" + res.loop +
+               "': " + res.sched.error;
 
     const std::string err =
         res.sched.schedule.validate(*entry.ddg, config.machine);
     if (!err.empty())
-        mvp_fatal("invalid schedule for '", res.loop, "':\n", err);
+        return "invalid schedule for '" + res.loop + "':\n" + err;
 
     res.sim = sim::simulateLoop(*entry.ddg, res.sched.schedule,
                                 config.machine, sim_params);
+    return "";
+}
+
+/** Report the first failure of a sharded run, in item order. */
+void
+checkErrors(const std::vector<std::string> &errors)
+{
+    for (const std::string &err : errors)
+        if (!err.empty())
+            mvp_fatal(err);
+}
+
+/**
+ * Resolve the backend name on the main thread, before any fan-out: an
+ * unknown name is a configuration error whose fatal must not fire
+ * inside a pool worker (BackendRegistry::create is fatal-on-unknown).
+ */
+void
+checkBackend(const RunConfig &config)
+{
+    const std::string name = backendName(config);
+    if (!sched::BackendRegistry::instance().has(name))
+        (void)sched::BackendRegistry::instance().create(name);   // fatals
+}
+
+} // namespace
+
+LoopRunResult
+runLoop(Workbench::Entry &entry, const RunConfig &config,
+        sim::SimParams sim_params, sched::SchedContext &ctx)
+{
+    LoopRunResult res;
+    const std::string err =
+        tryRunLoop(entry, config, sim_params, ctx, res);
+    if (!err.empty())
+        mvp_fatal(err);
     return res;
 }
 
+LoopRunResult
+runLoop(Workbench::Entry &entry, const RunConfig &config,
+        sim::SimParams sim_params)
+{
+    sched::SchedContext ctx;
+    return runLoop(entry, config, sim_params, ctx);
+}
+
+namespace
+{
+
+/** Fold per-item loop results into a SuiteResult, in item order. */
 SuiteResult
-runSuite(Workbench &bench, const RunConfig &config,
-         sim::SimParams sim_params)
+mergeSuite(std::vector<LoopRunResult> &&loops)
 {
     SuiteResult suite;
-    for (auto &entry : bench.entries()) {
-        LoopRunResult r = runLoop(*entry, config, sim_params);
+    for (auto &r : loops) {
         suite.compute += r.sim.computeCycles;
         suite.stall += r.sim.stallCycles;
         auto &per = suite.perBenchmark[r.benchmark];
@@ -101,6 +206,69 @@ runSuite(Workbench &bench, const RunConfig &config,
         suite.loops.push_back(std::move(r));
     }
     return suite;
+}
+
+} // namespace
+
+SuiteResult
+runSuite(Workbench &bench, const RunConfig &config,
+         sim::SimParams sim_params, ParallelDriver &driver)
+{
+    checkBackend(config);
+    const auto &entries = bench.entries();
+    std::vector<LoopRunResult> results(entries.size());
+    std::vector<std::string> errors(entries.size());
+    driver.run(entries.size(),
+               [&](std::size_t i, sched::SchedContext &ctx) {
+                   errors[i] = tryRunLoop(*entries[i], config,
+                                          sim_params, ctx, results[i]);
+               });
+    checkErrors(errors);
+    return mergeSuite(std::move(results));
+}
+
+SuiteResult
+runSuite(Workbench &bench, const RunConfig &config,
+         sim::SimParams sim_params)
+{
+    ParallelDriver driver;
+    return runSuite(bench, config, sim_params, driver);
+}
+
+std::vector<SuiteResult>
+runSuiteSweep(Workbench &bench, const std::vector<RunConfig> &configs,
+              sim::SimParams sim_params, ParallelDriver &driver)
+{
+    for (const RunConfig &config : configs)
+        checkBackend(config);
+    const auto &entries = bench.entries();
+    const std::size_t per_config = entries.size();
+    std::vector<LoopRunResult> results(per_config * configs.size());
+    std::vector<std::string> errors(results.size());
+    // Item order is (config-major, entry-minor): the merge below walks
+    // contiguous slices, and every config's loops keep workbench order.
+    driver.run(results.size(),
+               [&](std::size_t i, sched::SchedContext &ctx) {
+                   const std::size_t c = i / per_config;
+                   const std::size_t e = i % per_config;
+                   errors[i] = tryRunLoop(*entries[e], configs[c],
+                                          sim_params, ctx, results[i]);
+               });
+    checkErrors(errors);
+
+    std::vector<SuiteResult> out;
+    out.reserve(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::vector<LoopRunResult> slice(
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        c * per_config)),
+            std::make_move_iterator(results.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        (c + 1) * per_config)));
+        out.push_back(mergeSuite(std::move(slice)));
+    }
+    return out;
 }
 
 } // namespace mvp::harness

@@ -6,6 +6,12 @@
  * metric — cycles executing modulo-scheduled loops, split into
  * NCYCLE_compute and NCYCLE_stall and normalised to the unified
  * configuration.
+ *
+ * Suite runs go through the ParallelDriver (harness/driver.hh): every
+ * (loop, configuration) point is an independent work item, sharded
+ * across a --jobs-sized pool and merged back in canonical (benchmark,
+ * loop, config) order, so the emitted tables are byte-identical at any
+ * job count.
  */
 
 #ifndef MVP_HARNESS_EXPERIMENT_HH
@@ -18,6 +24,7 @@
 
 #include "cme/solver.hh"
 #include "ddg/ddg.hh"
+#include "harness/driver.hh"
 #include "machine/machine.hh"
 #include "sched/scheduler.hh"
 #include "sim/simulator.hh"
@@ -26,25 +33,34 @@
 namespace mvp::harness
 {
 
-/** Scheduler selector (shorthand for the two heuristic backends). */
+/**
+ * Deprecated scheduler selector. The registry backend *name* in
+ * RunConfig::backend is the single source of truth ("baseline",
+ * "rmca", "exact", "verify", or anything registered at runtime); this
+ * enum survives only as a shim for out-of-tree callers written against
+ * the PR-2 API. New code should assign RunConfig::backend directly.
+ */
 enum class SchedKind { Baseline, Rmca };
 
-/** Printable name. */
+/** Printable name (deprecated with SchedKind). */
 std::string_view schedKindName(SchedKind kind);
+
+/** The registry backend name a SchedKind shorthand stands for. */
+std::string_view backendFor(SchedKind kind);
 
 /** One experiment point. */
 struct RunConfig
 {
     MachineConfig machine;
-    SchedKind sched = SchedKind::Baseline;
-    double threshold = 1.0;
 
     /**
      * Scheduler backend by registry name ("baseline", "rmca", "exact",
-     * "verify", or anything registered at runtime). Empty = derive
-     * from the SchedKind shorthand above; when set, it wins.
+     * "verify", or anything registered at runtime). Empty is read as
+     * "baseline".
      */
-    std::string backend;
+    std::string backend = "baseline";
+
+    double threshold = 1.0;
 
     /** Node budget forwarded to search-based backends. */
     std::int64_t searchBudget = sched::DEFAULT_SEARCH_BUDGET;
@@ -76,9 +92,20 @@ struct SuiteResult
 };
 
 /**
+ * Canonical textual serialisation of a suite result: one line per loop
+ * (benchmark, loop, backend-relevant schedule facts, simulated cycles)
+ * plus the aggregates, in workbench order. Two SuiteResults are equal
+ * iff their serialisations are byte-identical — the determinism tests
+ * compare jobs=1 against jobs=N through this.
+ */
+std::string formatSuiteResult(const SuiteResult &suite);
+
+/**
  * All workload loops prepared once: stable LoopNest storage plus the
  * DDG and a shared CME analysis per loop. The CME memoisation then
- * amortises across every configuration of a sweep.
+ * amortises across every configuration of a sweep — including sharded
+ * sweeps: the analysis is thread-safe and its answers do not depend on
+ * query interleaving.
  */
 class Workbench
 {
@@ -95,7 +122,9 @@ class Workbench
     /**
      * Prepare every loop of every suite (or of @p only, when given).
      * Operation latencies are identical in all Table-1 machines, so one
-     * DDG per loop serves the whole sweep.
+     * DDG per loop serves the whole sweep. Preparation also warms each
+     * DDG's lazily-computed SCC tables so the graphs are read-only —
+     * and therefore freely shared — once sharded scheduling starts.
      */
     explicit Workbench(const std::vector<std::string> &only = {});
 
@@ -111,13 +140,40 @@ class Workbench
     std::vector<std::unique_ptr<Entry>> entries_;
 };
 
-/** Schedule + simulate one prepared loop under one configuration. */
+/**
+ * Schedule + simulate one prepared loop under one configuration, with
+ * the caller's scheduler context.
+ */
+LoopRunResult runLoop(Workbench::Entry &entry, const RunConfig &config,
+                      sim::SimParams sim_params,
+                      sched::SchedContext &ctx);
+
+/** runLoop with a transient context. */
 LoopRunResult runLoop(Workbench::Entry &entry, const RunConfig &config,
                       sim::SimParams sim_params = {});
 
-/** Schedule + simulate the whole workbench under one configuration. */
+/**
+ * Schedule + simulate the whole workbench under one configuration,
+ * sharding the loops across @p driver.
+ */
+SuiteResult runSuite(Workbench &bench, const RunConfig &config,
+                     sim::SimParams sim_params, ParallelDriver &driver);
+
+/** runSuite on a default-sized driver (MVP_JOBS / hardware size). */
 SuiteResult runSuite(Workbench &bench, const RunConfig &config,
                      sim::SimParams sim_params = {});
+
+/**
+ * Run many configurations over the workbench at once, sharding the
+ * full (loop, configuration) cross product across @p driver — the
+ * preferred shape for figure/table sweeps, where the item count (and
+ * so the driver's load-balancing slack) is configs x loops instead of
+ * loops. Returns one SuiteResult per configuration, in input order,
+ * each byte-identical to what runSuite would have produced serially.
+ */
+std::vector<SuiteResult> runSuiteSweep(
+    Workbench &bench, const std::vector<RunConfig> &configs,
+    sim::SimParams sim_params, ParallelDriver &driver);
 
 } // namespace mvp::harness
 

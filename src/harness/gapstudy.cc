@@ -39,24 +39,36 @@ GapStudy::totalGap() const
 
 GapStudy
 runGapStudy(Workbench &bench, const MachineConfig &machine,
-            double threshold, std::int64_t search_budget)
+            double threshold, std::int64_t search_budget,
+            ParallelDriver &driver)
 {
-    GapStudy study;
+    const auto &entries = bench.entries();
     auto verify = sched::BackendRegistry::instance().create("verify");
-    for (auto &entry : bench.entries()) {
+
+    GapStudy study;
+    study.rows.resize(entries.size());
+    // Failures are recorded per item and reported after the pool
+    // joins: a fatal inside a worker would std::exit() under the
+    // feet of its siblings.
+    std::vector<std::string> errors(entries.size());
+    driver.run(entries.size(), [&](std::size_t i,
+                                   sched::SchedContext &ctx) {
+        auto &entry = *entries[i];
         sched::SchedulerOptions opt;
         opt.missThreshold = threshold;
-        opt.locality = entry->cme.get();
+        opt.locality = entry.cme.get();
         opt.searchBudget = search_budget;
         const auto res =
-            verify->schedule(*entry->ddg, machine, opt);
-        if (!res.ok)
-            mvp_fatal("gap study: heuristic failed for '",
-                      entry->nest.name(), "': ", res.error);
+            verify->schedule(*entry.ddg, machine, opt, ctx);
+        if (!res.ok) {
+            errors[i] = "gap study: heuristic failed for '" +
+                        entry.nest.name() + "': " + res.error;
+            return;
+        }
 
-        GapRow row;
-        row.benchmark = entry->benchmark;
-        row.loop = entry->nest.name();
+        GapRow &row = study.rows[i];
+        row.benchmark = entry.benchmark;
+        row.loop = entry.nest.name();
         row.mii = res.stats.mii;
         row.heuristicII = res.schedule.ii();
         row.gapKnown = res.stats.gapKnown;
@@ -64,9 +76,19 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
         row.gap = res.stats.iiGap;
         row.provenOptimal = res.stats.provenOptimal;
         row.searchNodes = res.stats.searchNodes;
-        study.rows.push_back(std::move(row));
-    }
+    });
+    for (const std::string &err : errors)
+        if (!err.empty())
+            mvp_fatal(err);
     return study;
+}
+
+GapStudy
+runGapStudy(Workbench &bench, const MachineConfig &machine,
+            double threshold, std::int64_t search_budget)
+{
+    ParallelDriver driver;
+    return runGapStudy(bench, machine, threshold, search_budget, driver);
 }
 
 std::string

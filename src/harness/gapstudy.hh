@@ -52,8 +52,17 @@ struct GapStudy
 /**
  * Run the study over every loop of @p bench on @p machine, with the
  * rmca heuristic at @p threshold and the exact backend under
- * @p search_budget nodes per loop.
+ * @p search_budget nodes per loop, sharding loops across @p driver.
+ * The exact search is the workload this sharding was built for: a
+ * single hard loop can cost ~10^3x an easy one, and the driver's
+ * dynamic item claiming keeps the pool busy around it. Rows come back
+ * in workbench order regardless of the job count.
  */
+GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
+                     double threshold, std::int64_t search_budget,
+                     ParallelDriver &driver);
+
+/** runGapStudy on a default-sized driver (MVP_JOBS / hardware size). */
 GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
                      double threshold = 0.25,
                      std::int64_t search_budget =

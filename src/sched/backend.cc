@@ -25,12 +25,12 @@ class HeuristicBackend : public SchedulerBackend
 
     ScheduleResult schedule(const ddg::Ddg &graph,
                             const MachineConfig &machine,
-                            const SchedulerOptions &options)
-        const override
+                            const SchedulerOptions &options,
+                            SchedContext &ctx) const override
     {
         SchedulerOptions opt = options;
         opt.memoryAware = memory_aware_;
-        return ClusteredModuloScheduler(graph, machine, opt).run();
+        return ClusteredModuloScheduler(graph, machine, opt).run(ctx);
     }
 
   private:
@@ -45,13 +45,13 @@ class ExactBackend : public SchedulerBackend
 
     ScheduleResult schedule(const ddg::Ddg &graph,
                             const MachineConfig &machine,
-                            const SchedulerOptions &options)
-        const override
+                            const SchedulerOptions &options,
+                            SchedContext &ctx) const override
     {
         exact::BnbOptions bnb;
         bnb.maxII = options.maxII;
         bnb.nodeBudget = options.searchBudget;
-        return exact::scheduleExact(graph, machine, bnb);
+        return exact::scheduleExact(graph, machine, bnb, ctx);
     }
 };
 
@@ -68,19 +68,19 @@ class VerifyBackend : public SchedulerBackend
 
     ScheduleResult schedule(const ddg::Ddg &graph,
                             const MachineConfig &machine,
-                            const SchedulerOptions &options)
-        const override
+                            const SchedulerOptions &options,
+                            SchedContext &ctx) const override
     {
         SchedulerOptions heur_opt = options;
         heur_opt.memoryAware = true;
         ScheduleResult res =
-            ClusteredModuloScheduler(graph, machine, heur_opt).run();
+            ClusteredModuloScheduler(graph, machine, heur_opt).run(ctx);
 
         exact::BnbOptions bnb;
         bnb.maxII = options.maxII;
         bnb.nodeBudget = options.searchBudget;
         const ScheduleResult ex =
-            exact::scheduleExact(graph, machine, bnb);
+            exact::scheduleExact(graph, machine, bnb, ctx);
 
         res.stats.searchNodes = ex.stats.searchNodes;
         res.stats.budgetExhausted = ex.stats.budgetExhausted;
@@ -164,11 +164,21 @@ BackendRegistry::names() const
 ScheduleResult
 scheduleWithBackend(const std::string &backend_name,
                     const ddg::Ddg &graph, const MachineConfig &machine,
-                    const SchedulerOptions &options)
+                    const SchedulerOptions &options, SchedContext &ctx)
 {
     return BackendRegistry::instance()
         .create(backend_name)
-        ->schedule(graph, machine, options);
+        ->schedule(graph, machine, options, ctx);
+}
+
+ScheduleResult
+scheduleWithBackend(const std::string &backend_name,
+                    const ddg::Ddg &graph, const MachineConfig &machine,
+                    const SchedulerOptions &options)
+{
+    SchedContext ctx;
+    return scheduleWithBackend(backend_name, graph, machine, options,
+                               ctx);
 }
 
 } // namespace mvp::sched

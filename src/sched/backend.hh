@@ -44,15 +44,30 @@ class SchedulerBackend
     virtual std::string_view name() const = 0;
 
     /**
-     * Schedule the loop; never throws, reports failure in the result.
-     * Options the backend does not understand are ignored (the exact
-     * backend reads searchBudget/maxII but not missThreshold; the
-     * heuristics read everything except searchBudget).
+     * Schedule the loop using the caller's scratch context; never
+     * throws, reports failure in the result. Options the backend does
+     * not understand are ignored (the exact backend reads
+     * searchBudget/maxII but not missThreshold; the heuristics read
+     * everything except searchBudget).
+     *
+     * The context makes reentrancy explicit: a backend instance holds
+     * no mutable state, so any number of schedule() calls may run
+     * concurrently as long as each supplies its own SchedContext (the
+     * parallel experiment driver keeps one per worker thread).
      */
     virtual ScheduleResult schedule(const ddg::Ddg &graph,
                                     const MachineConfig &machine,
-                                    const SchedulerOptions &options)
-        const = 0;
+                                    const SchedulerOptions &options,
+                                    SchedContext &ctx) const = 0;
+
+    /** schedule() with a transient context. */
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options) const
+    {
+        SchedContext ctx;
+        return schedule(graph, machine, options, ctx);
+    }
 };
 
 /** Factory of one backend kind. */
@@ -90,8 +105,15 @@ class BackendRegistry
 
 /**
  * Convenience: schedule @p graph with the backend registered under
- * @p backend_name.
+ * @p backend_name, using the caller's scratch context.
  */
+ScheduleResult scheduleWithBackend(const std::string &backend_name,
+                                   const ddg::Ddg &graph,
+                                   const MachineConfig &machine,
+                                   const SchedulerOptions &options,
+                                   SchedContext &ctx);
+
+/** scheduleWithBackend with a transient context. */
 ScheduleResult scheduleWithBackend(const std::string &backend_name,
                                    const ddg::Ddg &graph,
                                    const MachineConfig &machine,

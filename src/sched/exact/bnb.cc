@@ -57,8 +57,8 @@ class Searcher
 {
   public:
     Searcher(const ddg::Ddg &graph, const MachineConfig &machine,
-             const BnbOptions &options)
-        : graph_(graph), machine_(machine), options_(options),
+             const BnbOptions &options, SchedContext &ctx)
+        : graph_(graph), machine_(machine), options_(options), ctx_(ctx),
           mrt_(machine, 1), sched_(1, graph.size(), machine.nClusters)
     {
         const auto n = graph_.size();
@@ -112,6 +112,24 @@ class Searcher
     void unbook(std::size_t mark);
     bool resourcesFit() const;
 
+    /**
+     * Charge one search node against the attempt budget; false means
+     * the budget is exhausted and the attempt must abort. Every child
+     * the search considers is charged exactly once — candidate
+     * placements in tryPlace() and children pruned beforehand by an
+     * empty dependence window alike — so the node count at which "gap
+     * unknown" degradation triggers depends only on (loop, machine,
+     * options), never on how a sweep is sharded.
+     */
+    bool chargeNode()
+    {
+        if (++nodes_ > attempt_limit_) {
+            budget_hit_ = true;
+            return false;
+        }
+        return true;
+    }
+
     Cycle &commStart(OpId u, ClusterId c)
     {
         return comm_start_[static_cast<std::size_t>(u) *
@@ -123,6 +141,7 @@ class Searcher
     const ddg::Ddg &graph_;
     const MachineConfig &machine_;
     const BnbOptions &options_;
+    SchedContext &ctx_;   ///< ordering + lifetime scratch
 
     Cycle ii_ = 1;
     Mrt mrt_;
@@ -293,7 +312,8 @@ Searcher::unbook(std::size_t mark)
 Walk
 Searcher::leaf()
 {
-    const LifetimeStats lt = computeLifetimes(graph_, sched_, machine_);
+    const LifetimeStats lt =
+        computeLifetimes(graph_, sched_, machine_, ctx_.lifetimes);
     for (int ml : lt.maxLivePerCluster)
         if (ml > machine_.regsPerCluster)
             return Walk::Continue;   // dead leaf: register file overflow
@@ -317,10 +337,8 @@ Walk
 Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
                    std::size_t k)
 {
-    if (++nodes_ > attempt_limit_) {
-        budget_hit_ = true;
+    if (!chargeNode())
         return Walk::Abort;
-    }
     const auto fu = graph_.loop().op(v).fuType();
     if (!mrt_.fuFreeAt(slot, c, fu))
         return Walk::Continue;
@@ -442,8 +460,14 @@ Searcher::dfs(std::size_t k)
                 b = CYCLE_MAX;
             }
         }
-        if (has_pred && has_succ && late < early)
+        // A cluster whose dependence window is empty is a pruned child:
+        // charge it like any candidate so budget exhaustion triggers at
+        // a sharding-independent node count.
+        if (has_pred && has_succ && late < early) {
+            if (!chargeNode())
+                return Walk::Abort;
             continue;
+        }
 
         // --- Enumerate every candidate cycle in the window (the
         // heuristic stops at the first fit; the search tries all). ---
@@ -491,7 +515,7 @@ Searcher::run()
 
     // Same placement order as the heuristic (computed once at MII):
     // the search tree then contains every heuristic run as one path.
-    computeOrdering(graph_, result.stats.mii, order_);
+    computeOrdering(graph_, result.stats.mii, order_, ctx_.ordering);
 
     // Up to this many II attempts may burn their whole node budget
     // without settling before the search gives up; each unsettled
@@ -583,9 +607,17 @@ Searcher::run()
 
 ScheduleResult
 scheduleExact(const ddg::Ddg &graph, const MachineConfig &machine,
+              const BnbOptions &options, SchedContext &ctx)
+{
+    return Searcher(graph, machine, options, ctx).run();
+}
+
+ScheduleResult
+scheduleExact(const ddg::Ddg &graph, const MachineConfig &machine,
               const BnbOptions &options)
 {
-    return Searcher(graph, machine, options).run();
+    SchedContext ctx;
+    return scheduleExact(graph, machine, options, ctx);
 }
 
 } // namespace mvp::sched::exact

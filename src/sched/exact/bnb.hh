@@ -74,12 +74,25 @@ struct BnbOptions
 };
 
 /**
- * Schedule @p graph exactly. Never throws; failure (no feasible II
- * within maxII, or a budget exhausted before any schedule was found) is
- * reported in the result. The stats fields filled in: resMii, recMii,
- * mii, iiAttempts, comms, provenOptimal, iiLowerBound, pressureOptimal,
- * searchNodes, budgetExhausted.
+ * Schedule @p graph exactly, drawing ordering/lifetime scratch from
+ * @p ctx. Never throws; failure (no feasible II within maxII, or a
+ * budget exhausted before any schedule was found) is reported in the
+ * result. The stats fields filled in: resMii, recMii, mii, iiAttempts,
+ * comms, provenOptimal, iiLowerBound, pressureOptimal, searchNodes,
+ * budgetExhausted.
+ *
+ * Budget accounting is interleaving-independent: every child the
+ * search considers is charged exactly once (see Searcher::chargeNode),
+ * so the node count at which "gap unknown" degradation triggers is a
+ * pure function of (loop, machine, options) — identical whether loops
+ * are swept serially or sharded across a thread pool.
  */
+ScheduleResult scheduleExact(const ddg::Ddg &graph,
+                             const MachineConfig &machine,
+                             const BnbOptions &options,
+                             SchedContext &ctx);
+
+/** scheduleExact with a transient context. */
 ScheduleResult scheduleExact(const ddg::Ddg &graph,
                              const MachineConfig &machine,
                              const BnbOptions &options = {});

@@ -22,14 +22,16 @@ LifetimeStats
 computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
                  const MachineConfig &machine)
 {
+    LifetimeScratch scratch;
+    return computeLifetimes(graph, sched, machine, scratch);
+}
+
+LifetimeStats
+computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
+                 const MachineConfig &machine, LifetimeScratch &scratch)
+{
     const Cycle ii = sched.ii();
-    struct Interval
-    {
-        ClusterId cluster;
-        Cycle from;
-        Cycle to;   // inclusive
-    };
-    static thread_local std::vector<Interval> intervals;
+    std::vector<LifetimeScratch::Interval> &intervals = scratch.intervals;
     intervals.clear();
     intervals.reserve(graph.size() + sched.comms().size());
 
@@ -87,7 +89,7 @@ computeLifetimes(const ddg::Ddg &graph, const ModuloSchedule &sched,
     // floor(len/II) to every slot plus one to the len%II slots starting
     // at from%II (wrapping) — two divisions per interval instead of two
     // per (interval, slot) pair.
-    static thread_local std::vector<Cycle> live;
+    std::vector<Cycle> &live = scratch.live;
     live.assign(static_cast<std::size_t>(machine.nClusters) *
                     static_cast<std::size_t>(ii),
                 0);

@@ -19,6 +19,7 @@
 
 #include "ddg/ddg.hh"
 #include "machine/machine.hh"
+#include "sched/context.hh"
 #include "sched/schedule.hh"
 
 namespace mvp::sched
@@ -34,10 +35,20 @@ struct LifetimeStats
     Cycle totalLifetime = 0;
 };
 
-/** Compute MaxLive for a complete schedule. */
+/** Compute MaxLive for a complete schedule (transient scratch). */
 LifetimeStats computeLifetimes(const ddg::Ddg &graph,
                                const ModuloSchedule &sched,
                                const MachineConfig &machine);
+
+/**
+ * computeLifetimes with caller-owned scratch: the schedulers call this
+ * once per II attempt (heuristic) or once per search leaf (exact), so
+ * the working buffers come from the SchedContext.
+ */
+LifetimeStats computeLifetimes(const ddg::Ddg &graph,
+                               const ModuloSchedule &sched,
+                               const MachineConfig &machine,
+                               LifetimeScratch &scratch);
 
 } // namespace mvp::sched
 

@@ -15,11 +15,11 @@ namespace
  * stored flat (row-major n x n) in a caller-owned reusable buffer.
  */
 void
-reachability(const ddg::Ddg &graph, std::vector<char> &reach)
+reachability(const ddg::Ddg &graph, std::vector<char> &reach,
+             std::vector<OpId> &work)
 {
     const std::size_t n = graph.size();
     reach.assign(n * n, 0);
-    static thread_local std::vector<OpId> work;
     for (std::size_t s = 0; s < n; ++s) {
         char *row = reach.data() + s * n;
         work.clear();
@@ -52,25 +52,33 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii)
 void
 computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
 {
+    OrderingScratch scratch;
+    computeOrdering(graph, ii, order, scratch);
+}
+
+void
+computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order,
+                OrderingScratch &scratch)
+{
     order.clear();
     const std::size_t n = graph.size();
     if (n == 0)
         return;
 
-    // The ASAP/ALAP tables live in the thread-local workspace with the
-    // rest of the ordering scratch: one scheduler run recomputes them
-    // once, allocation-free on a warm thread.
-    static thread_local ddg::Ddg::TimeBounds tb;
+    // The ASAP/ALAP tables live in the caller's scratch with the rest
+    // of the ordering workspace: one scheduler run recomputes them
+    // once, allocation-free on a warm context.
+    ddg::Ddg::TimeBounds &tb = scratch.tb;
     graph.timeBounds(ii, tb);
 
-    // Reusable per-thread workspace: the scheduler recomputes orderings
-    // constantly (one per scheduled loop) and every buffer here reaches
-    // a steady-state capacity after a few calls.
-    static thread_local std::vector<char> reach;
-    static thread_local std::vector<char> taken;
-    static thread_local std::vector<OpId> placed_union;
-    static thread_local std::vector<OpId> set_nodes;   // flat sets
-    static thread_local std::vector<std::size_t> set_begin;
+    // Reusable workspace: the scheduler recomputes orderings constantly
+    // (one per scheduled loop) and every buffer here reaches a
+    // steady-state capacity after a few calls.
+    std::vector<char> &reach = scratch.reach;
+    std::vector<char> &taken = scratch.taken;
+    std::vector<OpId> &placed_union = scratch.placedUnion;
+    std::vector<OpId> &set_nodes = scratch.setNodes;   // flat sets
+    std::vector<std::size_t> &set_begin = scratch.setBegin;
 
     // The reachability matrix is only consulted when a *second*
     // recurrence set absorbs path nodes; most loops have at most one
@@ -78,7 +86,7 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
     bool have_reach = false;
     auto ensure_reach = [&]() {
         if (!have_reach) {
-            reachability(graph, reach);
+            reachability(graph, reach, scratch.work);
             have_reach = true;
         }
     };
@@ -89,12 +97,7 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
     // union of earlier sets and the SCC. Remaining nodes form the final
     // set. Sets are stored back to back in set_nodes; set_begin holds
     // each set's start offset.
-    struct SccInfo
-    {
-        int index;
-        Cycle rec_mii;
-    };
-    static thread_local std::vector<SccInfo> recurrence_sccs;
+    auto &recurrence_sccs = scratch.recurrenceSccs;
     recurrence_sccs.clear();
     const auto &sccs = graph.sccs();
     for (std::size_t s = 0; s < sccs.size(); ++s) {
@@ -105,9 +108,10 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
                 {static_cast<int>(s), graph.sccRecMii(static_cast<int>(s))});
     }
     std::sort(recurrence_sccs.begin(), recurrence_sccs.end(),
-              [&](const SccInfo &a, const SccInfo &b) {
-                  if (a.rec_mii != b.rec_mii)
-                      return a.rec_mii > b.rec_mii;
+              [&](const OrderingScratch::SccInfo &a,
+                  const OrderingScratch::SccInfo &b) {
+                  if (a.recMii != b.recMii)
+                      return a.recMii > b.recMii;
                   return sccs[static_cast<std::size_t>(a.index)][0] <
                          sccs[static_cast<std::size_t>(b.index)][0];
               });
@@ -169,7 +173,7 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
 
     // ---- Step 2: swing ordering inside the concatenated sets. ----
     order.reserve(n);
-    static thread_local std::vector<char> ordered;
+    std::vector<char> &ordered = scratch.ordered;
     ordered.assign(n, 0);
 
     auto height = [&](OpId v) { return tb.height(v); };
@@ -214,9 +218,10 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
         }
     };
 
-    static thread_local std::vector<char> in_set;
+    std::vector<char> &in_set = scratch.inSet;
     in_set.assign(n, 0);
-    static thread_local std::vector<OpId> r;
+    std::vector<OpId> &r = scratch.frontier;
+    r.clear();
     auto push_unique = [&](OpId w) {
         if (std::find(r.begin(), r.end(), w) == r.end())
             r.push_back(w);
@@ -300,7 +305,15 @@ computeOrdering(const ddg::Ddg &graph, Cycle ii, std::vector<OpId> &order)
 int
 bothNeighbourCount(const ddg::Ddg &graph, const std::vector<OpId> &order)
 {
-    static thread_local std::vector<char> before;
+    OrderingScratch scratch;
+    return bothNeighbourCount(graph, order, scratch);
+}
+
+int
+bothNeighbourCount(const ddg::Ddg &graph, const std::vector<OpId> &order,
+                   OrderingScratch &scratch)
+{
+    std::vector<char> &before = scratch.before;
     before.assign(graph.size(), 0);
     int count = 0;
     for (OpId v : order) {

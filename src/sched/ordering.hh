@@ -20,6 +20,7 @@
 
 #include "common/types.hh"
 #include "ddg/ddg.hh"
+#include "sched/context.hh"
 
 namespace mvp::sched
 {
@@ -32,10 +33,14 @@ namespace mvp::sched
 std::vector<OpId> computeOrdering(const ddg::Ddg &graph, Cycle ii);
 
 /**
- * computeOrdering into a caller-owned vector, reusing its capacity. The
- * scheduler keeps a thread-local order buffer so a full scheduler run
- * performs no ordering-related allocation once the thread is warm.
+ * computeOrdering into a caller-owned vector, reusing its capacity,
+ * with all working storage drawn from @p scratch. A scheduler run on a
+ * warm context performs no ordering-related allocation.
  */
+void computeOrdering(const ddg::Ddg &graph, Cycle ii,
+                     std::vector<OpId> &order, OrderingScratch &scratch);
+
+/** computeOrdering into a caller-owned vector, transient scratch. */
 void computeOrdering(const ddg::Ddg &graph, Cycle ii,
                      std::vector<OpId> &order);
 
@@ -46,6 +51,11 @@ void computeOrdering(const ddg::Ddg &graph, Cycle ii,
  */
 int bothNeighbourCount(const ddg::Ddg &graph,
                        const std::vector<OpId> &order);
+
+/** bothNeighbourCount with caller-owned scratch (allocation-free). */
+int bothNeighbourCount(const ddg::Ddg &graph,
+                       const std::vector<OpId> &order,
+                       OrderingScratch &scratch);
 
 } // namespace mvp::sched
 

@@ -19,66 +19,54 @@ namespace
 constexpr double EPS = 1e-9;
 constexpr Cycle NO_BOUND = CYCLE_MAX / 4;
 
-/** A register communication the placement under evaluation would add. */
-struct NewComm
-{
-    OpId producer;
-    ClusterId from;
-    ClusterId to;
-    Cycle xferStart;
-    std::size_t xferSlot;   ///< xferStart mod II, precomputed
-    int bus;
-};
-
-/** A candidate placement of one op in one cluster. */
-struct Placement
-{
-    Cycle time = TIME_UNPLACED;
-    Cycle outLatency = 0;
-    std::vector<NewComm> newComms;
-};
+using detail::InNb;
+using detail::NewComm;
+using detail::OutNb;
+using detail::Placement;
 
 /**
  * State of one II attempt.
  *
  * Constructed once per scheduler run and re-armed with reset() for every
  * II bump, so the II search loop performs no per-attempt allocation. All
- * placement-loop scratch state lives in flat, reusable buffers (no
- * per-candidate maps or vectors): cross-cluster communication starts are
- * a dense [op x cluster] table, the inbound / outbound transfer books of
- * one trySlot() call are sparse arrays with an explicit id list, the
- * placed neighbourhood of the op being placed is snapshotted once per
- * place() instead of being re-walked per candidate cluster, and the
- * per-cluster locality base is cached incrementally so the CME layer is
- * queried once per (cluster, candidate) instead of twice.
+ * placement-loop scratch state lives in the caller's SchedContext (flat,
+ * reusable buffers; no per-candidate maps or vectors): cross-cluster
+ * communication starts are a dense [op x cluster] table, the inbound /
+ * outbound transfer books of one trySlot() call are sparse arrays with
+ * an explicit id list, the placed neighbourhood of the op being placed
+ * is snapshotted once per place() instead of being re-walked per
+ * candidate cluster, and the per-cluster locality base is cached
+ * incrementally so the CME layer is queried once per (cluster,
+ * candidate) instead of twice.
  */
 class Attempt
 {
   public:
     Attempt(const ddg::Ddg &graph, const MachineConfig &machine,
-            const SchedulerOptions &options)
-        : graph_(graph), machine_(machine), options_(options), ii_(1),
-          mrt_(machine, 1),
+            const SchedulerOptions &options,
+            detail::PlacementScratch &scratch)
+        : graph_(graph), machine_(machine), options_(options),
+          s_(scratch), ii_(1), mrt_(machine, 1),
           sched_(1, graph.size(), machine.nClusters),
           geom_(machine.clusterCacheGeom()),
           reuse_(graph.loop())
     {
-        // Size the thread-local buffers for this graph/machine; assign()
+        // Size the context's buffers for this graph/machine; assign()
         // reuses the capacity left by earlier scheduler runs, so a warm
-        // thread schedules without heap traffic.
+        // context schedules without heap traffic.
         const auto n = graph.size();
         const auto nc = static_cast<std::size_t>(machine.nClusters);
-        is_placed_.assign(n, false);
-        if (mem_set_.size() < nc)
-            mem_set_.resize(nc);
-        override_lat_.assign(n, LAT_NO_OVERRIDE);
-        comm_start_.assign(n * nc, CYCLE_MAX);
-        in_min_dist_.assign(n, DIST_UNSET);
-        in_need_ids_.clear();
-        out_budget_.assign(nc, CYCLE_MAX);
-        base_miss_.assign(nc, 0.0);
-        base_miss_valid_.assign(nc, false);
-        affinity_.assign(nc, 0);
+        s_.isPlaced.assign(n, false);
+        if (s_.memSet.size() < nc)
+            s_.memSet.resize(nc);
+        s_.overrideLat.assign(n, LAT_NO_OVERRIDE);
+        s_.commStart.assign(n * nc, CYCLE_MAX);
+        s_.inMinDist.assign(n, DIST_UNSET);
+        s_.inNeedIds.clear();
+        s_.outBudget.assign(nc, CYCLE_MAX);
+        s_.baseMiss.assign(nc, 0.0);
+        s_.baseMissValid.assign(nc, false);
+        s_.affinity.assign(nc, 0);
     }
 
     /** Re-arm for a fresh II attempt, reusing every buffer. */
@@ -87,15 +75,15 @@ class Attempt
         ii_ = ii;
         mrt_.reset(ii);
         sched_.reset(ii, graph_.size(), machine_.nClusters);
-        std::fill(is_placed_.begin(), is_placed_.end(), false);
-        for (auto &set : mem_set_)
+        std::fill(s_.isPlaced.begin(), s_.isPlaced.end(), false);
+        for (auto &set : s_.memSet)
             set.clear();
-        std::fill(override_lat_.begin(), override_lat_.end(),
+        std::fill(s_.overrideLat.begin(), s_.overrideLat.end(),
                   LAT_NO_OVERRIDE);
-        std::fill(comm_start_.begin(), comm_start_.end(), CYCLE_MAX);
-        std::fill(in_min_dist_.begin(), in_min_dist_.end(), DIST_UNSET);
-        in_need_ids_.clear();
-        std::fill(base_miss_valid_.begin(), base_miss_valid_.end(),
+        std::fill(s_.commStart.begin(), s_.commStart.end(), CYCLE_MAX);
+        std::fill(s_.inMinDist.begin(), s_.inMinDist.end(), DIST_UNSET);
+        s_.inNeedIds.clear();
+        std::fill(s_.baseMissValid.begin(), s_.baseMissValid.end(),
                   false);
     }
 
@@ -110,41 +98,16 @@ class Attempt
     void normalize();
 
     /** Final register-pressure check; false aborts the attempt. */
-    bool checkRegisters();
+    bool checkRegisters(LifetimeScratch &lifetimes);
 
     ModuloSchedule takeSchedule() { return std::move(sched_); }
 
     const std::vector<std::vector<OpId>> &memSets() const
     {
-        return mem_set_;
+        return s_.memSet;
     }
 
   private:
-    /**
-     * Snapshot of one placed in-neighbour of the op being placed, with
-     * the cluster-independent arithmetic folded in at snapshot time.
-     */
-    struct InNb
-    {
-        OpId src;
-        int distance;
-        bool isReg;
-        ClusterId cluster;  ///< producer's cluster
-        Cycle iiDist;       ///< II * distance
-        Cycle ready;        ///< producer's time + outLatency
-        Cycle baseEarly;    ///< early bound without a bus transfer
-    };
-
-    /** Snapshot of one placed out-neighbour of the op being placed. */
-    struct OutNb
-    {
-        OpId dst;
-        bool isReg;
-        ClusterId cluster;  ///< consumer's cluster
-        Cycle budget;       ///< consumer's time + II * distance
-        Cycle lateNonReg;   ///< budget - edge latency (non-register)
-    };
-
     void snapshotNeighbours(OpId v);
     bool trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out);
     bool tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
@@ -159,15 +122,16 @@ class Attempt
     /** Start cycle of the committed transfer of @p u to cluster @p c. */
     Cycle &commStart(OpId u, ClusterId c)
     {
-        return comm_start_[static_cast<std::size_t>(u) *
-                               static_cast<std::size_t>(
-                                   machine_.nClusters) +
-                           static_cast<std::size_t>(c)];
+        return s_.commStart[static_cast<std::size_t>(u) *
+                                static_cast<std::size_t>(
+                                    machine_.nClusters) +
+                            static_cast<std::size_t>(c)];
     }
 
     const ddg::Ddg &graph_;
     const MachineConfig &machine_;
     const SchedulerOptions &options_;
+    detail::PlacementScratch &s_;    ///< caller-owned scratch buffers
     Cycle ii_;
     Mrt mrt_;
     ModuloSchedule sched_;
@@ -176,55 +140,6 @@ class Attempt
     ir::FuType fu_ = ir::FuType::Int;          ///< FU class of current op
     int out_needed_ = 0;              ///< clusters with an out budget
     bool affinity_valid_ = false;     ///< per-sweep affinity memo flag
-
-    /**
-     * Every pure-buffer member below is thread-local and shared by all
-     * attempts of the thread: only one Attempt is live per scheduler
-     * run, runs never nest, and the constructor (re)sizes each buffer,
-     * so a warm thread reaches a steady state with zero heap traffic in
-     * the placement loop. (An \c inline \c static member inside an
-     * anonymous namespace is still one object per translation unit.)
-     */
-    inline static thread_local std::vector<char> is_placed_;
-    /** Memory ops per cluster. */
-    inline static thread_local std::vector<std::vector<OpId>> mem_set_;
-    /** [op] override of miss-promoted loads; LAT_NO_OVERRIDE = none. */
-    inline static thread_local std::vector<Cycle> override_lat_;
-    /** [op x cluster] committed transfer starts; CYCLE_MAX = none. */
-    inline static thread_local std::vector<Cycle> comm_start_;
-
-    /** @name place() scratch (rebuilt per op, shared by the sweep) */
-    /// @{
-    inline static thread_local std::vector<InNb> in_nbs_;
-    inline static thread_local std::vector<OutNb> out_nbs_;
-    /// @}
-
-    /** @name trySlot() scratch (reset at every call) */
-    /// @{
-    /** Producers needing a transfer. */
-    inline static thread_local std::vector<OpId> in_need_ids_;
-    /** [op] min distance; DIST_UNSET = unset. */
-    inline static thread_local std::vector<int> in_min_dist_;
-    /** [cluster] consumption budget; CYCLE_MAX = unset. */
-    inline static thread_local std::vector<Cycle> out_budget_;
-    /** Tentative bus reservations. */
-    inline static thread_local std::vector<NewComm> reserved_;
-    inline static thread_local Placement cur_placement_;
-    inline static thread_local Placement best_placement_;
-    /// @}
-
-    /** @name Incremental per-cluster locality cache */
-    /// @{
-    /** missesPerIteration(mem_set_) per cluster. */
-    inline static thread_local std::vector<double> base_miss_;
-    /** Invalidated on memory-op commit. */
-    inline static thread_local std::vector<char> base_miss_valid_;
-    /** set + candidate buffer. */
-    inline static thread_local std::vector<OpId> with_scratch_;
-    /// @}
-
-    /** [cluster] one-walk register-affinity profits. */
-    inline static thread_local std::vector<int> affinity_;
 };
 
 /**
@@ -237,28 +152,28 @@ class Attempt
 void
 Attempt::snapshotNeighbours(OpId v)
 {
-    in_nbs_.clear();
-    out_nbs_.clear();
+    s_.inNbs.clear();
+    s_.outNbs.clear();
     for (int ei : graph_.inEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
-        if (e.src == v || !is_placed_[static_cast<std::size_t>(e.src)])
+        if (e.src == v || !s_.isPlaced[static_cast<std::size_t>(e.src)])
             continue;
         const auto &pu = sched_.placed(e.src);
         const Cycle ii_dist = ii_ * e.distance;
         const Cycle ready = pu.time + pu.outLatency;
         const Cycle base_early =
             (e.isRegFlow() ? ready : pu.time + e.latency) - ii_dist;
-        in_nbs_.push_back({e.src, e.distance, e.isRegFlow(), pu.cluster,
-                           ii_dist, ready, base_early});
+        s_.inNbs.push_back({e.src, e.distance, e.isRegFlow(), pu.cluster,
+                            ii_dist, ready, base_early});
     }
     for (int ei : graph_.outEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
-        if (e.dst == v || !is_placed_[static_cast<std::size_t>(e.dst)])
+        if (e.dst == v || !s_.isPlaced[static_cast<std::size_t>(e.dst)])
             continue;
         const auto &pw = sched_.placed(e.dst);
         const Cycle budget = pw.time + ii_ * e.distance;
-        out_nbs_.push_back({e.dst, e.isRegFlow(), pw.cluster, budget,
-                            budget - e.latency});
+        s_.outNbs.push_back({e.dst, e.isRegFlow(), pw.cluster, budget,
+                             budget - e.latency});
     }
 }
 
@@ -268,30 +183,30 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
     const Cycle lrb = machine_.regBusLatency;
 
     // --- Reset the scratch books (cheap: only touched entries). ---
-    for (OpId u : in_need_ids_)
-        in_min_dist_[static_cast<std::size_t>(u)] = DIST_UNSET;
-    in_need_ids_.clear();
-    std::fill(out_budget_.begin(), out_budget_.end(), CYCLE_MAX);
+    for (OpId u : s_.inNeedIds)
+        s_.inMinDist[static_cast<std::size_t>(u)] = DIST_UNSET;
+    s_.inNeedIds.clear();
+    std::fill(s_.outBudget.begin(), s_.outBudget.end(), CYCLE_MAX);
     out_needed_ = 0;
 
     // --- Collect window bounds from the snapshotted neighbours. ---
     Cycle early = 0;
     Cycle late = NO_BOUND;
-    const bool has_pred = !in_nbs_.empty();
-    const bool has_succ = !out_nbs_.empty();
+    const bool has_pred = !s_.inNbs.empty();
+    const bool has_succ = !s_.outNbs.empty();
 
     // Inbound cross-cluster register values that need a *new* transfer:
     // producer -> tightest arrival budget (t_v + II*min_dist).
-    for (const InNb &nb : in_nbs_) {
+    for (const InNb &nb : s_.inNbs) {
         if (nb.isReg && nb.cluster != c) {
             if (const Cycle cs = commStart(nb.src, c); cs != CYCLE_MAX) {
                 early = std::max(early, cs + lrb - nb.iiDist);
             } else {
                 early = std::max(early, nb.ready + lrb - nb.iiDist);
                 auto &min_dist =
-                    in_min_dist_[static_cast<std::size_t>(nb.src)];
+                    s_.inMinDist[static_cast<std::size_t>(nb.src)];
                 if (min_dist == DIST_UNSET) {
-                    in_need_ids_.push_back(nb.src);
+                    s_.inNeedIds.push_back(nb.src);
                     min_dist = nb.distance;
                 } else {
                     min_dist = std::min(min_dist, nb.distance);
@@ -302,14 +217,14 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
         }
     }
     // Bus reservation order must not depend on edge-visit order.
-    if (in_need_ids_.size() > 1)
-        std::sort(in_need_ids_.begin(), in_need_ids_.end());
+    if (s_.inNeedIds.size() > 1)
+        std::sort(s_.inNeedIds.begin(), s_.inNeedIds.end());
 
     // Outbound cross-cluster transfers to placed consumers: destination
     // cluster -> tightest consumption budget min(t_w + II*dist).
-    for (const OutNb &nb : out_nbs_) {
+    for (const OutNb &nb : s_.outNbs) {
         if (nb.isReg && nb.cluster != c) {
-            auto &b = out_budget_[static_cast<std::size_t>(nb.cluster)];
+            auto &b = s_.outBudget[static_cast<std::size_t>(nb.cluster)];
             if (b == CYCLE_MAX)
                 ++out_needed_;
             b = std::min(b, nb.budget);
@@ -318,7 +233,7 @@ Attempt::trySlot(OpId v, ClusterId c, Cycle out_lat, Placement &out)
                             nb.isReg ? nb.budget - out_lat : nb.lateNonReg);
         }
     }
-    for (Cycle budget : out_budget_)
+    for (Cycle budget : s_.outBudget)
         if (budget != CYCLE_MAX)
             late = std::min(late, budget - lrb - out_lat);
 
@@ -369,7 +284,7 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
         return false;
 
     // Fast path: no bus transfer to book, the FU slot alone decides.
-    if (in_need_ids_.empty() && out_needed_ == 0) {
+    if (s_.inNeedIds.empty() && out_needed_ == 0) {
         out.time = t;
         out.outLatency = out_lat;
         out.newComms.clear();
@@ -377,17 +292,17 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
     }
 
     const Cycle lrb = machine_.regBusLatency;
-    reserved_.clear();
+    s_.reserved.clear();
     auto rollback = [&]() {
-        for (const auto &nc : reserved_)
+        for (const auto &nc : s_.reserved)
             mrt_.releaseBusAt(nc.bus, nc.xferSlot);
-        reserved_.clear();
+        s_.reserved.clear();
     };
     bool ok = true;
 
     // Inbound transfers (value of u must reach cluster c).
-    for (OpId u : in_need_ids_) {
-        const int min_dist = in_min_dist_[static_cast<std::size_t>(u)];
+    for (OpId u : s_.inNeedIds) {
+        const int min_dist = s_.inMinDist[static_cast<std::size_t>(u)];
         const auto &pu = sched_.placed(u);
         const Cycle x_min = pu.time + pu.outLatency;
         const Cycle x_max = t + ii_ * min_dist - lrb;
@@ -399,7 +314,7 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
                 const int bus = mrt_.findFreeBusAt(sx);
                 if (bus != BUS_NONE) {
                     mrt_.reserveBusAt(bus, sx);
-                    reserved_.push_back({u, pu.cluster, c, x, sx, bus});
+                    s_.reserved.push_back({u, pu.cluster, c, x, sx, bus});
                     found = true;
                     break;
                 }
@@ -416,7 +331,7 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
     if (ok) {
         for (ClusterId dest = 0; dest < machine_.nClusters; ++dest) {
             const Cycle budget =
-                out_budget_[static_cast<std::size_t>(dest)];
+                s_.outBudget[static_cast<std::size_t>(dest)];
             if (budget == CYCLE_MAX)
                 continue;
             const Cycle x_min = t + out_lat;
@@ -429,7 +344,7 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
                     const int bus = mrt_.findFreeBusAt(sx);
                     if (bus != BUS_NONE) {
                         mrt_.reserveBusAt(bus, sx);
-                        reserved_.push_back({v, c, dest, x, sx, bus});
+                        s_.reserved.push_back({v, c, dest, x, sx, bus});
                         found = true;
                         break;
                     }
@@ -450,7 +365,7 @@ Attempt::tryCandidate(OpId v, ClusterId c, Cycle t, std::size_t slot,
 
     out.time = t;
     out.outLatency = out_lat;
-    out.newComms.assign(reserved_.begin(), reserved_.end());
+    out.newComms.assign(s_.reserved.begin(), s_.reserved.end());
     rollback();
     return true;
 }
@@ -463,7 +378,7 @@ Attempt::commit(OpId v, ClusterId c, const Placement &p, bool miss)
     slot.time = p.time;
     slot.outLatency = p.outLatency;
     slot.missScheduled = miss;
-    is_placed_[static_cast<std::size_t>(v)] = true;
+    s_.isPlaced[static_cast<std::size_t>(v)] = true;
     mrt_.placeFu(p.time, c, graph_.loop().op(v).fuType());
     for (const auto &nc : p.newComms) {
         mrt_.reserveBusAt(nc.bus, nc.xferSlot);
@@ -472,30 +387,30 @@ Attempt::commit(OpId v, ClusterId c, const Placement &p, bool miss)
         commStart(nc.producer, nc.to) = nc.xferStart;
     }
     if (graph_.loop().op(v).isMemory()) {
-        mem_set_[static_cast<std::size_t>(c)].push_back(v);
-        base_miss_valid_[static_cast<std::size_t>(c)] = false;
+        s_.memSet[static_cast<std::size_t>(c)].push_back(v);
+        s_.baseMissValid[static_cast<std::size_t>(c)] = false;
     }
     if (miss)
-        override_lat_[static_cast<std::size_t>(v)] = p.outLatency;
+        s_.overrideLat[static_cast<std::size_t>(v)] = p.outLatency;
 }
 
 double
 Attempt::addedMisses(OpId v, ClusterId c)
 {
     auto *loc = options_.locality;
-    const auto &set = mem_set_[static_cast<std::size_t>(c)];
+    const auto &set = s_.memSet[static_cast<std::size_t>(c)];
     // The base set only changes when a memory op is committed to this
     // cluster, so its miss count is computed once per commit, not per
     // candidate evaluated against it.
-    if (!base_miss_valid_[static_cast<std::size_t>(c)]) {
-        base_miss_[static_cast<std::size_t>(c)] =
+    if (!s_.baseMissValid[static_cast<std::size_t>(c)]) {
+        s_.baseMiss[static_cast<std::size_t>(c)] =
             loc->missesPerIteration(set, geom_);
-        base_miss_valid_[static_cast<std::size_t>(c)] = true;
+        s_.baseMissValid[static_cast<std::size_t>(c)] = true;
     }
-    with_scratch_.assign(set.begin(), set.end());
-    with_scratch_.push_back(v);
-    return loc->missesPerIteration(with_scratch_, geom_) -
-           base_miss_[static_cast<std::size_t>(c)];
+    s_.withScratch.assign(set.begin(), set.end());
+    s_.withScratch.push_back(v);
+    return loc->missesPerIteration(s_.withScratch, geom_) -
+           s_.baseMiss[static_cast<std::size_t>(c)];
 }
 
 void
@@ -512,20 +427,20 @@ Attempt::computeAffinities(OpId v)
     // One walk accumulates the profit of every cluster at once: each
     // placed neighbour contributes to its own cluster's bucket, so the
     // sweep never re-traverses the two-level neighbourhood per cluster.
-    std::fill(affinity_.begin(), affinity_.end(), 0);
+    std::fill(s_.affinity.begin(), s_.affinity.end(), 0);
     auto neighbour_cluster_bonus = [&](OpId other) {
         if (other == v)
             return;
-        if (is_placed_[static_cast<std::size_t>(other)]) {
-            affinity_[static_cast<std::size_t>(
+        if (s_.isPlaced[static_cast<std::size_t>(other)]) {
+            s_.affinity[static_cast<std::size_t>(
                 sched_.placed(other).cluster)] += 2;
             return;
         }
         // Unscheduled neighbour: look one level further.
         auto sibling = [&](OpId w) {
             if (w != v && w != other &&
-                is_placed_[static_cast<std::size_t>(w)])
-                ++affinity_[static_cast<std::size_t>(
+                s_.isPlaced[static_cast<std::size_t>(w)])
+                ++s_.affinity[static_cast<std::size_t>(
                     sched_.placed(w).cluster)];
         };
         for (int ei : graph_.inEdges(other)) {
@@ -563,7 +478,7 @@ Attempt::cachedAffinity(OpId v, ClusterId c)
         computeAffinities(v);
         affinity_valid_ = true;
     }
-    return affinity_[static_cast<std::size_t>(c)];
+    return s_.affinity[static_cast<std::size_t>(c)];
 }
 
 bool
@@ -604,13 +519,13 @@ Attempt::place(OpId v)
     ClusterId best = INVALID_ID;
     double best_miss = 0.0;
     for (ClusterId c = 0; c < machine_.nClusters; ++c) {
-        if (!trySlot(v, c, hit_lat, cur_placement_))
+        if (!trySlot(v, c, hit_lat, s_.curPlacement))
             continue;
         const double miss = mem_select ? addedMisses(v, c) : 0.0;
         if (best == INVALID_ID ||
             betterCluster(v, c, best, miss, best_miss, mem_select)) {
             best = c;
-            std::swap(best_placement_, cur_placement_);
+            std::swap(s_.bestPlacement, s_.curPlacement);
             best_miss = miss;
         }
     }
@@ -628,10 +543,10 @@ Attempt::place(OpId v)
     if (op.isLoad() && options_.missThreshold < 1.0 - EPS &&
         options_.locality != nullptr) {
         const double ratio = options_.locality->missRatio(
-            mem_set_[static_cast<std::size_t>(best)], v, geom_);
+            s_.memSet[static_cast<std::size_t>(best)], v, geom_);
         bool rides_promoted_fill = false;
         if (ratio <= options_.missThreshold + EPS) {
-            for (OpId u : mem_set_[static_cast<std::size_t>(best)]) {
+            for (OpId u : s_.memSet[static_cast<std::size_t>(best)]) {
                 if (!sched_.placed(u).missScheduled)
                     continue;
                 const auto delta = reuse_.byteDelta(v, u);
@@ -650,25 +565,25 @@ Attempt::place(OpId v)
             // free; restore it unless the promotion actually commits.
             bool allowed = true;
             if (graph_.inRecurrence(v)) {
-                override_lat_[static_cast<std::size_t>(v)] = miss_lat;
-                allowed = graph_.feasibleII(ii_, override_lat_);
+                s_.overrideLat[static_cast<std::size_t>(v)] = miss_lat;
+                allowed = graph_.feasibleII(ii_, s_.overrideLat);
                 if (!allowed)
-                    override_lat_[static_cast<std::size_t>(v)] =
+                    s_.overrideLat[static_cast<std::size_t>(v)] =
                         LAT_NO_OVERRIDE;
             }
             if (allowed) {
-                if (trySlot(v, best, miss_lat, cur_placement_)) {
-                    commit(v, best, cur_placement_, true);
+                if (trySlot(v, best, miss_lat, s_.curPlacement)) {
+                    commit(v, best, s_.curPlacement, true);
                     promoted = true;
                 } else {
-                    override_lat_[static_cast<std::size_t>(v)] =
+                    s_.overrideLat[static_cast<std::size_t>(v)] =
                         LAT_NO_OVERRIDE;
                 }
             }
         }
     }
     if (!promoted)
-        commit(v, best, best_placement_, false);
+        commit(v, best, s_.bestPlacement, false);
     return true;
 }
 
@@ -688,9 +603,10 @@ Attempt::normalize()
 }
 
 bool
-Attempt::checkRegisters()
+Attempt::checkRegisters(LifetimeScratch &lifetimes)
 {
-    const LifetimeStats lt = computeLifetimes(graph_, sched_, machine_);
+    const LifetimeStats lt =
+        computeLifetimes(graph_, sched_, machine_, lifetimes);
     sched_.setMaxLive(lt.maxLivePerCluster);
     for (int ml : lt.maxLivePerCluster)
         if (ml > machine_.regsPerCluster)
@@ -715,7 +631,7 @@ ClusteredModuloScheduler::ClusteredModuloScheduler(
 }
 
 ScheduleResult
-ClusteredModuloScheduler::run()
+ClusteredModuloScheduler::run(SchedContext &ctx)
 {
     ScheduleResult result;
     result.stats.resMii = resMii(graph_.loop(), machine_);
@@ -723,21 +639,20 @@ ClusteredModuloScheduler::run()
     result.stats.mii =
         std::max(result.stats.resMii, result.stats.recMii);
 
-    // The ordering is computed once at mII and kept across II bumps,
-    // in a thread-local buffer (part of the scratch workspace).
-    static thread_local std::vector<OpId> order;
-    computeOrdering(graph_, result.stats.mii, order);
+    // The ordering is computed once at mII and kept across II bumps in
+    // the context's order buffer.
+    computeOrdering(graph_, result.stats.mii, ctx.order, ctx.ordering);
     result.stats.orderingBothNeighbours =
-        bothNeighbourCount(graph_, order);
+        bothNeighbourCount(graph_, ctx.order, ctx.ordering);
 
     // One attempt object reused across II bumps (reset() re-arms it
     // without reallocating any buffer).
-    Attempt attempt(graph_, machine_, options_);
+    Attempt attempt(graph_, machine_, options_, ctx.placement);
     for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
         ++result.stats.iiAttempts;
         attempt.reset(ii);
         bool ok = true;
-        for (OpId v : order) {
+        for (OpId v : ctx.order) {
             if (!attempt.place(v)) {
                 mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
                             ": op ", v, " unplaceable");
@@ -748,7 +663,7 @@ ClusteredModuloScheduler::run()
         if (!ok)
             continue;
         attempt.normalize();
-        if (!attempt.checkRegisters()) {
+        if (!attempt.checkRegisters(ctx.lifetimes)) {
             mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
                         ": register pressure exceeded");
             continue;
@@ -773,6 +688,13 @@ ClusteredModuloScheduler::run()
                    std::to_string(options_.maxII) + " for loop '" +
                    graph_.loop().name() + "'";
     return result;
+}
+
+ScheduleResult
+ClusteredModuloScheduler::run()
+{
+    SchedContext ctx;
+    return run(ctx);
 }
 
 ScheduleResult

@@ -30,6 +30,7 @@
 #include "cme/locality.hh"
 #include "ddg/ddg.hh"
 #include "machine/machine.hh"
+#include "sched/context.hh"
 #include "sched/schedule.hh"
 
 namespace mvp::sched
@@ -129,7 +130,15 @@ class ClusteredModuloScheduler
                              const MachineConfig &machine,
                              SchedulerOptions options);
 
-    /** Schedule the loop; never throws, reports failure in the result. */
+    /**
+     * Schedule the loop using the caller's scratch context; never
+     * throws, reports failure in the result. A warm context makes the
+     * run allocation-free; one context must not serve two schedulers
+     * concurrently.
+     */
+    ScheduleResult run(SchedContext &ctx);
+
+    /** Convenience: run with a transient context. */
     ScheduleResult run();
 
   private:

@@ -175,7 +175,8 @@ TEST(BackendRegistry, RuntimeRegistration)
     {
         std::string_view name() const override { return "null"; }
         ScheduleResult schedule(const ddg::Ddg &, const MachineConfig &,
-                                const SchedulerOptions &) const override
+                                const SchedulerOptions &,
+                                SchedContext &) const override
         {
             ScheduleResult r;
             r.error = "null backend never schedules";

@@ -39,7 +39,7 @@ TEST(RunSuite, AggregatesMatchLoopSums)
     Workbench bench({"tomcatv"});
     RunConfig config;
     config.machine = makeTwoCluster();
-    config.sched = SchedKind::Rmca;
+    config.backend = "rmca";
     config.threshold = 1.0;
     sim::SimParams params;
     params.maxExecutions = 2;
@@ -64,7 +64,7 @@ TEST(RunSuite, DeterministicAcrossRuns)
     Workbench bench({"su2cor"});
     RunConfig config;
     config.machine = makeFourCluster();
-    config.sched = SchedKind::Baseline;
+    config.backend = "baseline";
     config.threshold = 0.25;
     sim::SimParams params;
     params.maxExecutions = 2;
@@ -84,20 +84,35 @@ TEST(RunSuite, RmcaNeverWorseOnConflictSuites)
 
     RunConfig base;
     base.machine = withLimitedBuses(makeFourCluster(), 1, 4);
-    base.sched = SchedKind::Baseline;
+    base.backend = "baseline";
     base.threshold = 1.0;
     RunConfig rmca = base;
-    rmca.sched = SchedKind::Rmca;
+    rmca.backend = "rmca";
 
     const auto rb = runSuite(bench, base, params);
     const auto rr = runSuite(bench, rmca, params);
     EXPECT_LE(rr.total(), rb.total() * 105 / 100);   // within noise, <=
 }
 
-TEST(SchedKindName, Printable)
+// The SchedKind enum is a deprecated shim; the registry backend string
+// in RunConfig is the source of truth. The shim must keep mapping to
+// the same backends until it is removed.
+TEST(SchedKindShim, MapsToBackendNames)
 {
     EXPECT_EQ(schedKindName(SchedKind::Baseline), "Baseline");
     EXPECT_EQ(schedKindName(SchedKind::Rmca), "RMCA");
+    EXPECT_EQ(backendFor(SchedKind::Baseline), "baseline");
+    EXPECT_EQ(backendFor(SchedKind::Rmca), "rmca");
+}
+
+TEST(BackendName, EmptyReadsAsBaseline)
+{
+    RunConfig config;
+    EXPECT_EQ(backendName(config), "baseline");
+    config.backend.clear();
+    EXPECT_EQ(backendName(config), "baseline");
+    config.backend = "verify";
+    EXPECT_EQ(backendName(config), "verify");
 }
 
 } // namespace

@@ -27,65 +27,13 @@
 #include "ddg/ddg.hh"
 #include "machine/presets.hh"
 #include "sched/scheduler.hh"
+#include "sched_fingerprint.hh"
 #include "workloads/workloads.hh"
 
 namespace mvp::sched
 {
 namespace
 {
-
-class Fingerprint
-{
-  public:
-    void add(std::uint64_t x)
-    {
-        for (int i = 0; i < 8; ++i) {
-            h_ ^= (x >> (8 * i)) & 0xff;
-            h_ *= 1099511628211ULL;
-        }
-    }
-
-    void add(std::int64_t x) { add(static_cast<std::uint64_t>(x)); }
-    void add(std::int32_t x)
-    {
-        add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
-    }
-    void add(bool x) { add(static_cast<std::uint64_t>(x ? 1 : 0)); }
-
-    std::uint64_t value() const { return h_; }
-
-  private:
-    std::uint64_t h_ = 1469598103934665603ULL;
-};
-
-std::uint64_t
-fingerprintResult(const ScheduleResult &r)
-{
-    Fingerprint f;
-    f.add(r.ok);
-    if (!r.ok)
-        return f.value();
-    const ModuloSchedule &s = r.schedule;
-    f.add(s.ii());
-    for (const auto &p : s.placements()) {
-        f.add(p.cluster);
-        f.add(p.time);
-        f.add(p.outLatency);
-        f.add(p.missScheduled);
-    }
-    for (const auto &c : s.comms()) {
-        f.add(c.producer);
-        f.add(c.from);
-        f.add(c.to);
-        f.add(c.xferStart);
-        f.add(static_cast<std::int32_t>(c.bus));
-    }
-    for (int ml : s.maxLive())
-        f.add(static_cast<std::int32_t>(ml));
-    f.add(static_cast<std::int64_t>(r.stats.iiAttempts));
-    f.add(static_cast<std::int64_t>(r.stats.missScheduledLoads));
-    return f.value();
-}
 
 /** All (config key -> schedule fingerprint) pairs, in a stable order. */
 std::map<std::string, std::uint64_t>

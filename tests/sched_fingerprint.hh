@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Schedule fingerprinting shared by the equivalence and parallel-driver
+ * tests: a complete ScheduleResult — II, placements, communications,
+ * MaxLive, the stats that golden runs pinned — folded into one FNV
+ * hash, plus the sweep that produces the 288 golden (config key ->
+ * fingerprint) pairs of tests/golden_schedules.inc.
+ */
+
+#ifndef MVP_TESTS_SCHED_FINGERPRINT_HH
+#define MVP_TESTS_SCHED_FINGERPRINT_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sched/scheduler.hh"
+
+namespace mvp::sched
+{
+
+class Fingerprint
+{
+  public:
+    void add(std::uint64_t x)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h_ ^= (x >> (8 * i)) & 0xff;
+            h_ *= 1099511628211ULL;
+        }
+    }
+
+    void add(std::int64_t x) { add(static_cast<std::uint64_t>(x)); }
+    void add(std::int32_t x)
+    {
+        add(static_cast<std::uint64_t>(static_cast<std::uint32_t>(x)));
+    }
+    void add(bool x) { add(static_cast<std::uint64_t>(x ? 1 : 0)); }
+
+    std::uint64_t value() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+inline std::uint64_t
+fingerprintResult(const ScheduleResult &r)
+{
+    Fingerprint f;
+    f.add(r.ok);
+    if (!r.ok)
+        return f.value();
+    const ModuloSchedule &s = r.schedule;
+    f.add(s.ii());
+    for (const auto &p : s.placements()) {
+        f.add(p.cluster);
+        f.add(p.time);
+        f.add(p.outLatency);
+        f.add(p.missScheduled);
+    }
+    for (const auto &c : s.comms()) {
+        f.add(c.producer);
+        f.add(c.from);
+        f.add(c.to);
+        f.add(c.xferStart);
+        f.add(static_cast<std::int32_t>(c.bus));
+    }
+    for (int ml : s.maxLive())
+        f.add(static_cast<std::int32_t>(ml));
+    f.add(static_cast<std::int64_t>(r.stats.iiAttempts));
+    f.add(static_cast<std::int64_t>(r.stats.missScheduledLoads));
+    return f.value();
+}
+
+} // namespace mvp::sched
+
+#endif // MVP_TESTS_SCHED_FINGERPRINT_HH
