@@ -32,6 +32,7 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    const std::string locality = harness::parseLocalityFlag(argc, argv);
     harness::Workbench bench;
     const auto machine = withLimitedBuses(makeFourCluster(), 1, 4);
     std::printf("machine: %s\n\n", machine.summary().c_str());
@@ -54,6 +55,7 @@ main(int argc, char **argv)
         RunConfig cfg;
         cfg.machine = machine;
         cfg.backend = v.backend;
+        cfg.locality = locality;
         cfg.threshold = v.thr;
         configs.push_back(cfg);
     }

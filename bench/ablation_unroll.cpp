@@ -19,7 +19,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "cme/solver.hh"
+#include "cme/provider.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "ddg/ddg.hh"
@@ -36,8 +36,15 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    std::string locality = harness::parseLocalityFlag(argc, argv);
+    if (locality.empty())
+        locality = "cme";
     const auto machine = withLimitedBuses(makeTwoCluster(), 1, 1);
-    std::printf("machine: %s\n\n", machine.summary().c_str());
+    // Resolve the provider name on the main thread: an unknown name
+    // must fatal here, not inside a pool worker.
+    (void)cme::LocalityRegistry::instance().create(locality);
+    std::printf("machine: %s (locality provider '%s')\n\n",
+                machine.summary().c_str(), locality.c_str());
 
     struct Cell
     {
@@ -67,10 +74,12 @@ main(int argc, char **argv)
                 continue;
             const auto unrolled = ir::unrollInner(loop, cell.factor);
             const auto g = ddg::Ddg::build(unrolled, machine);
-            cme::CmeAnalysis cme(unrolled);
+            const auto analysis =
+                cme::LocalityRegistry::instance().bind(locality,
+                                                       unrolled);
             sched::SchedulerOptions opt;
             opt.missThreshold = cell.thr;
-            opt.locality = &cme;
+            opt.locality = analysis.get();
             auto r = sched::scheduleWithBackend("rmca", g, machine, opt,
                                                 ctx);
             if (!r.ok) {

@@ -49,6 +49,7 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    const std::string locality = harness::parseLocalityFlag(argc, argv);
     harness::Workbench bench;
 
     // --- Collect every configuration of the figure, then sweep once:
@@ -94,6 +95,7 @@ main(int argc, char **argv)
         RunConfig cfg;
         cfg.machine = row.machine;
         cfg.backend = row.sched;
+        cfg.locality = locality;
         cfg.threshold = row.thr;
         configs.push_back(cfg);
     }

@@ -8,8 +8,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <vector>
+
 #include "cme/oracle.hh"
+#include "cme/provider.hh"
 #include "cme/solver.hh"
+#include "cme/stream.hh"
 #include "ddg/ddg.hh"
 #include "harness/motivating.hh"
 #include "machine/presets.hh"
@@ -65,15 +70,52 @@ BM_Ordering(benchmark::State &state)
 }
 BENCHMARK(BM_Ordering);
 
+/**
+ * One warm per-loop stream cache shared by every analysis bound to the
+ * loop — the shape the Workbench gives a production sweep, where the
+ * streams materialise once per loop and every provider, configuration
+ * and fresh query walks them.
+ */
+std::shared_ptr<cme::StreamCache>
+sharedStreams()
+{
+    static const auto streams = [] {
+        const auto &nest = bigLoop();
+        auto cache = std::make_shared<cme::StreamCache>(nest);
+        for (OpId op : nest.memoryOps())
+            (void)cache->lines(op, 32);
+        return cache;
+    }();
+    return streams;
+}
+
+void
+BM_StreamMaterialise(benchmark::State &state)
+{
+    // One-time cost of building a loop's per-op line streams — what a
+    // sweep pays once per (loop, line size) before every query turns
+    // into array walks.
+    const auto &nest = bigLoop();
+    const auto mem = nest.memoryOps();
+    for (auto _ : state) {
+        cme::StreamCache cache(nest);
+        for (OpId op : mem)
+            benchmark::DoNotOptimize(cache.lines(op, 32).lines.data());
+    }
+}
+BENCHMARK(BM_StreamMaterialise);
+
 void
 BM_CmeMissRatio_Fresh(benchmark::State &state)
 {
-    // Un-memoised CME query cost (new analysis each iteration).
+    // Un-memoised CME query cost (new analysis each iteration, streams
+    // from the loop's shared cache): the sampling walk itself.
     const auto &nest = bigLoop();
     const auto mem = nest.memoryOps();
     const CacheGeom geom{2048, 32, 1};
+    const auto streams = sharedStreams();
     for (auto _ : state) {
-        cme::CmeAnalysis cme(nest);
+        cme::CmeAnalysis cme(nest, {}, streams);
         benchmark::DoNotOptimize(cme.missRatio(mem, mem[0], geom));
     }
 }
@@ -95,15 +137,49 @@ BENCHMARK(BM_CmeMissRatio_Memoised);
 void
 BM_OracleExact(benchmark::State &state)
 {
+    // Full from-scratch trace simulation (new oracle each iteration,
+    // streams from the loop's shared cache).
     const auto &nest = bigLoop();
     const auto mem = nest.memoryOps();
     const CacheGeom geom{2048, 32, 1};
+    const auto streams = sharedStreams();
     for (auto _ : state) {
-        cme::CacheOracle oracle(nest);
+        cme::CacheOracle oracle(nest, streams);
         benchmark::DoNotOptimize(oracle.missRatio(mem, mem[0], geom));
     }
 }
 BENCHMARK(BM_OracleExact);
+
+void
+BM_OracleIncremental(benchmark::State &state)
+{
+    // The scheduler's growth pattern: each iteration simulates the
+    // one-op prefixes of the memory set in order, so every query after
+    // the first extends a memoised checkpoint instead of simulating
+    // from scratch. Reported time is per grown set.
+    const auto &nest = bigLoop();
+    const auto mem = nest.memoryOps();
+    const CacheGeom geom{2048, 32, 1};
+    const auto streams = sharedStreams();
+    std::int64_t extensions = 0;
+    for (auto _ : state) {
+        cme::CacheOracle oracle(nest, streams);
+        std::vector<OpId> set;
+        for (OpId op : mem) {
+            set.push_back(op);
+            benchmark::DoNotOptimize(
+                oracle.missesPerIteration(set, geom));
+        }
+        extensions +=
+            static_cast<std::int64_t>(oracle.incrementalExtensions());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(mem.size()));
+    state.counters["extensions"] = benchmark::Counter(
+        static_cast<double>(extensions),
+        benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_OracleIncremental);
 
 void
 BM_ScheduleBaseline(benchmark::State &state)

@@ -27,11 +27,19 @@
 #   SWEEP_BUDGET    exact-search node budget for the sweep timing
 #                   (default: the library default)
 #
-# The output is standard google-benchmark JSON plus two extra top-level
-# keys: "seed_baseline", carrying the pre-optimisation reference numbers
-# of the benchmarks the build is gated on, and "parallel_sweep" with the
-# sharded-driver wall-clock record. Existing values of both are
-# preserved across re-runs that do not remeasure them.
+# The output is standard google-benchmark JSON plus three extra
+# top-level keys: "seed_baseline", carrying the pre-optimisation
+# reference numbers of the benchmarks the build is gated on;
+# "parallel_sweep" with the sharded-driver wall-clock record; and
+# "cme", the locality-layer section — the latest
+# BM_StreamMaterialise / BM_CmeMissRatio_* / BM_Oracle* times plus
+# speedups against the recorded "pre_overhaul" reference (the PR-3
+# numbers, preserved across re-runs). A quick locality-only refresh:
+#
+#   bench/run_bench.sh --filter 'BM_Cme|BM_Oracle|BM_Stream'
+#
+# Existing values of all three keys are preserved across re-runs that
+# do not remeasure them.
 
 set -euo pipefail
 
@@ -164,6 +172,31 @@ if lines:
             entry["speedup_jobs%s" % jobs] = round(one / n, 2)
 if sweep:
     fresh["parallel_sweep"] = sweep
+
+# The locality-layer section: record the CME/oracle microbenchmark
+# times that gate the locality stack, and their speedup against the
+# recorded pre-overhaul reference (preserved across re-runs like
+# seed_baseline).
+CME_BENCHES = [
+    "BM_StreamMaterialise",
+    "BM_CmeMissRatio_Fresh",
+    "BM_CmeMissRatio_Memoised",
+    "BM_OracleExact",
+    "BM_OracleIncremental",
+]
+cme = prev.get("cme", {})
+times = {b["name"]: b["real_time"] for b in fresh.get("benchmarks", [])
+         if b.get("name") in CME_BENCHES}
+if times:
+    for name, ns in times.items():
+        cme[name + "_ns"] = round(ns, 1)
+    baseline = cme.get("pre_overhaul", {})
+    for name, ns in times.items():
+        ref = baseline.get(name + "_ns")
+        if ref and ns:
+            cme["speedup_" + name] = round(ref / ns, 2)
+if cme:
+    fresh["cme"] = cme
 
 with open(out_path, "w") as f:
     json.dump(fresh, f, indent=2)

@@ -49,6 +49,7 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    const std::string locality = harness::parseLocalityFlag(argc, argv);
     bool exact = false;
     std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
     for (int i = 1; i < argc; ++i) {
@@ -72,6 +73,7 @@ main(int argc, char **argv)
                     RunConfig cfg;
                     cfg.machine = machine;
                     cfg.backend = backend;
+                    cfg.locality = locality;
                     cfg.threshold = thr;
                     configs.push_back(cfg);
                 }
@@ -99,9 +101,8 @@ main(int argc, char **argv)
         const auto start = std::chrono::steady_clock::now();
         std::string all;
         for (const auto &machine : machines)
-            all += harness::formatGapTable(
-                harness::runGapStudy(bench, machine, 0.25, budget,
-                                     driver));
+            all += harness::formatGapTable(harness::runGapStudy(
+                bench, machine, 0.25, budget, driver, locality));
         const double ms = wallMs(start);
         std::printf("sweep=exact jobs=%d items=%zu wall_ms=%.1f "
                     "fingerprint=0x%016llx\n",

@@ -27,6 +27,7 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    const std::string locality = harness::parseLocalityFlag(argc, argv);
     std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
     if (argc > 1)
         budget = std::atoll(argv[1]);
@@ -37,8 +38,8 @@ main(int argc, char **argv)
         std::printf("=== %s (search budget %lld nodes/loop) ===\n\n",
                     machine.summary().c_str(),
                     static_cast<long long>(budget));
-        const auto study =
-            harness::runGapStudy(bench, machine, 0.25, budget, driver);
+        const auto study = harness::runGapStudy(bench, machine, 0.25,
+                                                budget, driver, locality);
         std::printf("%s\n\n", harness::formatGapTable(study).c_str());
     }
     return 0;

@@ -13,10 +13,11 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
-#include "cme/oracle.hh"
-#include "cme/solver.hh"
+#include "cme/provider.hh"
+#include "cme/stream.hh"
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "machine/presets.hh"
@@ -35,8 +36,16 @@ main()
                 nest.toString().c_str());
 
     const CacheGeom geom = makeTwoCluster().clusterCacheGeom();
-    cme::CmeAnalysis cme(nest);
-    cme::CacheOracle oracle(nest);
+
+    // Both providers come from the locality registry and share one
+    // access-stream cache, so the loop's line streams materialise once
+    // for the sampled estimate and the exact trace simulation alike.
+    auto streams = std::make_shared<cme::StreamCache>(nest);
+    auto &registry = cme::LocalityRegistry::instance();
+    const auto cme_analysis = registry.bind("cme", nest, streams);
+    const auto oracle_analysis = registry.bind("oracle", nest, streams);
+    cme::LocalityAnalysis &cme = *cme_analysis;
+    cme::LocalityAnalysis &oracle = *oracle_analysis;
 
     struct Partition
     {

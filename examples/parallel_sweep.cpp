@@ -23,9 +23,13 @@ using harness::RunConfig;
 int
 main(int argc, char **argv)
 {
-    // --- 1. A driver: --jobs workers, default one per core. ---
+    // --- 1. A driver: --jobs workers, default one per core; the
+    // locality provider is selectable the same way (--locality cme |
+    // oracle | hybrid). ---
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
-    std::printf("driver: %d worker(s)\n", driver.jobs());
+    const std::string locality = harness::parseLocalityFlag(argc, argv);
+    std::printf("driver: %d worker(s), locality provider '%s'\n",
+                driver.jobs(), locality.empty() ? "cme" : locality.c_str());
 
     // --- 2. The workbench: every workload loop prepared once (DDG +
     // thread-safe CME analysis); all configurations share it. ---
@@ -40,6 +44,7 @@ main(int argc, char **argv)
             RunConfig cfg;
             cfg.machine = withLimitedBuses(makeFourCluster(), 1, 4);
             cfg.backend = backend;
+            cfg.locality = locality;
             cfg.threshold = thr;
             configs.push_back(cfg);
         }

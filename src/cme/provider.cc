@@ -1,0 +1,163 @@
+#include "cme/provider.hh"
+
+#include "cme/oracle.hh"
+#include "cme/setkey.hh"
+#include "cme/solver.hh"
+#include "common/logging.hh"
+
+namespace mvp::cme
+{
+
+namespace
+{
+
+/**
+ * Sampling solver with an exact fallback: a query whose 95% CI stop
+ * rule never reached the solver's target (the sampler ran out of its
+ * sample budget on a high-variance query) is answered by the oracle
+ * instead. The choice is a pure function of the (set, op, geometry)
+ * key — the memoised CI half-width decides — so hybrid answers are as
+ * interleaving-independent as the providers underneath.
+ */
+class HybridAnalysis : public LocalityAnalysis
+{
+  public:
+    HybridAnalysis(const ir::LoopNest &nest,
+                   std::shared_ptr<StreamCache> streams)
+        : solver_(nest, {}, std::move(streams)),
+          oracle_(nest, solver_.streams())
+    {
+    }
+
+    const ir::LoopNest &loop() const override { return solver_.loop(); }
+
+    double missRatio(const std::vector<OpId> &set, OpId op,
+                     const CacheGeom &geom) override
+    {
+        const RatioEstimate est = solver_.estimateRatio(set, op, geom);
+        if (estimateConverged(est, solver_.params()))
+            return est.ratio;
+        fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        return oracle_.missRatio(set, op, geom);
+    }
+
+    double missesPerIteration(const std::vector<OpId> &set,
+                              const CacheGeom &geom) override
+    {
+        // Per-op choices over the canonical set, summed: each term uses
+        // the sampled estimate when it converged and the exact ratio
+        // when it did not, so the whole-set number is consistent with
+        // the per-op queries (and duplicates never double-count).
+        static thread_local std::vector<OpId> scratch;
+        const std::vector<OpId> &s = detail::canonicalInto(scratch, set);
+        double total = 0.0;
+        for (std::size_t i = 0; i < s.size(); ++i)
+            total += missRatio(s, s[i], geom);
+        return total;
+    }
+
+    /** Queries answered by the oracle (monotone; for tests). */
+    std::size_t fallbacks() const
+    {
+        return fallbacks_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    CmeAnalysis solver_;
+    CacheOracle oracle_;
+    std::atomic<std::size_t> fallbacks_{0};
+};
+
+/** The three built-ins share one provider template. */
+template <typename MakeFn>
+class SimpleProvider : public LocalityProvider
+{
+  public:
+    SimpleProvider(std::string_view name, MakeFn make)
+        : name_(name), make_(std::move(make))
+    {
+    }
+
+    std::string_view name() const override { return name_; }
+
+    std::unique_ptr<LocalityAnalysis>
+    bind(const ir::LoopNest &nest,
+         std::shared_ptr<StreamCache> streams) const override
+    {
+        return make_(nest, std::move(streams));
+    }
+
+  private:
+    std::string_view name_;
+    MakeFn make_;
+};
+
+template <typename MakeFn>
+LocalityProviderFactory
+providerFactory(std::string_view name, MakeFn make)
+{
+    return [name, make] {
+        return std::make_unique<SimpleProvider<MakeFn>>(name, make);
+    };
+}
+
+} // namespace
+
+LocalityRegistry::LocalityRegistry()
+{
+    add("cme", providerFactory("cme", [](const ir::LoopNest &nest,
+                                         std::shared_ptr<StreamCache> s) {
+            return std::make_unique<CmeAnalysis>(nest, CmeParams{},
+                                                 std::move(s));
+        }));
+    add("oracle",
+        providerFactory("oracle", [](const ir::LoopNest &nest,
+                                     std::shared_ptr<StreamCache> s) {
+            return std::make_unique<CacheOracle>(nest, std::move(s));
+        }));
+    add("hybrid",
+        providerFactory("hybrid", [](const ir::LoopNest &nest,
+                                     std::shared_ptr<StreamCache> s) {
+            return std::make_unique<HybridAnalysis>(nest, std::move(s));
+        }));
+}
+
+LocalityRegistry &
+LocalityRegistry::instance()
+{
+    static LocalityRegistry registry;
+    return registry;
+}
+
+void
+LocalityRegistry::add(std::string name, LocalityProviderFactory factory)
+{
+    table_.add(std::move(name), std::move(factory));
+}
+
+bool
+LocalityRegistry::has(const std::string &name) const
+{
+    return table_.has(name);
+}
+
+std::unique_ptr<LocalityProvider>
+LocalityRegistry::create(const std::string &name) const
+{
+    return table_.get(name, "locality provider")();
+}
+
+std::unique_ptr<LocalityAnalysis>
+LocalityRegistry::bind(const std::string &name, const ir::LoopNest &nest,
+                       std::shared_ptr<StreamCache> streams) const
+{
+    return create(name)->bind(nest, std::move(streams));
+}
+
+std::vector<std::string>
+LocalityRegistry::names() const
+{
+    return table_.names();
+}
+
+} // namespace mvp::cme

@@ -141,17 +141,29 @@ canonicalInto(std::vector<OpId> &scratch, const std::vector<OpId> &set,
 }
 
 /**
- * Open-addressing memo from QueryKey to a double, specialised for the
- * solver's hot path: the caller supplies the precomputed hash, lookups
- * are one masked probe sequence over a power-of-two table (no modulo
- * division, no node allocation), and misses append to a flat entry
- * array.
+ * Memoised answer of one locality query: the miss ratio plus the 95%
+ * CI half-width the sampling solver stopped at (0 for exhaustive and
+ * exact answers). The half-width rides along so the hybrid provider
+ * can re-read a memoised query's convergence without re-sampling.
+ */
+struct RatioValue
+{
+    double ratio = 0.0;
+    double ciHalfWidth = 0.0;
+};
+
+/**
+ * Open-addressing memo from QueryKey to a RatioValue, specialised for
+ * the solver's hot path: the caller supplies the precomputed hash,
+ * lookups are one masked probe sequence over a power-of-two table (no
+ * modulo division, no node allocation), and misses append to a flat
+ * entry array.
  */
 class RatioMemo
 {
   public:
     /** Pointer to the memoised value, or nullptr on a miss. */
-    const double *find(const QueryKeyRef &ref) const
+    const RatioValue *find(const QueryKeyRef &ref) const
     {
         if (table_.empty())
             return nullptr;
@@ -168,7 +180,7 @@ class RatioMemo
     }
 
     /** Insert a value for @p ref (must not already be present). */
-    void insert(const QueryKeyRef &ref, double value)
+    void insert(const QueryKeyRef &ref, RatioValue value)
     {
         if ((entries_.size() + 1) * 4 > table_.size() * 3)
             grow();
@@ -183,7 +195,7 @@ class RatioMemo
     struct Entry
     {
         QueryKey key;
-        double value;
+        RatioValue value;
     };
 
     void place(std::int32_t index)
@@ -227,11 +239,11 @@ class ShardedRatioMemo
 {
   public:
     /** True (and *out filled) when @p ref is memoised. */
-    bool lookup(const QueryKeyRef &ref, double *out) const
+    bool lookup(const QueryKeyRef &ref, RatioValue *out) const
     {
         const Shard &shard = shards_[shardOf(ref.hash)];
         std::lock_guard<std::mutex> lock(shard.mu);
-        if (const double *hit = shard.memo.find(ref)) {
+        if (const RatioValue *hit = shard.memo.find(ref)) {
             *out = *hit;
             return true;
         }
@@ -243,11 +255,11 @@ class ShardedRatioMemo
      * returns the value that ended up in the memo (identical to
      * @p value for deterministic solvers — asserted by the tests).
      */
-    double tryInsert(const QueryKeyRef &ref, double value)
+    RatioValue tryInsert(const QueryKeyRef &ref, RatioValue value)
     {
         Shard &shard = shards_[shardOf(ref.hash)];
         std::lock_guard<std::mutex> lock(shard.mu);
-        if (const double *hit = shard.memo.find(ref))
+        if (const RatioValue *hit = shard.memo.find(ref))
             return *hit;
         shard.memo.insert(ref, value);
         return value;

@@ -21,9 +21,9 @@ namespace
  */
 struct SolverScratch
 {
-    std::vector<OpId> canonical;          ///< canonical-set buffer
-    std::vector<std::int64_t> ivs;        ///< iteration-vector buffer
-    std::vector<std::int64_t> conflicts;  ///< isMiss interference buffer
+    std::vector<OpId> canonical;              ///< canonical-set buffer
+    std::vector<const std::int64_t *> lines;  ///< per-position streams
+    std::vector<std::int64_t> conflicts;      ///< isMiss interference
 };
 
 SolverScratch &
@@ -35,11 +35,16 @@ solverScratch()
 
 } // namespace
 
-CmeAnalysis::CmeAnalysis(const ir::LoopNest &nest, CmeParams params)
-    : nest_(nest), params_(params), space_(nest)
+CmeAnalysis::CmeAnalysis(const ir::LoopNest &nest, CmeParams params,
+                         std::shared_ptr<StreamCache> streams)
+    : nest_(nest), params_(params), streams_(std::move(streams))
 {
     mvp_assert(params_.minSamples > 0 && params_.maxSamples >=
                params_.minSamples, "bad CME sampling parameters");
+    if (!streams_)
+        streams_ = std::make_shared<StreamCache>(nest_);
+    mvp_assert(&streams_->loop() == &nest_,
+               "stream cache bound to a different loop");
 }
 
 std::string
@@ -64,55 +69,40 @@ CmeAnalysis::samplingKey(const std::vector<OpId> &set, OpId op,
 }
 
 bool
-CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
-                    std::int64_t point, const CacheGeom &geom,
-                    std::vector<std::int64_t> &ivs,
+CmeAnalysis::isMiss(const std::int64_t *const *lines, std::size_t nops,
+                    std::size_t ref_pos, std::int64_t point,
+                    const CacheGeom &geom,
                     std::vector<std::int64_t> &conflicts)
 {
     points_.fetch_add(1, std::memory_order_relaxed);
     const std::int64_t num_sets = geom.numSets();
     mvp_assert(num_sets > 0, "cache with no sets");
 
-    space_.at(point, ivs);
-
-    const auto &target_op = nest_.op(set[ref_pos]);
-    const Addr target_addr = nest_.addressOf(*target_op.memRef, ivs);
-    const std::int64_t target_line = geom.lineOf(target_addr);
+    const std::int64_t target_line = lines[ref_pos][point];
     const std::int64_t target_set = target_line % num_sets;
 
     // Distinct interfering lines seen so far in the target set.
     conflicts.clear();
     conflicts.reserve(static_cast<std::size_t>(geom.assoc));
 
+    // Walk the interleaved access stream backwards: position-minor,
+    // point-major, exactly the order the un-cached walk produced by
+    // decrementing the IV vector in place.
     std::int64_t cur_point = point;
     auto cur_pos = static_cast<std::int64_t>(ref_pos);
     int walked = 0;
 
-    auto step_back = [&]() -> bool {
-        if (--cur_pos >= 0)
-            return true;
-        if (cur_point == 0)
-            return false;   // start of the stream: cold equation fires
-        --cur_point;
-        cur_pos = static_cast<std::int64_t>(set.size()) - 1;
-        // Decrement the IV vector in place (borrow from inner to outer).
-        for (std::size_t d = nest_.depth(); d-- > 0;) {
-            const auto &l = nest_.loops()[d];
-            if (ivs[d] - l.step >= l.lower) {
-                ivs[d] -= l.step;
-                break;
-            }
-            ivs[d] = l.lower + (l.tripCount() - 1) * l.step;
+    for (;;) {
+        if (--cur_pos < 0) {
+            if (cur_point == 0)
+                return true;   // start of the stream: cold miss
+            --cur_point;
+            cur_pos = static_cast<std::int64_t>(nops) - 1;
         }
-        return true;
-    };
-
-    while (step_back()) {
         if (++walked > params_.maxWalk)
             return true;   // reuse beyond the window: treat as miss
-        const auto &op = nest_.op(set[static_cast<std::size_t>(cur_pos)]);
-        const Addr addr = nest_.addressOf(*op.memRef, ivs);
-        const std::int64_t line = geom.lineOf(addr);
+        const std::int64_t line =
+            lines[static_cast<std::size_t>(cur_pos)][cur_point];
         if (line == target_line) {
             // Reuse source found: the replacement equation fires iff the
             // interference already filled the set.
@@ -126,16 +116,15 @@ CmeAnalysis::isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
                 return true;   // set already refilled: guaranteed miss
         }
     }
-    return true;   // no earlier access: cold miss
 }
 
-double
+detail::RatioValue
 CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
                         const CacheGeom &geom)
 {
     const detail::QueryKeyRef ref{detail::queryHash(geom, op, set), &geom,
                                   op, &set};
-    if (double hit; memo_.lookup(ref, &hit))
+    if (detail::RatioValue hit; memo_.lookup(ref, &hit))
         return hit;
     queries_.fetch_add(1, std::memory_order_relaxed);
 
@@ -145,17 +134,27 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
         static_cast<std::size_t>(pos_it - set.begin());
 
     SolverScratch &scratch = solverScratch();
-    double ratio;
-    const std::int64_t points = space_.points();
+    // One shard-locked fetch per set position; from here the sampling
+    // walk touches nothing but flat arrays.
+    scratch.lines.clear();
+    for (OpId o : set)
+        scratch.lines.push_back(
+            streams_->lines(o, geom.lineBytes).lines.data());
+    const std::int64_t *const *lines = scratch.lines.data();
+    const std::size_t nops = set.size();
+
+    detail::RatioValue value;
+    const std::int64_t points = streams_->points();
     if (points <= params_.maxSamples) {
         // Exhaustive mode: evaluate every iteration point.
         std::int64_t misses = 0;
         for (std::int64_t p = 0; p < points; ++p)
-            misses += isMiss(set, ref_pos, p, geom, scratch.ivs,
+            misses += isMiss(lines, nops, ref_pos, p, geom,
                              scratch.conflicts)
                           ? 1
                           : 0;
-        ratio = static_cast<double>(misses) / static_cast<double>(points);
+        value.ratio =
+            static_cast<double>(misses) / static_cast<double>(points);
     } else {
         // The sampling seed is a pure function of the query key, so two
         // threads racing on the same fresh query draw identical sample
@@ -165,7 +164,7 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
         while (static_cast<int>(stat.count()) < params_.maxSamples) {
             const auto p = static_cast<std::int64_t>(
                 rng.nextBounded(static_cast<std::uint64_t>(points)));
-            stat.add(isMiss(set, ref_pos, p, geom, scratch.ivs,
+            stat.add(isMiss(lines, nops, ref_pos, p, geom,
                             scratch.conflicts)
                          ? 1.0
                          : 0.0);
@@ -173,15 +172,23 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
                 stat.ciHalfWidth() <= params_.ciTarget)
                 break;
         }
-        ratio = stat.mean();
+        value.ratio = stat.mean();
+        value.ciHalfWidth = stat.ciHalfWidth();
     }
 
-    return memo_.tryInsert(ref, ratio);
+    return memo_.tryInsert(ref, value);
 }
 
 double
 CmeAnalysis::missRatio(const std::vector<OpId> &set, OpId op,
                        const CacheGeom &geom)
+{
+    return estimateRatio(set, op, geom).ratio;
+}
+
+RatioEstimate
+CmeAnalysis::estimateRatio(const std::vector<OpId> &set, OpId op,
+                           const CacheGeom &geom)
 {
     mvp_assert(nest_.op(op).isMemory(), "missRatio of a non-memory op");
     return solveRatio(
@@ -197,7 +204,7 @@ CmeAnalysis::missesPerIteration(const std::vector<OpId> &set,
         detail::canonicalInto(solverScratch().canonical, set);
     double total = 0.0;
     for (std::size_t i = 0; i < s.size(); ++i)
-        total += solveRatio(s, s[i], geom);
+        total += solveRatio(s, s[i], geom).ratio;
     return total;
 }
 

@@ -22,6 +22,11 @@
  * source while tracking same-set interference; the sample mean estimates
  * the miss ratio with a 95% CI stop rule. When the iteration space is
  * small the solver switches to exhaustive evaluation (zero-width CI).
+ *
+ * The access stream itself comes from a shared StreamCache
+ * (cme/stream.hh): the backward walk reads materialised per-op line
+ * arrays instead of re-evaluating affine references per step, and the
+ * same arrays feed the exact oracle bound to the nest.
  */
 
 #ifndef MVP_CME_SOLVER_HH
@@ -29,11 +34,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cme/locality.hh"
 #include "cme/setkey.hh"
+#include "cme/stream.hh"
 #include "common/random.hh"
 
 namespace mvp::cme
@@ -63,6 +70,23 @@ struct CmeParams
 };
 
 /**
+ * One solved query: the estimated miss ratio plus the 95% CI
+ * half-width the stop rule settled at (0 when the solver evaluated the
+ * iteration space exhaustively). The hybrid locality provider inspects
+ * the half-width to decide when to fall back to the exact oracle.
+ * This is exactly what the memo stores (cme/setkey.hh), aliased rather
+ * than duplicated so the two cannot drift.
+ */
+using RatioEstimate = detail::RatioValue;
+
+/** True when @p estimate met the solver's CI target. */
+inline bool
+estimateConverged(const RatioEstimate &estimate, const CmeParams &params)
+{
+    return estimate.ciHalfWidth <= params.ciTarget;
+}
+
+/**
  * Sampling CME solver bound to one loop nest. Thread-safe: any number
  * of threads may query one instance concurrently (the experiment
  * driver's workers share the per-loop analysis of a sweep). The memo is
@@ -74,7 +98,14 @@ struct CmeParams
 class CmeAnalysis : public LocalityAnalysis
 {
   public:
-    explicit CmeAnalysis(const ir::LoopNest &nest, CmeParams params = {});
+    /**
+     * Bind to @p nest, drawing access streams from @p streams (one is
+     * created privately when null). Sharing one StreamCache between the
+     * solver, the oracle and any number of fresh analyses of the same
+     * nest is the intended shape — the Workbench keeps one per loop.
+     */
+    explicit CmeAnalysis(const ir::LoopNest &nest, CmeParams params = {},
+                         std::shared_ptr<StreamCache> streams = nullptr);
 
     const ir::LoopNest &loop() const override { return nest_; }
 
@@ -83,6 +114,19 @@ class CmeAnalysis : public LocalityAnalysis
 
     double missRatio(const std::vector<OpId> &set, OpId op,
                      const CacheGeom &geom) override;
+
+    /** missRatio() plus the CI half-width the stop rule settled at. */
+    RatioEstimate estimateRatio(const std::vector<OpId> &set, OpId op,
+                                const CacheGeom &geom);
+
+    /** The solver's tuning knobs. */
+    const CmeParams &params() const { return params_; }
+
+    /** The shared access-stream cache this analysis draws from. */
+    const std::shared_ptr<StreamCache> &streams() const
+    {
+        return streams_;
+    }
 
     /**
      * Number of distinct (set, op, geometry) queries answered so far.
@@ -102,22 +146,23 @@ class CmeAnalysis : public LocalityAnalysis
 
   private:
     /**
-     * Decide hit/miss for @p ref_pos (index into @p set) at iteration
-     * point @p point (linear index) under @p geom by evaluating the
-     * cold/replacement equations with a bounded backward walk. Working
-     * vectors come from the calling thread's scratch.
+     * Decide hit/miss for position @p ref_pos of the set at iteration
+     * point @p point under @p geom by evaluating the cold/replacement
+     * equations with a bounded backward walk over the cached line
+     * streams in @p lines (one pointer per set position). @p conflicts
+     * comes from the calling thread's scratch.
      */
-    bool isMiss(const std::vector<OpId> &set, std::size_t ref_pos,
-                std::int64_t point, const CacheGeom &geom,
-                std::vector<std::int64_t> &ivs,
+    bool isMiss(const std::int64_t *const *lines, std::size_t nops,
+                std::size_t ref_pos, std::int64_t point,
+                const CacheGeom &geom,
                 std::vector<std::int64_t> &conflicts);
 
     /**
      * Memoised estimate of one op's miss ratio inside a set. @p set must
      * be canonical (sorted, duplicate-free) and contain @p op.
      */
-    double solveRatio(const std::vector<OpId> &set, OpId op,
-                      const CacheGeom &geom);
+    detail::RatioValue solveRatio(const std::vector<OpId> &set, OpId op,
+                                  const CacheGeom &geom);
 
     /**
      * Legacy string key; kept solely to derive the per-query sampling
@@ -130,7 +175,7 @@ class CmeAnalysis : public LocalityAnalysis
 
     const ir::LoopNest &nest_;
     CmeParams params_;
-    ir::IterationSpace space_;
+    std::shared_ptr<StreamCache> streams_;
     detail::ShardedRatioMemo memo_;
     std::atomic<std::size_t> queries_{0};
     std::atomic<std::size_t> points_{0};

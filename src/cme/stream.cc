@@ -1,0 +1,91 @@
+#include "cme/stream.hh"
+
+#include "common/logging.hh"
+
+namespace mvp::cme
+{
+
+StreamCache::StreamCache(const ir::LoopNest &nest)
+    : nest_(nest), space_(nest), points_(space_.points())
+{
+}
+
+std::unique_ptr<LineStream>
+StreamCache::buildLines(OpId op, std::int64_t line_bytes) const
+{
+    const auto &operation = nest_.op(op);
+    mvp_assert(operation.isMemory(), "line stream of a non-memory op");
+    mvp_assert(line_bytes > 0, "bad cache line size");
+
+    auto stream = std::make_unique<LineStream>();
+    stream->lines.resize(static_cast<std::size_t>(points_));
+    std::vector<std::int64_t> ivs;
+    for (std::int64_t p = 0; p < points_; ++p) {
+        space_.at(p, ivs);
+        const Addr addr = nest_.addressOf(*operation.memRef, ivs);
+        // Same arithmetic as CacheGeom::lineOf — the streams must be
+        // byte-for-byte what the un-cached analyses computed.
+        stream->lines[static_cast<std::size_t>(p)] =
+            static_cast<std::int64_t>(addr) / line_bytes;
+    }
+    return stream;
+}
+
+const LineStream &
+StreamCache::lines(OpId op, int line_bytes)
+{
+    const Key key{op, line_bytes, 0};
+    Shard &shard = shardOf(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (auto it = shard.lines.find(key); it != shard.lines.end())
+            return *it->second;
+    }
+
+    // Build outside the lock: streams are pure functions of the key, so
+    // a racing builder produces an identical value and emplace() keeps
+    // whichever arrived first.
+    auto fresh = buildLines(op, line_bytes);
+    built_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return *shard.lines.emplace(key, std::move(fresh)).first->second;
+}
+
+const SetBuckets &
+StreamCache::buckets(OpId op, const CacheGeom &geom)
+{
+    const std::int64_t num_sets = geom.numSets();
+    mvp_assert(num_sets > 0, "cache with no sets");
+    const Key key{op, geom.lineBytes, num_sets};
+    Shard &shard = shardOf(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (auto it = shard.buckets.find(key); it != shard.buckets.end())
+            return *it->second;
+    }
+
+    const LineStream &stream = lines(op, geom.lineBytes);
+    auto fresh = std::make_unique<SetBuckets>();
+    // Counting pass, then a placement pass over stable offsets: the
+    // entries of one set come out chronological because the stream is
+    // walked in point order both times.
+    fresh->offsets.assign(static_cast<std::size_t>(num_sets) + 1, 0);
+    for (const std::int64_t line : stream.lines)
+        ++fresh->offsets[static_cast<std::size_t>(line % num_sets) + 1];
+    for (std::size_t s = 1; s < fresh->offsets.size(); ++s)
+        fresh->offsets[s] += fresh->offsets[s - 1];
+    fresh->entries.resize(stream.lines.size());
+    std::vector<std::int64_t> cursor(
+        fresh->offsets.begin(), fresh->offsets.end() - 1);
+    for (std::size_t p = 0; p < stream.lines.size(); ++p) {
+        const std::int64_t line = stream.lines[p];
+        const auto s = static_cast<std::size_t>(line % num_sets);
+        fresh->entries[static_cast<std::size_t>(cursor[s]++)] = {
+            static_cast<std::int64_t>(p), line};
+    }
+
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return *shard.buckets.emplace(key, std::move(fresh)).first->second;
+}
+
+} // namespace mvp::cme

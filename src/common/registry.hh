@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Name -> factory table shared by the pluggable-component registries.
+ *
+ * The scheduler backends (sched/backend.hh) and the locality providers
+ * (cme/provider.hh) both expose the same registry surface: register (or
+ * replace) a factory under a stable string name, look it up, enumerate
+ * the names. This table implements that once; the registries wrap it
+ * with their domain-specific create()/bind() entry points.
+ *
+ * Not thread-safe for concurrent add(); the built-ins register inside
+ * the owning registry's constructor and runtime extension is expected
+ * to happen at startup, before any fan-out.
+ */
+
+#ifndef MVP_COMMON_REGISTRY_HH
+#define MVP_COMMON_REGISTRY_HH
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mvp
+{
+
+template <typename Factory>
+class NamedFactoryTable
+{
+  public:
+    /** Register (or replace) a factory under @p name. */
+    void add(std::string name, Factory factory)
+    {
+        for (auto &[existing, f] : entries_) {
+            if (existing == name) {
+                f = std::move(factory);
+                return;
+            }
+        }
+        entries_.emplace_back(std::move(name), std::move(factory));
+    }
+
+    /** True when @p name resolves to a factory. */
+    bool has(const std::string &name) const
+    {
+        return std::any_of(entries_.begin(), entries_.end(),
+                           [&](const auto &e) { return e.first == name; });
+    }
+
+    /**
+     * The factory registered under @p name; fatal() on unknown names,
+     * describing the component @p kind and listing the known names.
+     */
+    const Factory &get(const std::string &name,
+                       std::string_view kind) const
+    {
+        for (const auto &[existing, factory] : entries_)
+            if (existing == name)
+                return factory;
+        std::string known;
+        for (const auto &n : names())
+            known += (known.empty() ? "" : ", ") + n;
+        mvp_fatal("unknown ", kind, " '", name, "' (known: ", known,
+                  ")");
+    }
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const
+    {
+        std::vector<std::string> out;
+        out.reserve(entries_.size());
+        for (const auto &[name, factory] : entries_)
+            out.push_back(name);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    std::vector<std::pair<std::string, Factory>> entries_;
+};
+
+} // namespace mvp
+
+#endif // MVP_COMMON_REGISTRY_HH

@@ -1,10 +1,7 @@
 #include "harness/driver.hh"
 
-#include <atomic>
 #include <cstdlib>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "common/logging.hh"
 
@@ -24,30 +21,59 @@ defaultJobs()
     return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
-int
-parseJobsFlag(int &argc, char **argv)
+namespace
 {
-    int jobs = 0;
+
+/**
+ * Strip every `FLAG VALUE` / `FLAG=VALUE` occurrence from @p argv,
+ * compacting the remaining arguments in place. Returns the last value
+ * seen ("" when the flag is absent); a flag with no value is fatal.
+ */
+std::string
+stripValueFlag(int &argc, char **argv, const std::string &flag,
+               const char *value_desc)
+{
+    std::string value;
+    const std::string prefix = flag + '=';
     int out = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        std::string value;
-        if (arg == "--jobs") {
+        if (arg == flag) {
             if (i + 1 >= argc)
-                mvp_fatal("--jobs needs a worker count");
+                mvp_fatal(flag, " needs ", value_desc);
             value = argv[++i];
-        } else if (arg.rfind("--jobs=", 0) == 0) {
-            value = arg.substr(7);
+        } else if (arg.rfind(prefix, 0) == 0) {
+            value = arg.substr(prefix.size());
         } else {
             argv[out++] = argv[i];
             continue;
         }
-        jobs = std::atoi(value.c_str());
-        if (jobs < 1)
-            mvp_fatal("--jobs wants an integer >= 1, got '", value, "'");
+        if (value.empty())
+            mvp_fatal(flag, " wants ", value_desc);
     }
     argc = out;
+    return value;
+}
+
+} // namespace
+
+int
+parseJobsFlag(int &argc, char **argv)
+{
+    const std::string value =
+        stripValueFlag(argc, argv, "--jobs", "a worker count");
+    if (value.empty())
+        return 0;
+    const int jobs = std::atoi(value.c_str());
+    if (jobs < 1)
+        mvp_fatal("--jobs wants an integer >= 1, got '", value, "'");
     return jobs;
+}
+
+std::string
+parseLocalityFlag(int &argc, char **argv)
+{
+    return stripValueFlag(argc, argv, "--locality", "a provider name");
 }
 
 ParallelDriver::ParallelDriver(int jobs)
@@ -55,52 +81,102 @@ ParallelDriver::ParallelDriver(int jobs)
 {
 }
 
+ParallelDriver::~ParallelDriver()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : pool_)
+        t.join();
+}
+
+void
+ParallelDriver::ensurePool()
+{
+    if (!pool_.empty())
+        return;
+    pool_.reserve(static_cast<std::size_t>(jobs_));
+    for (int w = 0; w < jobs_; ++w)
+        pool_.emplace_back([this] { workerMain(); });
+}
+
+void
+ParallelDriver::workerMain()
+{
+    // One context per worker for the driver's whole lifetime: scratch
+    // buffers grown by one sweep stay warm for every later sweep.
+    sched::SchedContext ctx;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t, sched::SchedContext &)>
+            *work = nullptr;
+        std::size_t items = 0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            work = work_;
+            items = items_;
+        }
+
+        // Dynamic self-scheduling: each idle worker claims (steals) the
+        // next unclaimed item, so the pool load-balances itself around
+        // expensive items — exact-backend loops cost up to ~10^3x a
+        // heuristic one, which static round-robin sharding would
+        // serialise behind the unluckiest worker.
+        for (;;) {
+            const std::size_t i =
+                next_.fetch_add(1, std::memory_order_relaxed);
+            if (i >= items)
+                break;
+            (*work)(i, ctx);
+        }
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --active_;
+        }
+        done_.notify_one();
+    }
+}
+
 void
 ParallelDriver::run(
     std::size_t n,
     const std::function<void(std::size_t, sched::SchedContext &)> &work)
-    const
 {
     if (n == 0)
         return;
 
-    const auto workers =
-        static_cast<std::size_t>(jobs_) < n
-            ? static_cast<std::size_t>(jobs_)
-            : n;
-    if (workers <= 1) {
+    if (jobs_ <= 1 || n == 1) {
         // Serial fast path: same code path as a one-worker pool, minus
         // the thread. The determinism tests compare this against the
         // sharded runs.
-        sched::SchedContext ctx;
         for (std::size_t i = 0; i < n; ++i)
-            work(i, ctx);
+            work(i, serialCtx_);
         return;
     }
 
-    // Dynamic self-scheduling: each idle worker claims (steals) the
-    // next unclaimed item, so the pool load-balances itself around
-    // expensive items — exact-backend loops cost up to ~10^3x a
-    // heuristic one, which static round-robin sharding would serialise
-    // behind the unluckiest worker.
-    std::atomic<std::size_t> next{0};
-    auto worker_main = [&]() {
-        sched::SchedContext ctx;
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= n)
-                return;
-            work(i, ctx);
-        }
-    };
+    ensurePool();
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        work_ = &work;
+        items_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        active_ = pool_.size();
+        ++generation_;
+    }
+    wake_.notify_all();
 
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w)
-        pool.emplace_back(worker_main);
-    for (auto &t : pool)
-        t.join();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&] { return active_ == 0; });
+    work_ = nullptr;
 }
 
 } // namespace mvp::harness

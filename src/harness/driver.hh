@@ -5,14 +5,21 @@
  * The paper's results are whole-suite sweeps — every (loop, machine,
  * scheduler, threshold) point over eight benchmark suites — and each
  * point is independent of every other: the scheduler takes an explicit
- * SchedContext (sched/context.hh) and the per-loop CME analysis answers
- * concurrent queries deterministically. The ParallelDriver exploits
- * that: work items are claimed dynamically from a shared queue by a
- * --jobs-sized pool (an idle worker steals the next unclaimed item, so
- * an expensive loop never serialises the sweep behind it), each worker
- * owns one SchedContext for its whole lifetime (warm buffers across
- * items), and results land in their item's slot so callers merge them
- * in canonical (benchmark, loop, config) order.
+ * SchedContext (sched/context.hh) and the per-loop locality analyses
+ * answer concurrent queries deterministically. The ParallelDriver
+ * exploits that: work items are claimed dynamically from a shared queue
+ * by a --jobs-sized pool (an idle worker steals the next unclaimed
+ * item, so an expensive loop never serialises the sweep behind it),
+ * each worker owns one SchedContext for the driver's whole lifetime
+ * (warm buffers across items *and* across run() calls), and results
+ * land in their item's slot so callers merge them in canonical
+ * (benchmark, loop, config) order.
+ *
+ * The pool is persistent: worker threads are spawned on the first
+ * parallel run() and parked on a condition variable between runs, so a
+ * driver that executes many short sweeps (a figure binary's grid, the
+ * gap study's per-machine passes) pays thread startup once instead of
+ * per sweep.
  *
  * Determinism contract: every output — suite tables, gap tables, golden
  * schedule fingerprints — is byte-identical for jobs=1 and jobs=N,
@@ -25,8 +32,14 @@
 #ifndef MVP_HARNESS_DRIVER_HH
 #define MVP_HARNESS_DRIVER_HH
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "sched/context.hh"
 
@@ -49,13 +62,23 @@ int defaultJobs();
 int parseJobsFlag(int &argc, char **argv);
 
 /**
- * A fixed-size worker pool that shards independent work items.
+ * Parse and strip a `--locality NAME` / `--locality=NAME` flag (the
+ * locality-provider registry name the suite binaries forward into
+ * RunConfig::locality). Returns "" when the flag is absent — the
+ * harness reads that as the default "cme" provider.
+ */
+std::string parseLocalityFlag(int &argc, char **argv);
+
+/**
+ * A persistent worker pool that shards independent work items.
  *
- * One driver may run any number of sweeps; threads are spawned per
- * run() call (a sweep runs for seconds — thread startup is noise) and
- * joined before it returns. Item indices are claimed atomically, so
- * scheduling is dynamic: workers that finish early steal the remaining
- * items of slower ones.
+ * One driver may run any number of sweeps. Threads are spawned once,
+ * on the first run() that needs them, and parked between sweeps; each
+ * worker's SchedContext therefore stays warm for the driver's whole
+ * lifetime. Item indices are claimed atomically, so scheduling is
+ * dynamic: workers that finish early steal the remaining items of
+ * slower ones. run() is not reentrant — one sweep at a time per
+ * driver, from one calling thread.
  */
 class ParallelDriver
 {
@@ -63,23 +86,54 @@ class ParallelDriver
     /** @p jobs <= 0 means defaultJobs(). */
     explicit ParallelDriver(int jobs = 0);
 
+    /** Parks and joins the pool; outstanding run() calls must have
+     * returned. */
+    ~ParallelDriver();
+
+    ParallelDriver(const ParallelDriver &) = delete;
+    ParallelDriver &operator=(const ParallelDriver &) = delete;
+
     /** The worker count run() will use. */
     int jobs() const { return jobs_; }
 
     /**
      * Run @p work(item, ctx) for every item index in [0, n). @p ctx is
      * the claiming worker's private SchedContext — reused across all
-     * items that worker claims, never shared between workers. Blocks
-     * until every item has completed. @p work must not touch shared
-     * mutable state other than its own item's result slot (and the
-     * thread-safe analyses).
+     * items that worker ever claims, never shared between workers.
+     * Blocks until every item has completed. @p work must not touch
+     * shared mutable state other than its own item's result slot (and
+     * the thread-safe analyses), and must not throw.
      */
     void run(std::size_t n,
              const std::function<void(std::size_t, sched::SchedContext &)>
-                 &work) const;
+                 &work);
 
   private:
+    /** Spawn the pool if it is not running yet. */
+    void ensurePool();
+
+    /** Worker loop: park, claim items of the current sweep, repeat. */
+    void workerMain();
+
     int jobs_;
+
+    /** @name Pool state (guarded by mu_ unless noted) */
+    /// @{
+    std::mutex mu_;
+    std::condition_variable wake_;   ///< workers wait for a sweep
+    std::condition_variable done_;   ///< run() waits for completion
+    std::uint64_t generation_ = 0;   ///< bumped per sweep
+    std::size_t items_ = 0;          ///< item count of current sweep
+    const std::function<void(std::size_t, sched::SchedContext &)>
+        *work_ = nullptr;            ///< valid while a sweep is active
+    std::size_t active_ = 0;         ///< workers still in current sweep
+    bool shutdown_ = false;
+    std::atomic<std::size_t> next_{0};   ///< item claim counter
+    std::vector<std::thread> pool_;
+    /// @}
+
+    /** Serial fast path's context, warm across run() calls. */
+    sched::SchedContext serialCtx_;
 };
 
 } // namespace mvp::harness

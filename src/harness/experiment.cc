@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cme/provider.hh"
 #include "common/logging.hh"
 #include "machine/presets.hh"
 #include "sched/backend.hh"
@@ -9,26 +10,16 @@
 namespace mvp::harness
 {
 
-std::string_view
-schedKindName(SchedKind kind)
-{
-    switch (kind) {
-      case SchedKind::Baseline: return "Baseline";
-      case SchedKind::Rmca: return "RMCA";
-    }
-    mvp_panic("unknown SchedKind");
-}
-
-std::string_view
-backendFor(SchedKind kind)
-{
-    return kind == SchedKind::Rmca ? "rmca" : "baseline";
-}
-
 std::string
 backendName(const RunConfig &config)
 {
     return config.backend.empty() ? "baseline" : config.backend;
+}
+
+std::string
+localityName(const RunConfig &config)
+{
+    return config.locality.empty() ? "cme" : config.locality;
 }
 
 std::string
@@ -89,10 +80,24 @@ Workbench::Workbench(const std::vector<std::string> &only)
             // feasibleII) is a pure read, so one graph can serve any
             // number of workers.
             entry->ddg->sccs();
-            entry->cme = std::make_unique<cme::CmeAnalysis>(entry->nest);
+            entry->streams =
+                std::make_shared<cme::StreamCache>(entry->nest);
             entries_.push_back(std::move(entry));
         }
     }
+    ensureLocality("cme");
+}
+
+void
+Workbench::ensureLocality(const std::string &provider)
+{
+    // create() outside the entry loop: an unknown name fatals once,
+    // before any binding happens.
+    const auto p = cme::LocalityRegistry::instance().create(provider);
+    for (auto &entry : entries_)
+        if (!entry->bound.count(provider))
+            entry->bound.emplace(provider,
+                                 p->bind(entry->nest, entry->streams));
 }
 
 std::vector<std::string>
@@ -114,19 +119,24 @@ namespace
  * there would std::exit() while sibling workers still run, racing
  * static destructors and garbling the diagnostic — and report the
  * first failure (in canonical item order) from the main thread after
- * the pool joins.
+ * the pool joins. @p locality is resolved by the caller (workers read
+ * the entry's pre-bound map; runLoop resolves under its bind lock).
  */
 std::string
 tryRunLoop(Workbench::Entry &entry, const RunConfig &config,
            sim::SimParams sim_params, sched::SchedContext &ctx,
-           LoopRunResult &res)
+           cme::LocalityAnalysis *locality, LoopRunResult &res)
 {
     res.benchmark = entry.benchmark;
     res.loop = entry.nest.name();
 
     sched::SchedulerOptions opt;
     opt.missThreshold = config.threshold;
-    opt.locality = entry.cme.get();
+    opt.locality = locality;
+    if (opt.locality == nullptr)
+        return "locality provider '" + localityName(config) +
+               "' not prepared for '" + res.loop +
+               "' (Workbench::ensureLocality runs before fan-out)";
     opt.searchBudget = config.searchBudget;
     res.sched = sched::scheduleWithBackend(backendName(config),
                                            *entry.ddg, config.machine,
@@ -155,16 +165,19 @@ checkErrors(const std::vector<std::string> &errors)
 }
 
 /**
- * Resolve the backend name on the main thread, before any fan-out: an
- * unknown name is a configuration error whose fatal must not fire
- * inside a pool worker (BackendRegistry::create is fatal-on-unknown).
+ * Resolve the backend and locality names on the main thread, before
+ * any fan-out: an unknown name is a configuration error whose fatal
+ * must not fire inside a pool worker (both registries are
+ * fatal-on-unknown), and provider binding mutates the workbench, which
+ * is only safe while no workers run.
  */
 void
-checkBackend(const RunConfig &config)
+prepareConfig(Workbench &bench, const RunConfig &config)
 {
     const std::string name = backendName(config);
     if (!sched::BackendRegistry::instance().has(name))
         (void)sched::BackendRegistry::instance().create(name);   // fatals
+    bench.ensureLocality(localityName(config));
 }
 
 } // namespace
@@ -173,9 +186,23 @@ LoopRunResult
 runLoop(Workbench::Entry &entry, const RunConfig &config,
         sim::SimParams sim_params, sched::SchedContext &ctx)
 {
+    // When the provider is not bound yet, the single-loop entry point
+    // binds a *transient* analysis instead of mutating the shared
+    // entry: entries stay read-only outside ensureLocality(), so
+    // runLoop may run concurrently with itself and with sharded
+    // sweeps. Callers that runLoop() repeatedly should prepare the
+    // workbench (ensureLocality) once to keep the analysis memo warm.
+    const std::string provider = localityName(config);
+    cme::LocalityAnalysis *locality = entry.locality(provider);
+    std::unique_ptr<cme::LocalityAnalysis> transient;
+    if (locality == nullptr) {
+        transient = cme::LocalityRegistry::instance().bind(
+            provider, entry.nest, entry.streams);
+        locality = transient.get();
+    }
     LoopRunResult res;
     const std::string err =
-        tryRunLoop(entry, config, sim_params, ctx, res);
+        tryRunLoop(entry, config, sim_params, ctx, locality, res);
     if (!err.empty())
         mvp_fatal(err);
     return res;
@@ -214,14 +241,16 @@ SuiteResult
 runSuite(Workbench &bench, const RunConfig &config,
          sim::SimParams sim_params, ParallelDriver &driver)
 {
-    checkBackend(config);
+    prepareConfig(bench, config);
     const auto &entries = bench.entries();
     std::vector<LoopRunResult> results(entries.size());
     std::vector<std::string> errors(entries.size());
+    const std::string provider = localityName(config);
     driver.run(entries.size(),
                [&](std::size_t i, sched::SchedContext &ctx) {
-                   errors[i] = tryRunLoop(*entries[i], config,
-                                          sim_params, ctx, results[i]);
+                   errors[i] = tryRunLoop(
+                       *entries[i], config, sim_params, ctx,
+                       entries[i]->locality(provider), results[i]);
                });
     checkErrors(errors);
     return mergeSuite(std::move(results));
@@ -240,19 +269,25 @@ runSuiteSweep(Workbench &bench, const std::vector<RunConfig> &configs,
               sim::SimParams sim_params, ParallelDriver &driver)
 {
     for (const RunConfig &config : configs)
-        checkBackend(config);
+        prepareConfig(bench, config);
     const auto &entries = bench.entries();
     const std::size_t per_config = entries.size();
     std::vector<LoopRunResult> results(per_config * configs.size());
     std::vector<std::string> errors(results.size());
     // Item order is (config-major, entry-minor): the merge below walks
     // contiguous slices, and every config's loops keep workbench order.
+    // Provider names resolved once per config, not once per item.
+    std::vector<std::string> providers;
+    providers.reserve(configs.size());
+    for (const RunConfig &config : configs)
+        providers.push_back(localityName(config));
     driver.run(results.size(),
                [&](std::size_t i, sched::SchedContext &ctx) {
                    const std::size_t c = i / per_config;
                    const std::size_t e = i % per_config;
-                   errors[i] = tryRunLoop(*entries[e], configs[c],
-                                          sim_params, ctx, results[i]);
+                   errors[i] = tryRunLoop(
+                       *entries[e], configs[c], sim_params, ctx,
+                       entries[e]->locality(providers[c]), results[i]);
                });
     checkErrors(errors);
 

@@ -22,7 +22,8 @@
 #include <string>
 #include <vector>
 
-#include "cme/solver.hh"
+#include "cme/locality.hh"
+#include "cme/stream.hh"
 #include "ddg/ddg.hh"
 #include "harness/driver.hh"
 #include "machine/machine.hh"
@@ -32,21 +33,6 @@
 
 namespace mvp::harness
 {
-
-/**
- * Deprecated scheduler selector. The registry backend *name* in
- * RunConfig::backend is the single source of truth ("baseline",
- * "rmca", "exact", "verify", or anything registered at runtime); this
- * enum survives only as a shim for out-of-tree callers written against
- * the PR-2 API. New code should assign RunConfig::backend directly.
- */
-enum class SchedKind { Baseline, Rmca };
-
-/** Printable name (deprecated with SchedKind). */
-std::string_view schedKindName(SchedKind kind);
-
-/** The registry backend name a SchedKind shorthand stands for. */
-std::string_view backendFor(SchedKind kind);
 
 /** One experiment point. */
 struct RunConfig
@@ -60,14 +46,24 @@ struct RunConfig
      */
     std::string backend = "baseline";
 
+    /**
+     * Locality provider by registry name ("cme", "oracle", "hybrid",
+     * or anything registered at runtime; cme/provider.hh). Empty is
+     * read as "cme" — the paper's sampling solver.
+     */
+    std::string locality = "cme";
+
     double threshold = 1.0;
 
     /** Node budget forwarded to search-based backends. */
     std::int64_t searchBudget = sched::DEFAULT_SEARCH_BUDGET;
 };
 
-/** The registry name runLoop() will resolve @p config to. */
+/** The scheduler-backend registry name runLoop() resolves @p config to. */
 std::string backendName(const RunConfig &config);
+
+/** The locality-provider registry name runLoop() resolves @p config to. */
+std::string localityName(const RunConfig &config);
 
 /** Per-loop outcome. */
 struct LoopRunResult
@@ -101,11 +97,12 @@ struct SuiteResult
 std::string formatSuiteResult(const SuiteResult &suite);
 
 /**
- * All workload loops prepared once: stable LoopNest storage plus the
- * DDG and a shared CME analysis per loop. The CME memoisation then
- * amortises across every configuration of a sweep — including sharded
- * sweeps: the analysis is thread-safe and its answers do not depend on
- * query interleaving.
+ * All workload loops prepared once: stable LoopNest storage plus, per
+ * loop, the DDG, one shared access-stream cache and the bound locality
+ * analyses (one per provider name in use). All of it amortises across
+ * every configuration of a sweep — including sharded sweeps: the
+ * analyses are thread-safe and their answers do not depend on query
+ * interleaving.
  */
 class Workbench
 {
@@ -116,7 +113,28 @@ class Workbench
         std::string benchmark;
         ir::LoopNest nest;
         std::unique_ptr<ddg::Ddg> ddg;
-        std::unique_ptr<cme::CmeAnalysis> cme;
+
+        /**
+         * Access-stream cache shared by every locality analysis bound
+         * to this loop (cme/stream.hh): materialised line streams
+         * amortise across providers and configurations alike.
+         */
+        std::shared_ptr<cme::StreamCache> streams;
+
+        /**
+         * Locality analyses by provider name, bound by
+         * Workbench::ensureLocality() — on the main thread, before any
+         * sharded run — and read-only afterwards.
+         */
+        std::map<std::string, std::unique_ptr<cme::LocalityAnalysis>>
+            bound;
+
+        /** The analysis bound under @p provider (nullptr if none). */
+        cme::LocalityAnalysis *locality(const std::string &provider) const
+        {
+            const auto it = bound.find(provider);
+            return it == bound.end() ? nullptr : it->second.get();
+        }
     };
 
     /**
@@ -125,8 +143,17 @@ class Workbench
      * DDG per loop serves the whole sweep. Preparation also warms each
      * DDG's lazily-computed SCC tables so the graphs are read-only —
      * and therefore freely shared — once sharded scheduling starts.
+     * The default "cme" provider is bound to every entry up front.
      */
     explicit Workbench(const std::vector<std::string> &only = {});
+
+    /**
+     * Bind @p provider (a cme::LocalityRegistry name) to every entry
+     * that does not have it yet. NOT thread-safe: call on the main
+     * thread before fanning a sweep out — the suite runners do this for
+     * every configuration they are handed. fatal() on unknown names.
+     */
+    void ensureLocality(const std::string &provider);
 
     const std::vector<std::unique_ptr<Entry>> &entries() const
     {

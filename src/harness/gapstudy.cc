@@ -40,8 +40,10 @@ GapStudy::totalGap() const
 GapStudy
 runGapStudy(Workbench &bench, const MachineConfig &machine,
             double threshold, std::int64_t search_budget,
-            ParallelDriver &driver)
+            ParallelDriver &driver, const std::string &locality)
 {
+    const std::string provider = locality.empty() ? "cme" : locality;
+    bench.ensureLocality(provider);   // main thread, before fan-out
     const auto &entries = bench.entries();
     auto verify = sched::BackendRegistry::instance().create("verify");
 
@@ -56,7 +58,7 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
         auto &entry = *entries[i];
         sched::SchedulerOptions opt;
         opt.missThreshold = threshold;
-        opt.locality = entry.cme.get();
+        opt.locality = entry.locality(provider);
         opt.searchBudget = search_budget;
         const auto res =
             verify->schedule(*entry.ddg, machine, opt, ctx);
@@ -85,10 +87,12 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
 
 GapStudy
 runGapStudy(Workbench &bench, const MachineConfig &machine,
-            double threshold, std::int64_t search_budget)
+            double threshold, std::int64_t search_budget,
+            const std::string &locality)
 {
     ParallelDriver driver;
-    return runGapStudy(bench, machine, threshold, search_budget, driver);
+    return runGapStudy(bench, machine, threshold, search_budget, driver,
+                       locality);
 }
 
 std::string

@@ -56,17 +56,21 @@ struct GapStudy
  * The exact search is the workload this sharding was built for: a
  * single hard loop can cost ~10^3x an easy one, and the driver's
  * dynamic item claiming keeps the pool busy around it. Rows come back
- * in workbench order regardless of the job count.
+ * in workbench order regardless of the job count. The heuristic's
+ * cluster assignment consults the locality provider named by
+ * @p locality (cme/provider.hh; empty is read as "cme").
  */
 GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
                      double threshold, std::int64_t search_budget,
-                     ParallelDriver &driver);
+                     ParallelDriver &driver,
+                     const std::string &locality = "cme");
 
 /** runGapStudy on a default-sized driver (MVP_JOBS / hardware size). */
 GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
                      double threshold = 0.25,
                      std::int64_t search_budget =
-                         sched::DEFAULT_SEARCH_BUDGET);
+                         sched::DEFAULT_SEARCH_BUDGET,
+                     const std::string &locality = "cme");
 
 /**
  * Render the study: one row per loop plus a per-benchmark aggregate

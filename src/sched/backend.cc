@@ -1,7 +1,8 @@
 #include "sched/backend.hh"
 
-#include <algorithm>
+#include <memory>
 
+#include "cme/provider.hh"
 #include "common/logging.hh"
 #include "sched/exact/bnb.hh"
 
@@ -10,6 +11,25 @@ namespace mvp::sched
 
 namespace
 {
+
+/**
+ * Bind the named locality provider to the loop when @p opt needs a
+ * locality analysis but carries none. Returns the owning pointer the
+ * caller must keep alive for the schedule call (nullptr when @p opt
+ * already has an analysis or does not need one).
+ */
+std::unique_ptr<cme::LocalityAnalysis>
+bindFallbackLocality(SchedulerOptions &opt, const ddg::Ddg &graph)
+{
+    if (opt.locality != nullptr ||
+        (!opt.memoryAware && opt.missThreshold >= 1.0))
+        return nullptr;
+    auto bound = cme::LocalityRegistry::instance().bind(
+        opt.localityProvider.empty() ? "cme" : opt.localityProvider,
+        graph.loop());
+    opt.locality = bound.get();
+    return bound;
+}
 
 /** The two heuristic engines share one wrapper; only memoryAware
  * differs. */
@@ -30,6 +50,7 @@ class HeuristicBackend : public SchedulerBackend
     {
         SchedulerOptions opt = options;
         opt.memoryAware = memory_aware_;
+        const auto bound = bindFallbackLocality(opt, graph);
         return ClusteredModuloScheduler(graph, machine, opt).run(ctx);
     }
 
@@ -73,6 +94,7 @@ class VerifyBackend : public SchedulerBackend
     {
         SchedulerOptions heur_opt = options;
         heur_opt.memoryAware = true;
+        const auto bound = bindFallbackLocality(heur_opt, graph);
         ScheduleResult res =
             ClusteredModuloScheduler(graph, machine, heur_opt).run(ctx);
 
@@ -121,44 +143,25 @@ BackendRegistry::instance()
 void
 BackendRegistry::add(std::string name, BackendFactory factory)
 {
-    for (auto &[existing, f] : entries_) {
-        if (existing == name) {
-            f = std::move(factory);
-            return;
-        }
-    }
-    entries_.emplace_back(std::move(name), std::move(factory));
+    table_.add(std::move(name), std::move(factory));
 }
 
 bool
 BackendRegistry::has(const std::string &name) const
 {
-    return std::any_of(entries_.begin(), entries_.end(),
-                       [&](const auto &e) { return e.first == name; });
+    return table_.has(name);
 }
 
 std::unique_ptr<SchedulerBackend>
 BackendRegistry::create(const std::string &name) const
 {
-    for (const auto &[existing, factory] : entries_)
-        if (existing == name)
-            return factory();
-    std::string known;
-    for (const auto &n : names())
-        known += (known.empty() ? "" : ", ") + n;
-    mvp_fatal("unknown scheduler backend '", name, "' (known: ", known,
-              ")");
+    return table_.get(name, "scheduler backend")();
 }
 
 std::vector<std::string>
 BackendRegistry::names() const
 {
-    std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const auto &[name, factory] : entries_)
-        out.push_back(name);
-    std::sort(out.begin(), out.end());
-    return out;
+    return table_.names();
 }
 
 ScheduleResult

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/registry.hh"
 #include "sched/scheduler.hh"
 
 namespace mvp::sched
@@ -100,7 +101,7 @@ class BackendRegistry
   private:
     BackendRegistry();
 
-    std::vector<std::pair<std::string, BackendFactory>> entries_;
+    NamedFactoryTable<BackendFactory> table_;
 };
 
 /**

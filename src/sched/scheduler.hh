@@ -58,10 +58,23 @@ struct SchedulerOptions
     double missThreshold = 1.0;
 
     /**
-     * Locality provider; required when memoryAware or missThreshold < 1.
-     * Not owned.
+     * Bound locality analysis; consulted when memoryAware or
+     * missThreshold < 1. Not owned. When null, the registry backends
+     * (sched/backend.hh) bind localityProvider to the loop for the
+     * duration of the call; constructing ClusteredModuloScheduler
+     * directly still requires a non-null analysis.
      */
     cme::LocalityAnalysis *locality = nullptr;
+
+    /**
+     * Locality provider by registry name (cme/provider.hh: "cme",
+     * "oracle", "hybrid", or anything registered at runtime) — the
+     * fallback the registry backends bind when `locality` is null.
+     * Empty is read as "cme". Callers on a hot path should bind once
+     * and pass `locality` instead: a per-call binding rebuilds the
+     * analysis (and its memo) every schedule.
+     */
+    std::string localityProvider = "cme";
 
     /** Give up (fail the loop) beyond this II. */
     Cycle maxII = 512;

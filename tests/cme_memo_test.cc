@@ -13,11 +13,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "cme/oracle.hh"
+#include "cme/provider.hh"
 #include "cme/setkey.hh"
 #include "cme/solver.hh"
+#include "cme/stream.hh"
+#include "common/random.hh"
 #include "ir/builder.hh"
 
 namespace mvp::cme
@@ -139,22 +143,288 @@ TEST(CmeMemo, RatioMemoSurvivesGrowth)
         const detail::QueryKeyRef ref{detail::queryHash(geom, set[0], set),
                                       &geom, set[0], &set};
         ASSERT_EQ(memo.find(ref), nullptr);
-        memo.insert(ref, static_cast<double>(i) * 0.5);
+        memo.insert(ref, {static_cast<double>(i) * 0.5,
+                          static_cast<double>(i) * 0.01});
     }
     EXPECT_EQ(memo.size(), static_cast<std::size_t>(N));
     for (int i = 0; i < N; ++i) {
         set[0] = static_cast<OpId>(i);
         const detail::QueryKeyRef ref{detail::queryHash(geom, set[0], set),
                                       &geom, set[0], &set};
-        const double *hit = memo.find(ref);
+        const detail::RatioValue *hit = memo.find(ref);
         ASSERT_NE(hit, nullptr);
-        EXPECT_EQ(*hit, static_cast<double>(i) * 0.5);
+        EXPECT_EQ(hit->ratio, static_cast<double>(i) * 0.5);
+        EXPECT_EQ(hit->ciHalfWidth, static_cast<double>(i) * 0.01);
     }
     // A different geometry with the same ops must miss.
     const CacheGeom other = GEOM_4K;
     const detail::QueryKeyRef ref{detail::queryHash(other, set[0], set),
                                   &other, set[0], &set};
     EXPECT_EQ(memo.find(ref), nullptr);
+}
+
+TEST(StreamCache, LinesMatchDirectAddressing)
+{
+    const auto nest = interferenceLoop();
+    const ir::IterationSpace space(nest);
+    StreamCache cache(nest);
+    ASSERT_EQ(cache.points(), space.points());
+
+    std::vector<std::int64_t> ivs;
+    for (OpId op : nest.memoryOps()) {
+        const LineStream &stream = cache.lines(op, GEOM_2K.lineBytes);
+        ASSERT_EQ(stream.lines.size(),
+                  static_cast<std::size_t>(space.points()));
+        for (std::int64_t p = 0; p < space.points(); ++p) {
+            space.at(p, ivs);
+            const Addr addr =
+                nest.addressOf(*nest.op(op).memRef, ivs);
+            EXPECT_EQ(stream.lines[static_cast<std::size_t>(p)],
+                      GEOM_2K.lineOf(addr))
+                << "op " << op << " point " << p;
+        }
+    }
+    // Two geometries with the same line size share one stream per op.
+    EXPECT_EQ(&cache.lines(nest.memoryOps()[0], GEOM_2K.lineBytes),
+              &cache.lines(nest.memoryOps()[0], GEOM_4K.lineBytes));
+}
+
+TEST(StreamCache, BucketsPartitionTheStreamChronologically)
+{
+    const auto nest = interferenceLoop();
+    StreamCache cache(nest);
+    const std::int64_t num_sets = GEOM_2K.numSets();
+
+    for (OpId op : nest.memoryOps()) {
+        const LineStream &stream = cache.lines(op, GEOM_2K.lineBytes);
+        const SetBuckets &buckets = cache.buckets(op, GEOM_2K);
+        ASSERT_EQ(buckets.offsets.size(),
+                  static_cast<std::size_t>(num_sets) + 1);
+        EXPECT_EQ(buckets.entries.size(), stream.lines.size());
+        std::int64_t seen = 0;
+        for (std::int64_t s = 0; s < num_sets; ++s) {
+            std::int64_t prev_point = -1;
+            for (std::int64_t e = buckets.offsets[
+                     static_cast<std::size_t>(s)];
+                 e < buckets.offsets[static_cast<std::size_t>(s) + 1];
+                 ++e) {
+                const auto &entry =
+                    buckets.entries[static_cast<std::size_t>(e)];
+                EXPECT_EQ(entry.line % num_sets, s);
+                EXPECT_EQ(stream.lines[static_cast<std::size_t>(
+                              entry.point)],
+                          entry.line);
+                EXPECT_GT(entry.point, prev_point);   // chronological
+                prev_point = entry.point;
+                ++seen;
+            }
+        }
+        EXPECT_EQ(seen, static_cast<std::int64_t>(stream.lines.size()));
+        EXPECT_EQ(buckets.touches(0),
+                  buckets.offsets[1] > buckets.offsets[0]);
+    }
+}
+
+TEST(StreamCache, SharedAcrossAnalysesBitIdentical)
+{
+    // A solver and an oracle drawing from one shared cache must answer
+    // exactly like privately-cached instances — the stream is a pure
+    // function of (nest, op, geometry), wherever it is materialised.
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    auto shared = std::make_shared<StreamCache>(nest);
+    CmeAnalysis shared_cme(nest, {}, shared);
+    CacheOracle shared_oracle(nest, shared);
+    CmeAnalysis private_cme(nest);
+    CacheOracle private_oracle(nest);
+
+    for (OpId op : mem) {
+        EXPECT_EQ(shared_cme.missRatio(mem, op, GEOM_2K),
+                  private_cme.missRatio(mem, op, GEOM_2K));
+        EXPECT_EQ(shared_oracle.missRatio(mem, op, GEOM_2K),
+                  private_oracle.missRatio(mem, op, GEOM_2K));
+    }
+    EXPECT_EQ(shared_cme.streams().get(), shared.get());
+    EXPECT_EQ(shared_oracle.streams().get(), shared.get());
+    EXPECT_GT(shared->streamsBuilt(), 0u);
+}
+
+/**
+ * The incremental-extension contract: growing a set one op at a time —
+ * in ANY order — answers bit-identically to a from-scratch simulation
+ * of each grown set. Exercised over randomised growth orders and three
+ * geometries, chosen so every extension strategy runs: under the small
+ * direct-mapped cache every op's footprint covers all 64 sets (the
+ * dense touched-filtered walk), under the large one it covers a
+ * fraction of 512 (the sparse bucket merge), and the 2-way geometry
+ * exercises the set-associative LRU probe/promotion and multi-way
+ * checkpoint copies.
+ */
+TEST(IncrementalOracle, RandomGrowthOrdersMatchFromScratch)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    const CacheGeom geoms[] = {GEOM_2K, {16384, 32, 1}, {4096, 32, 2}};
+    auto shared = std::make_shared<StreamCache>(nest);
+
+    Rng rng(0xfeedULL);
+    for (int trial = 0; trial < 8; ++trial) {
+        // Random growth order (Fisher-Yates on the memory ops).
+        std::vector<OpId> order = mem;
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1],
+                      order[static_cast<std::size_t>(
+                          rng.nextBounded(i))]);
+
+        for (const CacheGeom &geom : geoms) {
+            CacheOracle warm(nest, shared);
+            std::vector<OpId> set;
+            for (OpId op : order) {
+                set.push_back(op);
+                // From-scratch reference: a fresh oracle has no subset
+                // checkpoint to extend, so it must take the full path.
+                CacheOracle fresh(nest, shared);
+                EXPECT_EQ(warm.missesPerIteration(set, geom),
+                          fresh.missesPerIteration(set, geom));
+                for (OpId q : set)
+                    EXPECT_EQ(warm.missRatio(set, q, geom),
+                              fresh.missRatio(set, q, geom));
+                EXPECT_EQ(fresh.incrementalExtensions(), 0u);
+            }
+            // Every grown set beyond the first must have taken the
+            // incremental path.
+            EXPECT_EQ(warm.incrementalExtensions(), set.size() - 1);
+            EXPECT_EQ(warm.fullSimulations(), 1u);
+        }
+    }
+}
+
+TEST(IncrementalOracle, CheckpointByteCapBoundsMemoryNotAnswers)
+{
+    // A zero cap drops every checkpoint: extension never runs (nothing
+    // to extend from), yet every answer must be bit-identical — the
+    // cap trades speed for memory, never values.
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    auto shared = std::make_shared<StreamCache>(nest);
+    CacheOracle capped(nest, shared, /*checkpoint_byte_cap=*/0);
+    CacheOracle uncapped(nest, shared);
+
+    std::vector<OpId> set;
+    for (OpId op : mem) {
+        set.push_back(op);
+        EXPECT_EQ(capped.missesPerIteration(set, GEOM_2K),
+                  uncapped.missesPerIteration(set, GEOM_2K));
+        for (OpId q : set)
+            EXPECT_EQ(capped.missRatio(set, q, GEOM_2K),
+                      uncapped.missRatio(set, q, GEOM_2K));
+    }
+    EXPECT_EQ(capped.incrementalExtensions(), 0u);
+    EXPECT_EQ(capped.fullSimulations(), set.size());
+    EXPECT_EQ(uncapped.incrementalExtensions(), set.size() - 1);
+}
+
+TEST(IncrementalOracle, ExtensionAgreesWithLegacyMissCounts)
+{
+    // The per-cache-set decomposition must reproduce the exact counts
+    // the chronological simulation reports (cache_test pins absolute
+    // values; this pins the two internal paths against each other op
+    // by op, including stores).
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    CacheOracle warm(nest);
+    // Memoise every prefix so the final query extends a checkpoint.
+    std::vector<OpId> prefix;
+    for (OpId op : mem) {
+        prefix.push_back(op);
+        (void)warm.missesPerIteration(prefix, GEOM_2K);
+    }
+    CacheOracle fresh(nest);
+    const auto a = warm.missCounts(mem, GEOM_2K);
+    const auto b = fresh.missCounts(mem, GEOM_2K);
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto &[op, count] : b)
+        EXPECT_EQ(a.at(op), count) << "op " << op;
+}
+
+TEST(LocalityRegistry, BuiltinsAndRuntimeAdd)
+{
+    auto &registry = LocalityRegistry::instance();
+    const auto names = registry.names();
+    for (const char *name : {"cme", "hybrid", "oracle"})
+        EXPECT_TRUE(std::find(names.begin(), names.end(), name) !=
+                    names.end())
+            << name;
+    EXPECT_TRUE(registry.has("cme"));
+    EXPECT_FALSE(registry.has("no-such-provider"));
+
+    const auto nest = interferenceLoop();
+    for (const char *name : {"cme", "oracle", "hybrid"}) {
+        const auto provider = registry.create(name);
+        EXPECT_EQ(provider->name(), name);
+        const auto bound = registry.bind(name, nest);
+        ASSERT_NE(bound, nullptr);
+        EXPECT_EQ(&bound->loop(), &nest);
+    }
+
+    // Runtime extension mirrors the scheduler-backend registry: an
+    // out-of-tree provider registers under a fresh name.
+    registry.add("test-oracle-alias", [] {
+        return LocalityRegistry::instance().create("oracle");
+    });
+    EXPECT_TRUE(registry.has("test-oracle-alias"));
+    const auto alias = registry.bind("test-oracle-alias", nest);
+    const auto mem = nest.memoryOps();
+    CacheOracle direct(nest);
+    EXPECT_EQ(alias->missRatio(mem, mem[0], GEOM_2K),
+              direct.missRatio(mem, mem[0], GEOM_2K));
+}
+
+TEST(HybridProvider, DeterministicAndAnchoredToItsParts)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    auto shared = std::make_shared<StreamCache>(nest);
+    auto &registry = LocalityRegistry::instance();
+
+    const auto a = registry.bind("hybrid", nest, shared);
+    const auto b = registry.bind("hybrid", nest, shared);
+    CmeAnalysis cme(nest, {}, shared);
+    CacheOracle oracle(nest, shared);
+
+    for (const CacheGeom &geom : {GEOM_2K, GEOM_4K}) {
+        for (OpId op : mem) {
+            const double h = a->missRatio(mem, op, geom);
+            // Bit-identical across instances: the sampled-vs-exact
+            // choice is a pure function of the query key.
+            EXPECT_EQ(h, b->missRatio(mem, op, geom));
+            // Every answer is one of the two parents' answers.
+            const double s = cme.missRatio(mem, op, geom);
+            const double x = oracle.missRatio(mem, op, geom);
+            EXPECT_TRUE(h == s || h == x)
+                << "hybrid invented a value: " << h << " vs " << s
+                << " / " << x;
+        }
+        const double set_h = a->missesPerIteration(mem, geom);
+        EXPECT_EQ(set_h, b->missesPerIteration(mem, geom));
+        EXPECT_GE(set_h, 0.0);
+    }
+}
+
+TEST(CmeEstimate, ExposesConvergence)
+{
+    const auto nest = interferenceLoop();
+    const auto mem = nest.memoryOps();
+    CmeAnalysis cme(nest);
+    for (OpId op : mem) {
+        const RatioEstimate est = cme.estimateRatio(mem, op, GEOM_2K);
+        EXPECT_EQ(est.ratio, cme.missRatio(mem, op, GEOM_2K));
+        EXPECT_GE(est.ciHalfWidth, 0.0);
+        // A replayed estimate comes from the memo, half-width included.
+        const RatioEstimate again = cme.estimateRatio(mem, op, GEOM_2K);
+        EXPECT_EQ(est.ratio, again.ratio);
+        EXPECT_EQ(est.ciHalfWidth, again.ciHalfWidth);
+    }
 }
 
 TEST(CmeMemo, CanonicalViewFastPaths)

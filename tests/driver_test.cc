@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "cme/oracle.hh"
 #include "cme/solver.hh"
+#include "cme/stream.hh"
 #include "ddg/ddg.hh"
 #include "harness/experiment.hh"
 #include "harness/gapstudy.hh"
@@ -261,6 +263,129 @@ TEST(SharedCmeAnalysis, ConcurrentQueriesBitIdentical)
                     << key << " diverged (worker " << w << ", round "
                     << round << ")";
     }
+}
+
+/**
+ * One StreamCache shared by solver and oracle instances created inside
+ * eight concurrent workers: every worker races the others on the lazy
+ * stream/bucket builds (the TSan job runs this), and every answer must
+ * be bit-identical to a serial reference — streams are pure functions
+ * of (nest, op, geometry), so whichever racing build wins is
+ * indistinguishable. The oracle side grows sets one op at a time, so
+ * the incremental-extension path runs under contention too.
+ */
+TEST(SharedStreamCache, ConcurrentQueriesBitIdentical)
+{
+    const auto bench = workloads::makeTomcatv();
+    const auto &nest = bench.loops[0];
+    const auto mem = nest.memoryOps();
+    const CacheGeom geom{2048, 32, 1};
+
+    // Serial reference with a private cache.
+    std::map<std::string, double> expected;
+    {
+        cme::CmeAnalysis cme(nest);
+        cme::CacheOracle oracle(nest);
+        std::vector<OpId> prefix;
+        for (std::size_t i = 0; i < mem.size(); ++i) {
+            prefix.push_back(mem[i]);
+            const std::string key = std::to_string(mem[i]);
+            expected["cme/" + key] = cme.missRatio(mem, mem[i], geom);
+            expected["oracle/" + key] =
+                oracle.missesPerIteration(prefix, geom);
+        }
+    }
+
+    auto shared = std::make_shared<cme::StreamCache>(nest);
+    const int workers = 8;
+    std::vector<std::map<std::string, double>> got(
+        static_cast<std::size_t>(workers));
+    ParallelDriver driver(workers);
+    driver.run(static_cast<std::size_t>(workers),
+               [&](std::size_t w, sched::SchedContext &) {
+                   // Fresh analyses per worker, all drawing from the
+                   // one shared cache — the Workbench sharing shape.
+                   cme::CmeAnalysis cme(nest, {}, shared);
+                   cme::CacheOracle oracle(nest, shared);
+                   std::vector<OpId> prefix;
+                   for (std::size_t i = 0; i < mem.size(); ++i) {
+                       prefix.push_back(mem[i]);
+                       const std::string key = std::to_string(mem[i]);
+                       got[w]["cme/" + key] =
+                           cme.missRatio(mem, mem[i], geom);
+                       got[w]["oracle/" + key] =
+                           oracle.missesPerIteration(prefix, geom);
+                   }
+               });
+    for (int w = 0; w < workers; ++w)
+        for (const auto &[key, value] : expected)
+            EXPECT_EQ(got[static_cast<std::size_t>(w)].at(key), value)
+                << key << " diverged (worker " << w << ")";
+    EXPECT_GT(shared->streamsBuilt(), 0u);
+}
+
+/**
+ * The pool (and each worker's SchedContext) must persist across run()
+ * calls: over any number of sweeps, the number of distinct contexts
+ * ever handed to work items cannot exceed the pool size. A driver that
+ * respawned threads (and thus contexts) per sweep would hand out fresh,
+ * unmarked contexts every run and blow through the bound.
+ */
+TEST(ParallelDriver, WorkerPoolPersistsAcrossRuns)
+{
+    constexpr std::size_t N = 64;
+    constexpr int JOBS = 4;
+    constexpr int SWEEPS = 6;
+    ParallelDriver driver(JOBS);
+    std::atomic<int> distinct_contexts{0};
+    for (int sweep = 0; sweep < SWEEPS; ++sweep) {
+        driver.run(N, [&](std::size_t, sched::SchedContext &ctx) {
+            if (ctx.order.empty()) {   // first item this context ever ran
+                ctx.order.push_back(42);
+                distinct_contexts.fetch_add(1);
+            }
+        });
+    }
+    EXPECT_GE(distinct_contexts.load(), 1);
+    EXPECT_LE(distinct_contexts.load(), JOBS);
+}
+
+TEST(ParallelDriver, SerialContextPersistsAcrossRuns)
+{
+    ParallelDriver driver(1);
+    driver.run(1, [&](std::size_t, sched::SchedContext &ctx) {
+        ctx.order.push_back(7);
+    });
+    bool still_marked = false;
+    driver.run(1, [&](std::size_t, sched::SchedContext &ctx) {
+        still_marked = !ctx.order.empty() && ctx.order.back() == 7;
+    });
+    EXPECT_TRUE(still_marked);
+}
+
+TEST(ParseLocalityFlag, StripsTheFlagAndParses)
+{
+    char a0[] = "prog";
+    char a1[] = "--locality";
+    char a2[] = "oracle";
+    char a3[] = "positional";
+    char *argv[] = {a0, a1, a2, a3};
+    int argc = 4;
+    EXPECT_EQ(parseLocalityFlag(argc, argv), "oracle");
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "positional");
+
+    char b0[] = "prog";
+    char b1[] = "--locality=hybrid";
+    char *argv2[] = {b0, b1};
+    int argc2 = 2;
+    EXPECT_EQ(parseLocalityFlag(argc2, argv2), "hybrid");
+    EXPECT_EQ(argc2, 1);
+
+    char c0[] = "prog";
+    char *argv3[] = {c0};
+    int argc3 = 1;
+    EXPECT_EQ(parseLocalityFlag(argc3, argv3), "");
 }
 
 TEST(ParallelDriver, EveryItemClaimedExactlyOnce)

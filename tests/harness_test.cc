@@ -21,9 +21,31 @@ TEST(Workbench, PreparesAllSuites)
     EXPECT_GE(bench.entries().size(), 32u);
     for (const auto &e : bench.entries()) {
         EXPECT_NE(e->ddg, nullptr);
-        EXPECT_NE(e->cme, nullptr);
-        EXPECT_EQ(&e->cme->loop(), &e->nest);
+        ASSERT_NE(e->streams, nullptr);
+        EXPECT_EQ(&e->streams->loop(), &e->nest);
+        // The default provider is bound at prep time and shares the
+        // entry's stream cache.
+        cme::LocalityAnalysis *def = e->locality("cme");
+        ASSERT_NE(def, nullptr);
+        EXPECT_EQ(&def->loop(), &e->nest);
+        EXPECT_EQ(e->locality("oracle"), nullptr);
     }
+}
+
+TEST(Workbench, EnsureLocalityBindsEveryEntryOnce)
+{
+    Workbench bench({"swim"});
+    bench.ensureLocality("oracle");
+    std::vector<const cme::LocalityAnalysis *> first;
+    for (const auto &e : bench.entries()) {
+        ASSERT_NE(e->locality("oracle"), nullptr);
+        first.push_back(e->locality("oracle"));
+    }
+    // Idempotent: a second call must not rebind (rebinding would drop
+    // warm memos mid-sweep).
+    bench.ensureLocality("oracle");
+    for (std::size_t i = 0; i < bench.entries().size(); ++i)
+        EXPECT_EQ(bench.entries()[i]->locality("oracle"), first[i]);
 }
 
 TEST(Workbench, FilterSelectsSubset)
@@ -94,17 +116,6 @@ TEST(RunSuite, RmcaNeverWorseOnConflictSuites)
     EXPECT_LE(rr.total(), rb.total() * 105 / 100);   // within noise, <=
 }
 
-// The SchedKind enum is a deprecated shim; the registry backend string
-// in RunConfig is the source of truth. The shim must keep mapping to
-// the same backends until it is removed.
-TEST(SchedKindShim, MapsToBackendNames)
-{
-    EXPECT_EQ(schedKindName(SchedKind::Baseline), "Baseline");
-    EXPECT_EQ(schedKindName(SchedKind::Rmca), "RMCA");
-    EXPECT_EQ(backendFor(SchedKind::Baseline), "baseline");
-    EXPECT_EQ(backendFor(SchedKind::Rmca), "rmca");
-}
-
 TEST(BackendName, EmptyReadsAsBaseline)
 {
     RunConfig config;
@@ -113,6 +124,41 @@ TEST(BackendName, EmptyReadsAsBaseline)
     EXPECT_EQ(backendName(config), "baseline");
     config.backend = "verify";
     EXPECT_EQ(backendName(config), "verify");
+}
+
+TEST(LocalityName, EmptyReadsAsCme)
+{
+    RunConfig config;
+    EXPECT_EQ(localityName(config), "cme");
+    config.locality.clear();
+    EXPECT_EQ(localityName(config), "cme");
+    config.locality = "oracle";
+    EXPECT_EQ(localityName(config), "oracle");
+}
+
+// A suite run under the exact oracle provider must produce valid
+// schedules end to end, and the provider choice must actually matter
+// only through the locality numbers: the run succeeds with identical
+// loop/benchmark structure.
+TEST(RunSuite, OracleProviderRunsEndToEnd)
+{
+    Workbench bench({"tomcatv"});
+    RunConfig cme_cfg;
+    cme_cfg.machine = makeTwoCluster();
+    cme_cfg.backend = "rmca";
+    cme_cfg.threshold = 0.25;
+    RunConfig oracle_cfg = cme_cfg;
+    oracle_cfg.locality = "oracle";
+    sim::SimParams params;
+    params.maxExecutions = 2;
+
+    const auto with_cme = runSuite(bench, cme_cfg, params);
+    const auto with_oracle = runSuite(bench, oracle_cfg, params);
+    ASSERT_EQ(with_cme.loops.size(), with_oracle.loops.size());
+    for (std::size_t i = 0; i < with_oracle.loops.size(); ++i) {
+        EXPECT_TRUE(with_oracle.loops[i].sched.ok);
+        EXPECT_EQ(with_oracle.loops[i].loop, with_cme.loops[i].loop);
+    }
 }
 
 } // namespace
