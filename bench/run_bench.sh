@@ -4,7 +4,7 @@
 #
 # Usage:
 #   bench/run_bench.sh [--filter REGEX] [--jobs N] [--sweep|--no-sweep]
-#                      [extra google-benchmark flags]
+#                      [--fuzz|--no-fuzz] [extra google-benchmark flags]
 #
 # --filter REGEX limits the run to matching benchmarks (and merges only
 # their numbers into BENCH_sched.json), e.g.
@@ -26,6 +26,17 @@
 #   BENCH_MIN_TIME  --benchmark_min_time seconds (default: 2)
 #   SWEEP_BUDGET    exact-search node budget for the sweep timing
 #                   (default: the library default)
+#   FUZZ_SCENARIOS  differential fuzz-sweep scenario count (default 200)
+#   FUZZ_SEED       differential fuzz-sweep base seed (default: the
+#                   library's fixed seed)
+#
+# Like the suite sweep, the differential fuzz sweep (bench/fuzz_sweep:
+# generated scenarios through schedule validation, exact-II
+# cross-check, kernel expansion, lockstep simulation and CME-vs-oracle
+# agreement) runs on full benchmark passes and is skipped on --filter
+# runs; its scenario count, wall clock and output fingerprint land
+# under "fuzz_sweep" in BENCH_sched.json. A failing scenario fails the
+# whole benchmark run.
 #
 # The output is standard google-benchmark JSON plus three extra
 # top-level keys: "seed_baseline", carrying the pre-optimisation
@@ -49,6 +60,7 @@ OUT="$ROOT/BENCH_sched.json"
 
 JOBS="$(nproc 2>/dev/null || echo 1)"
 SWEEP=auto
+FUZZ=auto
 ARGS=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -78,6 +90,14 @@ while [ $# -gt 0 ]; do
         SWEEP=no
         shift
         ;;
+      --fuzz)
+        FUZZ=yes
+        shift
+        ;;
+      --no-fuzz)
+        FUZZ=no
+        shift
+        ;;
       *)
         ARGS+=("$1")
         shift
@@ -87,9 +107,12 @@ done
 set -- ${ARGS+"${ARGS[@]}"}
 
 # A filtered run is a targeted micro probe: skip the multi-second suite
-# sweep unless explicitly requested.
+# and fuzz sweeps unless explicitly requested.
 if [ "$SWEEP" = auto ]; then
     if [ -n "${BENCH_FILTER:-}" ]; then SWEEP=no; else SWEEP=yes; fi
+fi
+if [ "$FUZZ" = auto ]; then
+    if [ -n "${BENCH_FILTER:-}" ]; then FUZZ=no; else FUZZ=yes; fi
 fi
 
 if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
@@ -97,11 +120,12 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 # Always rebuild so the numbers describe the checked-out tree, never a
 # stale binary.
-cmake --build "$BUILD_DIR" -j --target micro_sched sweep_bench
+cmake --build "$BUILD_DIR" -j --target micro_sched sweep_bench fuzz_sweep
 
 TMP="$(mktemp)"
 SWEEP_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$SWEEP_TMP"' EXIT
+FUZZ_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP"' EXIT
 
 "$BUILD_DIR/micro_sched" \
     --benchmark_filter="${BENCH_FILTER:-.*}" \
@@ -123,13 +147,29 @@ if [ "$SWEEP" = yes ]; then
     fi
 fi
 
-python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" <<'EOF'
+# Differential fuzz sweep: generated scenarios through the full
+# validation pipeline; any scenario failure fails the benchmark run
+# (fuzz_sweep's exit status is its failure count).
+if [ "$FUZZ" = yes ]; then
+    echo "differential fuzz sweep (${FUZZ_SCENARIOS:-200} scenarios, jobs=$JOBS) ..."
+    FUZZ_ARGS=(--scenarios "${FUZZ_SCENARIOS:-200}" --jobs "$JOBS")
+    [ -n "${FUZZ_SEED:-}" ] && FUZZ_ARGS+=(--seed "$FUZZ_SEED")
+    "$BUILD_DIR/fuzz_sweep" "${FUZZ_ARGS[@]}" | tee "$FUZZ_TMP"
+fi
+
+python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" <<'EOF'
 import json
 import sys
 
-fresh_path, out_path, sweep_path, jobs = sys.argv[1:5]
-with open(fresh_path) as f:
-    fresh = json.load(f)
+fresh_path, out_path, sweep_path, jobs, fuzz_path = sys.argv[1:6]
+# A filter that matches no benchmark leaves the output file empty
+# (google-benchmark writes nothing); treat it as "measured nothing" so
+# sweep-only refreshes still merge.
+try:
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+except ValueError:
+    fresh = {}
 
 # Merge into the existing record: a filtered run updates only the
 # benchmarks it measured, and the recorded pre-optimisation baseline
@@ -142,6 +182,10 @@ except (OSError, ValueError):
 
 if "seed_baseline" in prev:
     fresh["seed_baseline"] = prev["seed_baseline"]
+# Keys this run did not produce (e.g. the google-benchmark "context"
+# on a measure-nothing run) survive from the previous record.
+for key, value in prev.items():
+    fresh.setdefault(key, value)
 measured = {b["name"] for b in fresh.get("benchmarks", [])}
 kept = [b for b in prev.get("benchmarks", [])
         if b.get("name") not in measured]
@@ -197,6 +241,30 @@ if times:
             cme["speedup_" + name] = round(ref / ns, 2)
 if cme:
     fresh["cme"] = cme
+
+# The differential fuzz sweep: scenario count, pass/fail split, wall
+# clock and the report fingerprint (preserved across runs that skip
+# the sweep).
+fuzz = prev.get("fuzz_sweep", {})
+try:
+    with open(fuzz_path) as f:
+        fuzz_lines = [l.split() for l in f if l.startswith("fuzz ")]
+except OSError:
+    fuzz_lines = []
+for fields in fuzz_lines:
+    kv = dict(field.split("=", 1) for field in fields[1:])
+    fuzz = {
+        "jobs": int(kv["jobs"]),
+        "scenarios": int(kv["scenarios"]),
+        "passed": int(kv["passed"]),
+        "failed": int(kv["failed"]),
+        "exact_settled": int(kv["exact_settled"]),
+        "rmca_optimal": int(kv["rmca_optimal"]),
+        "wall_ms": float(kv["wall_ms"]),
+        "fingerprint": kv["fingerprint"],
+    }
+if fuzz:
+    fresh["fuzz_sweep"] = fuzz
 
 with open(out_path, "w") as f:
     json.dump(fresh, f, indent=2)

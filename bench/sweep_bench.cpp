@@ -15,6 +15,11 @@
  * speedup that changes results cannot slip through.
  *
  * Usage: sweep_bench [--jobs N] [--exact] [--budget B]
+ *                    [--workloads A,B,...]
+ *
+ * --workloads accepts every workload form the registry resolves:
+ * builtin suite names, `file:<path>` loop files and `gen:<spec>`
+ * generated suites (default: all eight builtin suites).
  */
 
 #include <chrono>
@@ -50,6 +55,8 @@ main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
+    const std::vector<std::string> workloads =
+        harness::parseWorkloadsFlag(argc, argv);
     bool exact = false;
     std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
     for (int i = 1; i < argc; ++i) {
@@ -59,7 +66,7 @@ main(int argc, char **argv)
             budget = std::atoll(argv[++i]);
     }
 
-    harness::Workbench bench;
+    harness::Workbench bench(workloads);
     const MachineConfig machines[] = {makeUnified(), makeTwoCluster(),
                                       makeFourCluster()};
 

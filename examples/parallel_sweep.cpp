@@ -6,7 +6,10 @@
  * byte-identical no matter how many workers ran (demonstrated at the
  * end by re-running the sweep serially and comparing serialisations).
  *
- * Usage: parallel_sweep [--jobs N]   (default: all cores)
+ * Usage: parallel_sweep [--jobs N] [--workloads A,B,...]
+ *        (default: all cores, three of the builtin conflict suites;
+ *        --workloads accepts builtin names, file:<path> loop files and
+ *        gen:<spec> generated suites)
  */
 
 #include <cstdio>
@@ -32,8 +35,13 @@ main(int argc, char **argv)
                 driver.jobs(), locality.empty() ? "cme" : locality.c_str());
 
     // --- 2. The workbench: every workload loop prepared once (DDG +
-    // thread-safe CME analysis); all configurations share it. ---
-    harness::Workbench bench({"tomcatv", "swim", "hydro2d"});
+    // thread-safe CME analysis); all configurations share it. Any
+    // workload form resolves here, e.g.
+    // --workloads tomcatv,file:my.loops,gen:seed=7+loops=4. ---
+    std::vector<std::string> only = harness::parseWorkloadsFlag(argc, argv);
+    if (only.empty())
+        only = {"tomcatv", "swim", "hydro2d"};
+    harness::Workbench bench(only);
     std::printf("workbench: %zu loops from %zu suites\n\n",
                 bench.entries().size(), bench.benchmarks().size());
 

@@ -18,13 +18,22 @@ namespace
  * instead. The choice is a pure function of the (set, op, geometry)
  * key — the memoised CI half-width decides — so hybrid answers are as
  * interleaving-independent as the providers underneath.
+ *
+ * The confidence budget (`hybrid:<N>`) buys high-variance queries up
+ * to N extra batches of minSamples samples before the fallback fires:
+ * the solver's sample cap grows by N batches, so a query that would
+ * have fallen back may now converge — cutting oracle traffic on loops
+ * whose ratios are noisy but not pathological. Budget 0 is the plain
+ * "hybrid" provider. Determinism is unaffected: the sample stream of
+ * a query is a pure function of its key, and a longer prefix of the
+ * same stream is still a pure function of the key.
  */
 class HybridAnalysis : public LocalityAnalysis
 {
   public:
     HybridAnalysis(const ir::LoopNest &nest,
-                   std::shared_ptr<StreamCache> streams)
-        : solver_(nest, {}, std::move(streams)),
+                   std::shared_ptr<StreamCache> streams, int budget = 0)
+        : solver_(nest, budgetedParams(budget), std::move(streams)),
           oracle_(nest, solver_.streams())
     {
     }
@@ -63,18 +72,25 @@ class HybridAnalysis : public LocalityAnalysis
     }
 
   private:
+    static CmeParams budgetedParams(int budget)
+    {
+        CmeParams params;
+        params.maxSamples += budget * params.minSamples;
+        return params;
+    }
+
     CmeAnalysis solver_;
     CacheOracle oracle_;
     std::atomic<std::size_t> fallbacks_{0};
 };
 
-/** The three built-ins share one provider template. */
+/** The built-ins share one provider template. */
 template <typename MakeFn>
 class SimpleProvider : public LocalityProvider
 {
   public:
-    SimpleProvider(std::string_view name, MakeFn make)
-        : name_(name), make_(std::move(make))
+    SimpleProvider(std::string name, MakeFn make)
+        : name_(std::move(name)), make_(std::move(make))
     {
     }
 
@@ -88,17 +104,58 @@ class SimpleProvider : public LocalityProvider
     }
 
   private:
-    std::string_view name_;
+    std::string name_;
     MakeFn make_;
 };
 
 template <typename MakeFn>
 LocalityProviderFactory
-providerFactory(std::string_view name, MakeFn make)
+providerFactory(std::string name, MakeFn make)
 {
-    return [name, make] {
+    return [name = std::move(name), make = std::move(make)] {
         return std::make_unique<SimpleProvider<MakeFn>>(name, make);
     };
+}
+
+constexpr std::string_view HYBRID_PREFIX = "hybrid:";
+
+/**
+ * Parse the budget of a `hybrid:<N>` provider name. Returns false for
+ * names that do not start with "hybrid:" and for malformed budgets —
+ * never fatal, so has() can answer for any name. create() upgrades a
+ * malformed budget to a fatal with the scheme's own diagnostic.
+ */
+bool
+tryParseHybridBudget(const std::string &name, int *budget)
+{
+    if (name.rfind(HYBRID_PREFIX, 0) != 0)
+        return false;
+    const std::string payload = name.substr(HYBRID_PREFIX.size());
+    std::size_t used = 0;
+    long value = -1;
+    try {
+        value = std::stol(payload, &used);
+    } catch (...) {
+        used = std::string::npos;
+    }
+    if (used != payload.size() || value < 0 || value > 1000)
+        return false;
+    *budget = static_cast<int>(value);
+    return true;
+}
+
+/** The provider behind one `hybrid:<budget>` name. */
+std::unique_ptr<LocalityProvider>
+makeBudgetedHybrid(const std::string &name, int budget)
+{
+    return std::make_unique<SimpleProvider<
+        std::function<std::unique_ptr<LocalityAnalysis>(
+            const ir::LoopNest &, std::shared_ptr<StreamCache>)>>>(
+        name, [budget](const ir::LoopNest &nest,
+                       std::shared_ptr<StreamCache> s) {
+            return std::make_unique<HybridAnalysis>(nest, std::move(s),
+                                                    budget);
+        });
 }
 
 } // namespace
@@ -138,12 +195,28 @@ LocalityRegistry::add(std::string name, LocalityProviderFactory factory)
 bool
 LocalityRegistry::has(const std::string &name) const
 {
-    return table_.has(name);
+    if (table_.has(name))
+        return true;
+    // `hybrid:<budget>` is a scheme, not a registered name: any
+    // well-formed budget resolves (and only those — has() and
+    // create() must agree). An explicitly-registered name of the
+    // same spelling (above) wins.
+    int budget = 0;
+    return tryParseHybridBudget(name, &budget);
 }
 
 std::unique_ptr<LocalityProvider>
 LocalityRegistry::create(const std::string &name) const
 {
+    if (!table_.has(name) && name.rfind(HYBRID_PREFIX, 0) == 0) {
+        int budget = 0;
+        if (!tryParseHybridBudget(name, &budget))
+            mvp_fatal("bad hybrid budget '",
+                      name.substr(HYBRID_PREFIX.size()), "' in '", name,
+                      "' (want an integer 0..1000: extra sample "
+                      "batches before the oracle fallback)");
+        return makeBudgetedHybrid(name, budget);
+    }
     return table_.get(name, "locality provider")();
 }
 

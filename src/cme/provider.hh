@@ -14,7 +14,11 @@
  *  - "hybrid"  the sampling solver with an exact-oracle fallback for
  *              queries whose 95% CI never tightened to the solver's
  *              target — sampled speed where sampling converges, exact
- *              answers where it does not.
+ *              answers where it does not;
+ *  - "hybrid:<N>"  the confidence-budgeted hybrid: high-variance
+ *              queries may spend up to N extra batches of samples
+ *              before the oracle fallback fires, trading sample time
+ *              for oracle traffic ("hybrid:0" == "hybrid").
  *
  * Every provider bound to one nest can share one StreamCache, so the
  * materialised access streams amortise across providers as well as
@@ -74,10 +78,14 @@ class LocalityRegistry
     /** Register (or replace) a provider under @p name. */
     void add(std::string name, LocalityProviderFactory factory);
 
-    /** True when @p name resolves to a provider. */
+    /** True when @p name resolves to a provider (incl. hybrid:<N>). */
     bool has(const std::string &name) const;
 
-    /** Instantiate @p name; fatal() on unknown names. */
+    /**
+     * Instantiate @p name; fatal() on unknown names. Besides
+     * registered names, the `hybrid:<budget>` scheme resolves to a
+     * confidence-budgeted hybrid provider.
+     */
     std::unique_ptr<LocalityProvider> create(
         const std::string &name) const;
 

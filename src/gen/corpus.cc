@@ -1,0 +1,55 @@
+#include "gen/corpus.hh"
+
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "text/format.hh"
+
+namespace mvp::gen
+{
+
+std::vector<std::string>
+writeCorpus(const CorpusSpec &spec, const std::string &dir)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        mvp_fatal("cannot create corpus directory '", dir, "': ",
+                  ec.message());
+
+    const std::string stem =
+        dir + "/gen" + std::to_string(spec.seed);
+    std::vector<std::string> paths;
+
+    text::LoopFile file;
+    file.suite = "gen" + std::to_string(spec.seed);
+    file.loops = generateSuite(spec.seed, spec.loops, spec.params);
+    text::saveLoopFile(file, stem + ".loops");
+    paths.push_back(stem + ".loops");
+
+    for (int m = 0; m < spec.machines; ++m) {
+        const std::string path =
+            stem + ".m" + std::to_string(m) + ".machine";
+        text::saveMachineFile(
+            generateMachine(
+                deriveSeed(spec.seed, 0x4d000000ULL +
+                                          static_cast<std::uint64_t>(m)),
+                spec.params),
+            path);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+std::vector<std::string>
+writeScenario(const Scenario &scenario, const std::string &stem)
+{
+    text::LoopFile file;
+    file.suite = scenario.nest.name();
+    file.loops.push_back(scenario.nest);
+    text::saveLoopFile(file, stem + ".loops");
+    text::saveMachineFile(scenario.machine, stem + ".machine");
+    return {stem + ".loops", stem + ".machine"};
+}
+
+} // namespace mvp::gen

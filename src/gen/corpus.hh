@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Corpus helpers: dump generated scenarios to the text format.
+ *
+ * A corpus is a directory of `.loops` / `.machine` files produced by
+ * the generator and readable back through text::loadLoopFile /
+ * text::loadMachineFile — and therefore through the `file:<path>`
+ * workload scheme. Regression corpora pin interesting generated
+ * scenarios to files that survive generator evolution: a failure found
+ * by the differential pipeline can be dumped once and replayed forever
+ * even when the distributions that produced it change.
+ */
+
+#ifndef MVP_GEN_CORPUS_HH
+#define MVP_GEN_CORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/generator.hh"
+
+namespace mvp::gen
+{
+
+/** What writeCorpus() should generate. */
+struct CorpusSpec
+{
+    std::uint64_t seed = 1;
+    int loops = 8;       ///< nests in the suite file
+    int machines = 2;    ///< machine configs, one file each
+    GenParams params;
+};
+
+/**
+ * Generate and write a corpus into @p dir (created when missing):
+ * one `gen<seed>.loops` suite file plus `gen<seed>.m<i>.machine`
+ * files. Returns the written paths, the loop file first.
+ */
+std::vector<std::string> writeCorpus(const CorpusSpec &spec,
+                                     const std::string &dir);
+
+/**
+ * Dump one scenario (loop + machine) for replay: writes
+ * `<stem>.loops` and `<stem>.machine` and returns the two paths.
+ */
+std::vector<std::string> writeScenario(const Scenario &scenario,
+                                       const std::string &stem);
+
+} // namespace mvp::gen
+
+#endif // MVP_GEN_CORPUS_HH

@@ -1,0 +1,412 @@
+#include "gen/generator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/strutil.hh"
+#include "ir/builder.hh"
+
+namespace mvp::gen
+{
+
+namespace
+{
+
+using namespace mvp::ir;
+
+/** Domain separators so loop/machine sub-streams never collide. */
+constexpr std::uint64_t LOOP_STREAM = 0x6c6f6f70ULL;      // "loop"
+constexpr std::uint64_t MACHINE_STREAM = 0x6d616368ULL;   // "mach"
+
+/** All loops start here; offsets keep every affine index non-negative. */
+constexpr std::int64_t IV_LOWER = 2;
+constexpr int MAX_OFFSET = 2;
+
+/** Conflict-layout stride: one direct-mapped-cache period (8 KB). */
+constexpr std::int64_t CONFLICT_STRIDE = 0x2000;
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** One array under construction: its access pattern plus every ref. */
+struct ArrayPlan
+{
+    std::vector<std::size_t> depths;   ///< mapped loops, outermost first
+    std::vector<std::int64_t> coeffs;  ///< per mapped loop
+    std::vector<std::vector<std::int64_t>> offsets;   ///< per reference
+};
+
+/** Pick (or create) an array plan and record a new reference to it. */
+std::size_t
+pickArray(Rng &rng, const GenParams &params,
+          std::vector<ArrayPlan> &arrays, std::size_t depth)
+{
+    const bool reuse =
+        !arrays.empty() &&
+        (arrays.size() >= static_cast<std::size_t>(params.maxArrays) ||
+         rng.nextBool(params.pReuseArray));
+    if (!reuse) {
+        ArrayPlan arr;
+        // Rank in [1, depth]; the innermost loops are always mapped so
+        // every reference moves with the modulo-scheduled loop.
+        const auto rank = static_cast<std::size_t>(
+            rng.nextRange(1, static_cast<std::int64_t>(depth)));
+        for (std::size_t d = depth - rank; d < depth; ++d) {
+            arr.depths.push_back(d);
+            arr.coeffs.push_back(rng.nextBool(params.pStride2) ? 2 : 1);
+        }
+        arrays.push_back(std::move(arr));
+    }
+    const std::size_t index =
+        reuse ? static_cast<std::size_t>(rng.nextBounded(
+                    static_cast<std::uint64_t>(arrays.size())))
+              : arrays.size() - 1;
+
+    ArrayPlan &arr = arrays[index];
+    std::vector<std::int64_t> ofs(arr.depths.size(), 0);
+    if (rng.nextBool(params.pOffsetRef))
+        for (auto &o : ofs)
+            o = rng.nextRange(-MAX_OFFSET, MAX_OFFSET);
+    arr.offsets.push_back(std::move(ofs));
+    return index;
+}
+
+/** The index expressions of reference @p ref of array plan @p arr. */
+std::vector<AffineExpr>
+refExprs(const ArrayPlan &arr, std::size_t ref)
+{
+    std::vector<AffineExpr> index;
+    for (std::size_t k = 0; k < arr.depths.size(); ++k)
+        index.push_back(affineVar(arr.depths[k], arr.coeffs[k],
+                                  arr.offsets[ref][k]));
+    return index;
+}
+
+/** A register operand: live-in or a uniformly-chosen prior producer. */
+Operand
+pickInput(Rng &rng, const GenParams &params,
+          const std::vector<OpId> &producers)
+{
+    if (producers.empty() || rng.nextBool(params.pLiveIn))
+        return liveIn();
+    const auto pick = static_cast<std::size_t>(
+        rng.nextBounded(static_cast<std::uint64_t>(producers.size())));
+    return use(producers[pick]);
+}
+
+Opcode
+pickComputeOpcode(Rng &rng)
+{
+    // FP-heavy mix modelled on the SPECfp95 suites, with occasional
+    // divides for latency variety.
+    static constexpr Opcode MIX[] = {
+        Opcode::FAdd, Opcode::FAdd, Opcode::FSub, Opcode::FMul,
+        Opcode::FMul, Opcode::FMadd, Opcode::IAdd, Opcode::IMul,
+        Opcode::FDiv,
+    };
+    return MIX[rng.nextBounded(std::size(MIX))];
+}
+
+int
+arity(Opcode op)
+{
+    return op == Opcode::FMadd ? 3 : 2;
+}
+
+} // namespace
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t index)
+{
+    return splitmix64(base ^ splitmix64(index + 1));
+}
+
+ir::LoopNest
+generateLoop(std::uint64_t seed, const GenParams &params,
+             const std::string &name_hint)
+{
+    mvp_assert(params.minDepth >= 1 && params.maxDepth >= params.minDepth,
+               "bad depth range");
+    mvp_assert(params.minLoads >= 1, "generated loops need a load");
+    Rng rng(splitmix64(seed ^ LOOP_STREAM));
+
+    std::string name = name_hint;
+    if (name.empty()) {
+        name = "gen";
+        name += std::to_string(seed);
+    }
+    LoopNestBuilder b(std::move(name));
+
+    // --- loop dimensions (outermost first; unit steps) ---
+    const auto depth = static_cast<std::size_t>(
+        rng.nextRange(params.minDepth, params.maxDepth));
+    static const char *const IV_NAMES[] = {"i", "j", "k", "l"};
+    mvp_assert(depth <= std::size(IV_NAMES), "nest too deep to name");
+    std::vector<std::int64_t> last_iv(depth);   ///< per-loop final value
+    for (std::size_t d = 0; d < depth; ++d) {
+        const bool inner = d + 1 == depth;
+        const std::int64_t trip =
+            inner ? rng.nextRange(params.minInnerTrip, params.maxInnerTrip)
+                  : rng.nextRange(params.minOuterTrip,
+                                  params.maxOuterTrip);
+        b.loop(IV_NAMES[d], IV_LOWER, IV_LOWER + trip);
+        last_iv[d] = IV_LOWER + trip - 1;
+    }
+
+    // --- plan the references ---
+    const auto n_loads = static_cast<int>(
+        rng.nextRange(params.minLoads, params.maxLoads));
+    const auto n_compute = static_cast<int>(
+        rng.nextRange(params.minCompute, params.maxCompute));
+    const auto n_stores =
+        static_cast<int>(rng.nextRange(0, params.maxStores));
+
+    struct Ref
+    {
+        std::size_t array;
+        std::size_t index;   ///< position in the array plan's offsets
+    };
+    std::vector<ArrayPlan> arrays;
+    std::vector<Ref> refs;   ///< loads first, then stores
+    for (int i = 0; i < n_loads + n_stores; ++i) {
+        const std::size_t a = pickArray(rng, params, arrays, depth);
+        refs.push_back({a, arrays[a].offsets.size() - 1});
+    }
+
+    // --- declare the arrays: extents cover every reference; bases are
+    // either conflict-laid (multiples of one direct-mapped-cache
+    // period, the builtin suites' deliberate ping-pong placement) or
+    // packed by the builder's layout allocator ---
+    const bool conflict_layout = rng.nextBool(params.pConflictLayout);
+    std::vector<ArrayId> ids;
+    std::int64_t conflict_stride = CONFLICT_STRIDE;
+    std::vector<std::vector<std::int64_t>> extents;
+    for (const ArrayPlan &arr : arrays) {
+        std::vector<std::int64_t> ext;
+        std::int64_t bytes = 4;
+        for (std::size_t k = 0; k < arr.depths.size(); ++k) {
+            std::int64_t max_ofs = 0;
+            for (const auto &ofs : arr.offsets)
+                max_ofs = std::max(max_ofs, ofs[k]);
+            ext.push_back(arr.coeffs[k] * last_iv[arr.depths[k]] +
+                          max_ofs + 1);
+            bytes *= ext.back();
+        }
+        while (bytes > conflict_stride)
+            conflict_stride += CONFLICT_STRIDE;
+        extents.push_back(std::move(ext));
+    }
+    for (std::size_t a = 0; a < arrays.size(); ++a) {
+        std::string arr_name("A");
+        arr_name += std::to_string(a);
+        if (conflict_layout)
+            ids.push_back(b.arrayAt(
+                arr_name, extents[a],
+                static_cast<Addr>(0x10000 + static_cast<std::int64_t>(a) *
+                                                conflict_stride)));
+        else
+            ids.push_back(b.array(arr_name, extents[a]));
+    }
+
+    // --- recurrence plan (register-carried cycles) ---
+    enum class Rec { None, Accumulate, Cycle };
+    Rec rec = Rec::None;
+    if (rng.nextBool(params.pRecurrence))
+        rec = n_compute >= 2 && rng.nextBool() ? Rec::Cycle
+                                               : Rec::Accumulate;
+    const int rec_pos = rec == Rec::None
+                            ? -1
+                            : static_cast<int>(rng.nextBounded(
+                                  static_cast<std::uint64_t>(
+                                      rec == Rec::Cycle ? n_compute - 1
+                                                        : n_compute)));
+    const int rec_dist =
+        static_cast<int>(rng.nextRange(1, params.maxRecDistance));
+
+    // --- body: loads, compute, stores ---
+    std::vector<OpId> producers;
+    for (int i = 0; i < n_loads; ++i)
+        producers.push_back(
+            b.load(ids[refs[static_cast<std::size_t>(i)].array],
+                   refExprs(arrays[refs[static_cast<std::size_t>(i)].array],
+                            refs[static_cast<std::size_t>(i)].index)));
+
+    for (int c = 0; c < n_compute; ++c) {
+        const Opcode opcode = pickComputeOpcode(rng);
+        std::vector<Operand> inputs;
+        for (int k = 0; k < arity(opcode); ++k)
+            inputs.push_back(pickInput(rng, params, producers));
+        if (rec == Rec::Accumulate && c == rec_pos)
+            inputs.push_back(use(b.nextOpId(), rec_dist));
+        else if (rec == Rec::Cycle && c == rec_pos)
+            inputs.push_back(use(b.nextOpId() + 1, rec_dist));
+        else if (rec == Rec::Cycle && c == rec_pos + 1)
+            inputs.back() = use(b.nextOpId() - 1);   // close the cycle
+        producers.push_back(b.op(opcode, std::move(inputs)));
+    }
+
+    for (int s = 0; s < n_stores; ++s) {
+        const Ref &r = refs[static_cast<std::size_t>(n_loads + s)];
+        b.store(ids[r.array], refExprs(arrays[r.array], r.index),
+                pickInput(rng, params, producers));
+    }
+
+    ir::LoopNest nest = b.build();
+    nest.validate();
+    return nest;
+}
+
+MachineConfig
+generateMachine(std::uint64_t seed, const GenParams &params)
+{
+    Rng rng(splitmix64(seed ^ MACHINE_STREAM));
+    MachineConfig cfg;
+    cfg.name = "genmach" + std::to_string(seed);
+
+    // Clusters: 1, 2 or 4 (uniform over the allowed powers of two).
+    int max_shift = 0;
+    for (int c = params.maxClusters; c > 1; c /= 2)
+        ++max_shift;
+    cfg.nClusters = 1 << rng.nextRange(0, max_shift);
+
+    cfg.intFusPerCluster =
+        static_cast<int>(rng.nextRange(1, params.maxFusPerClass));
+    cfg.fpFusPerCluster =
+        static_cast<int>(rng.nextRange(1, params.maxFusPerClass));
+    cfg.memFusPerCluster =
+        static_cast<int>(rng.nextRange(1, params.maxFusPerClass));
+    static constexpr int REG_SIZES[] = {24, 32, 48, 64};
+    cfg.regsPerCluster =
+        REG_SIZES[rng.nextBounded(std::size(REG_SIZES))];
+
+    if (cfg.nClusters == 1) {
+        // The unified-preset convention: no register communication.
+        cfg.nRegBuses = 0;
+        cfg.unboundedRegBuses = true;
+    } else if (rng.nextBool(0.15)) {
+        cfg.nRegBuses = 0;
+        cfg.unboundedRegBuses = true;
+        cfg.regBusLatency = rng.nextRange(1, 2);
+    } else {
+        cfg.nRegBuses = static_cast<int>(rng.nextRange(1, 3));
+        cfg.regBusLatency = rng.nextRange(1, 2);
+    }
+    if (rng.nextBool(0.1)) {
+        cfg.nMemBuses = 0;
+        cfg.unboundedMemBuses = true;
+        cfg.memBusLatency = rng.nextRange(1, 2);
+    } else {
+        cfg.nMemBuses = static_cast<int>(rng.nextRange(1, 2));
+        cfg.memBusLatency = rng.nextRange(1, 2);
+    }
+
+    static constexpr std::int64_t PER_CLUSTER_CACHE[] = {1024, 2048, 4096};
+    cfg.totalCacheBytes =
+        PER_CLUSTER_CACHE[rng.nextBounded(std::size(PER_CLUSTER_CACHE))] *
+        cfg.nClusters;
+    cfg.cacheLineBytes = rng.nextBool(params.pWideLine) ? 64 : 32;
+    cfg.cacheAssoc = rng.nextBool(params.pTwoWayCache) ? 2 : 1;
+    cfg.mshrEntries = static_cast<int>(rng.nextRange(4, 16));
+
+    if (rng.nextBool(params.pVaryLatency)) {
+        cfg.latCacheHit = rng.nextRange(1, 3);
+        cfg.latMainMemory = rng.nextRange(6, 16);
+        cfg.latFp = rng.nextRange(1, 4);
+        cfg.latFpDiv = rng.nextRange(4, 8);
+        cfg.latIntMul = rng.nextRange(1, 3);
+    }
+
+    cfg.validate();
+    return cfg;
+}
+
+Scenario
+generateScenario(std::uint64_t seed, const GenParams &params)
+{
+    Scenario sc;
+    sc.seed = seed;
+    sc.nest = generateLoop(deriveSeed(seed, 0), params);
+    sc.machine = generateMachine(deriveSeed(seed, 1), params);
+    return sc;
+}
+
+std::vector<ir::LoopNest>
+generateSuite(std::uint64_t seed, int count, const GenParams &params)
+{
+    mvp_assert(count >= 1, "generateSuite wants a positive count");
+    std::vector<ir::LoopNest> loops;
+    loops.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        loops.push_back(generateLoop(
+            deriveSeed(seed, static_cast<std::uint64_t>(i)), params,
+            "gen" + std::to_string(seed) + ".l" + std::to_string(i)));
+    return loops;
+}
+
+std::vector<ir::LoopNest>
+generateFromSpec(const std::string &spec)
+{
+    GenParams params;
+    std::uint64_t seed = 1;
+    std::int64_t count = 8;
+
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        // ',' and '+' both separate pairs; '+' survives inside
+        // comma-separated workload lists (--workloads a,gen:seed=7+loops=4).
+        std::size_t end = spec.find_first_of(",+", pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string pair = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            mvp_fatal("gen spec '", spec, "': expected key=value, got '",
+                      pair, "'");
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        std::size_t used = 0;
+        std::int64_t num = 0;
+        try {
+            num = std::stoll(value, &used, 0);
+        } catch (...) {
+            used = std::string::npos;
+        }
+        if (used != value.size())
+            mvp_fatal("gen spec '", spec, "': bad value '", value,
+                      "' for '", key, "'");
+        if (key == "seed") {
+            seed = static_cast<std::uint64_t>(num);
+        } else if (key == "loops") {
+            if (num < 1 || num > 4096)
+                mvp_fatal("gen spec '", spec,
+                          "': loops wants 1..4096, got ", num);
+            count = num;
+        } else if (key == "depth") {
+            if (num < 1 || num > 3)
+                mvp_fatal("gen spec '", spec,
+                          "': depth wants 1..3, got ", num);
+            params.minDepth = params.maxDepth = static_cast<int>(num);
+        } else if (key == "ops") {
+            if (num < params.minCompute)
+                mvp_fatal("gen spec '", spec, "': ops wants >= ",
+                          params.minCompute, ", got ", num);
+            params.maxCompute = static_cast<int>(num);
+        } else {
+            mvp_fatal("gen spec '", spec, "': unknown key '", key,
+                      "' (known: seed, loops, depth, ops)");
+        }
+    }
+    return generateSuite(seed, static_cast<int>(count), params);
+}
+
+} // namespace mvp::gen

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Seeded synthetic-loop and machine generator.
+ *
+ * The eight builtin suites cover the paper's evaluation, but 64–96
+ * fixed loop-machine combos are far too few to validate the scheduler
+ * stack the way the exact-scheduling literature does (generated
+ * instance sets, heuristic-vs-exact cross-checks). This module draws
+ * arbitrarily many structurally-valid `ir::LoopNest`s and
+ * `MachineConfig`s from parameterised distributions, deterministically
+ * from a 64-bit seed: the same seed always yields the same scenario,
+ * on every platform, at any thread count — which is what lets the
+ * differential pipeline (harness/differential.hh) shard scenarios
+ * across a worker pool and still report reproducible failures by seed.
+ *
+ * Generated loops mirror the properties the builtin suites model
+ * deliberately: uniformly-generated reference families (group reuse),
+ * arrays laid out to conflict in direct-mapped caches, register
+ * recurrences (accumulators and forward-referencing chains), and
+ * occasional read-modify-write arrays that create memory-carried
+ * dependences. Every emitted nest passes LoopNest::validate().
+ */
+
+#ifndef MVP_GEN_GENERATOR_HH
+#define MVP_GEN_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/loop.hh"
+#include "machine/machine.hh"
+
+namespace mvp::gen
+{
+
+/**
+ * Distribution knobs. The defaults keep iteration spaces small enough
+ * (inner trips 8–48, at most a few hundred points) that the CME
+ * sampling solver runs in its exhaustive mode and the lockstep
+ * simulator finishes in microseconds — the regime the differential
+ * pipeline wants, where CME answers are exact and comparable to the
+ * oracle bit for bit.
+ */
+struct GenParams
+{
+    /** @name Loop shape */
+    /// @{
+    int minDepth = 1;            ///< loop-nest depth (1 = innermost only)
+    int maxDepth = 2;
+    std::int64_t minInnerTrip = 8;
+    std::int64_t maxInnerTrip = 48;
+    std::int64_t minOuterTrip = 2;   ///< per outer loop
+    std::int64_t maxOuterTrip = 6;
+    /// @}
+
+    /** @name Body shape */
+    /// @{
+    int minLoads = 1;
+    int maxLoads = 5;
+    int minCompute = 2;          ///< non-memory operations
+    int maxCompute = 7;
+    int maxStores = 2;
+    int maxArrays = 4;
+    /// @}
+
+    /** @name Dataflow */
+    /// @{
+    double pLiveIn = 0.15;       ///< operand is a loop-invariant live-in
+    double pRecurrence = 0.5;    ///< nest carries >= 1 register recurrence
+    int maxRecDistance = 3;      ///< loop-carried distance of recurrences
+    /// @}
+
+    /** @name Access patterns */
+    /// @{
+    double pStride2 = 0.2;       ///< coefficient 2 instead of 1
+    double pOffsetRef = 0.6;     ///< reference offset in [-2, 2] (stencils)
+    double pConflictLayout = 0.5;   ///< arrays placed 8 KB apart
+    double pReuseArray = 0.5;    ///< reference an existing array again
+    /// @}
+
+    /** @name Machine shape */
+    /// @{
+    int maxClusters = 4;         ///< 1, 2 or 4 (powers of two)
+    int maxFusPerClass = 3;      ///< per-cluster FU count in [1, max]
+    double pTwoWayCache = 0.2;   ///< 2-way instead of direct-mapped
+    double pWideLine = 0.25;     ///< 64 B lines instead of 32 B
+    double pVaryLatency = 0.3;   ///< scale FP/memory latencies
+    /// @}
+};
+
+/**
+ * Generate one loop nest from @p seed. Deterministic; the result
+ * passes validate() and contains at least one load. @p name_hint names
+ * the nest ("" derives "gen<seed>").
+ */
+ir::LoopNest generateLoop(std::uint64_t seed,
+                          const GenParams &params = {},
+                          const std::string &name_hint = "");
+
+/**
+ * Generate one machine configuration from @p seed. Deterministic; the
+ * result passes MachineConfig::validate().
+ */
+MachineConfig generateMachine(std::uint64_t seed,
+                              const GenParams &params = {});
+
+/** One generated experiment point. */
+struct Scenario
+{
+    std::uint64_t seed = 0;
+    ir::LoopNest nest;
+    MachineConfig machine;
+};
+
+/**
+ * Generate the loop-machine pair of @p seed (independent sub-streams,
+ * so scenario N's loop does not change when machine knobs move).
+ */
+Scenario generateScenario(std::uint64_t seed,
+                          const GenParams &params = {});
+
+/**
+ * Generate @p count loop nests under one base seed, named
+ * "gen<seed>.l<i>" — the shape the `gen:` workload scheme exposes as a
+ * synthetic benchmark suite.
+ */
+std::vector<ir::LoopNest> generateSuite(std::uint64_t seed, int count,
+                                        const GenParams &params = {});
+
+/**
+ * Derive the seed of sub-stream @p index from @p base (SplitMix64
+ * finalisation): scenario i of a sweep is a pure function of
+ * (base, i), independent of every other scenario.
+ */
+std::uint64_t deriveSeed(std::uint64_t base, std::uint64_t index);
+
+/**
+ * Parse a `gen:` workload spec — the text after the scheme prefix,
+ * `key=value` pairs separated by ',' or '+' ('+' survives inside
+ * comma-separated workload lists, e.g.
+ * `--workloads tomcatv,gen:seed=7+loops=4`):
+ *
+ *   seed=<u64>    base seed            (default 1)
+ *   loops=<n>     nests to generate    (default 8, max 4096)
+ *   depth=<n>     fixed nest depth     (default: distribution)
+ *   ops=<n>       max compute ops      (default: distribution)
+ *
+ * fatal() on unknown keys or malformed values. Returns the loops.
+ */
+std::vector<ir::LoopNest> generateFromSpec(const std::string &spec);
+
+} // namespace mvp::gen
+
+#endif // MVP_GEN_GENERATOR_HH

@@ -76,6 +76,29 @@ parseLocalityFlag(int &argc, char **argv)
     return stripValueFlag(argc, argv, "--locality", "a provider name");
 }
 
+std::vector<std::string>
+parseWorkloadsFlag(int &argc, char **argv)
+{
+    const std::string value = stripValueFlag(
+        argc, argv, "--workloads", "a comma-separated workload list");
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while (pos < value.size()) {
+        std::size_t end = value.find(',', pos);
+        if (end == std::string::npos)
+            end = value.size();
+        if (end > pos)
+            names.push_back(value.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    // An empty *result* means "all builtin suites" downstream; a flag
+    // that was given but names nothing (e.g. "--workloads ,") must
+    // not silently widen the sweep to everything.
+    if (!value.empty() && names.empty())
+        mvp_fatal("--workloads '", value, "' names no workloads");
+    return names;
+}
+
 ParallelDriver::ParallelDriver(int jobs)
     : jobs_(jobs >= 1 ? jobs : defaultJobs())
 {

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -68,6 +69,16 @@ int parseJobsFlag(int &argc, char **argv);
  * harness reads that as the default "cme" provider.
  */
 std::string parseLocalityFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip a `--workloads A,B,...` / `--workloads=A,B,...`
+ * flag: the comma-separated workload names a suite binary forwards
+ * into the Workbench `only` selection. Every form
+ * workloads::benchmarkByName accepts works here — builtin suites,
+ * `file:<path>` loop files, `gen:<spec>` generated suites. Returns an
+ * empty vector when the flag is absent (= all builtin suites).
+ */
+std::vector<std::string> parseWorkloadsFlag(int &argc, char **argv);
 
 /**
  * A persistent worker pool that shards independent work items.

@@ -64,10 +64,7 @@ Workbench::Workbench(const std::vector<std::string> &only)
 {
     // Any Table-1 preset provides the (shared) operation latencies.
     const MachineConfig lat_machine = makeUnified();
-    for (auto &bench : workloads::allBenchmarks()) {
-        if (!only.empty() &&
-            std::find(only.begin(), only.end(), bench.name) == only.end())
-            continue;
+    for (auto &bench : workloads::resolveWorkloads(only)) {
         for (auto &nest : bench.loops) {
             auto entry = std::make_unique<Entry>();
             entry->benchmark = bench.name;

@@ -138,12 +138,16 @@ class Workbench
     };
 
     /**
-     * Prepare every loop of every suite (or of @p only, when given).
-     * Operation latencies are identical in all Table-1 machines, so one
-     * DDG per loop serves the whole sweep. Preparation also warms each
-     * DDG's lazily-computed SCC tables so the graphs are read-only —
-     * and therefore freely shared — once sharded scheduling starts.
-     * The default "cme" provider is bound to every entry up front.
+     * Prepare every loop of every builtin suite, or of the workloads
+     * named by @p only — each name resolved like
+     * workloads::benchmarkByName, so `file:<path>` loop files and
+     * `gen:<spec>` generated suites mix freely with builtin names (and
+     * unknown names fail with the list of valid ones). Operation
+     * latencies are identical in all Table-1 machines, so one DDG per
+     * loop serves the whole sweep. Preparation also warms each DDG's
+     * lazily-computed SCC tables so the graphs are read-only — and
+     * therefore freely shared — once sharded scheduling starts. The
+     * default "cme" provider is bound to every entry up front.
      */
     explicit Workbench(const std::vector<std::string> &only = {});
 

@@ -1,22 +1,70 @@
 #include "workloads/workloads.hh"
 
 #include "common/logging.hh"
+#include "common/registry.hh"
+#include "gen/generator.hh"
+#include "text/format.hh"
 
 namespace mvp::workloads
 {
+
+namespace
+{
+
+using BenchmarkFactory = Benchmark (*)();
+
+/**
+ * The builtin suites behind the shared NamedFactoryTable, so unknown
+ * workload names fail exactly like unknown scheduler backends and
+ * locality providers: with the component kind and the list of valid
+ * names.
+ */
+const NamedFactoryTable<BenchmarkFactory> &
+builtinTable()
+{
+    static const NamedFactoryTable<BenchmarkFactory> table = [] {
+        NamedFactoryTable<BenchmarkFactory> t;
+        t.add("tomcatv", &makeTomcatv);
+        t.add("swim", &makeSwim);
+        t.add("su2cor", &makeSu2cor);
+        t.add("hydro2d", &makeHydro2d);
+        t.add("mgrid", &makeMgrid);
+        t.add("applu", &makeApplu);
+        t.add("turb3d", &makeTurb3d);
+        t.add("apsi", &makeApsi);
+        return t;
+    }();
+    return table;
+}
+
+/** True when @p name starts with @p scheme. */
+bool
+hasScheme(const std::string &name, const char *scheme)
+{
+    return name.rfind(scheme, 0) == 0;
+}
+
+/** `file:<path>` -> the loops of a text-format loop file. */
+Benchmark
+loadFileWorkload(const std::string &path)
+{
+    text::LoopFile file = text::loadLoopFile(path);
+    if (file.loops.empty())
+        mvp_fatal("workload file '", path, "' declares no loops");
+    Benchmark bench;
+    bench.name = file.suite.empty() ? path : file.suite;
+    bench.loops = std::move(file.loops);
+    return bench;
+}
+
+} // namespace
 
 std::vector<Benchmark>
 allBenchmarks()
 {
     std::vector<Benchmark> all;
-    all.push_back(makeTomcatv());
-    all.push_back(makeSwim());
-    all.push_back(makeSu2cor());
-    all.push_back(makeHydro2d());
-    all.push_back(makeMgrid());
-    all.push_back(makeApplu());
-    all.push_back(makeTurb3d());
-    all.push_back(makeApsi());
+    for (const auto &name : benchmarkNames())
+        all.push_back(builtinTable().get(name, "workload")());
     return all;
 }
 
@@ -35,10 +83,30 @@ allLoops()
 Benchmark
 benchmarkByName(const std::string &name)
 {
-    for (auto &b : allBenchmarks())
-        if (b.name == name)
-            return b;
-    mvp_fatal("unknown benchmark '", name, "'");
+    if (hasScheme(name, "file:"))
+        return loadFileWorkload(name.substr(5));
+    if (hasScheme(name, "gen:")) {
+        Benchmark bench;
+        bench.name = name;
+        bench.loops = gen::generateFromSpec(name.substr(4));
+        return bench;
+    }
+    if (name.find(':') != std::string::npos)
+        mvp_fatal("unknown workload scheme in '", name,
+                  "' (known: file:<path>, gen:<spec>)");
+    return builtinTable().get(name, "workload")();
+}
+
+std::vector<Benchmark>
+resolveWorkloads(const std::vector<std::string> &names)
+{
+    if (names.empty())
+        return allBenchmarks();
+    std::vector<Benchmark> out;
+    out.reserve(names.size());
+    for (const auto &name : names)
+        out.push_back(benchmarkByName(name));
+    return out;
 }
 
 std::vector<std::string>

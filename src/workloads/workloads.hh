@@ -54,6 +54,18 @@ Benchmark makeApsi();
 /** All eight suites, in the paper's order. */
 std::vector<Benchmark> allBenchmarks();
 
+/**
+ * Resolve a list of workload names to benchmarks, in the given order.
+ * Every name goes through the same resolution benchmarkByName()
+ * performs (builtin registry, `file:` and `gen:` schemes); an empty
+ * list resolves to all builtin suites in the paper's order. This is
+ * what the harness Workbench feeds its `only` selection through, so
+ * any experiment can mix compiled-in suites with loops loaded from
+ * text files and generated instance sets.
+ */
+std::vector<Benchmark> resolveWorkloads(
+    const std::vector<std::string> &names);
+
 /** One loop with its suite attribution, for flat sweeps. */
 struct NamedLoop
 {
@@ -69,10 +81,21 @@ struct NamedLoop
  */
 std::vector<NamedLoop> allLoops();
 
-/** Lookup by name; fatal() when unknown. */
+/**
+ * Workload lookup. Three name forms resolve:
+ *
+ *  - a builtin suite name ("tomcatv", ..., "apsi");
+ *  - `file:<path>` — a text-format loop file (text/format.hh), the
+ *    benchmark named by its `suite` directive (else the path);
+ *  - `gen:<spec>` — a generated suite (gen/generator.hh), e.g.
+ *    "gen:seed=42,loops=8"; the spec string names the benchmark.
+ *
+ * Unknown names are fatal, listing the valid builtin names and the
+ * schemes (the shared NamedFactoryTable error path).
+ */
 Benchmark benchmarkByName(const std::string &name);
 
-/** Names of all suites. */
+/** Names of all builtin suites. */
 std::vector<std::string> benchmarkNames();
 
 } // namespace mvp::workloads

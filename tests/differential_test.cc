@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The differential validation pipeline as a ctest gate: a 200-scenario
+ * smoke sweep at a fixed seed (every rmca schedule validates, exact II
+ * <= rmca II wherever the search settles, the §2.2 compute-cycle
+ * identity holds, CME agrees with the oracle, zero text round-trip
+ * mismatches), sharding determinism, and the hybrid:<budget> locality
+ * provider riding the same scenarios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cme/provider.hh"
+#include "cme/solver.hh"
+#include "harness/differential.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::harness
+{
+namespace
+{
+
+/** The fixed-seed options CI runs (bench/fuzz_sweep.cpp defaults). */
+DiffOptions
+smokeOptions(int scenarios)
+{
+    DiffOptions options;
+    options.scenarios = scenarios;
+    return options;
+}
+
+TEST(Differential, TwoHundredScenarioSmokeSweepPasses)
+{
+    const auto report = runDifferential(smokeOptions(200));
+    ASSERT_EQ(report.rows.size(), 200u);
+    EXPECT_EQ(report.failed(), 0) << report.summary();
+    EXPECT_EQ(report.passed(), 200);
+
+    // The sweep must actually exercise the cross-checks, not skip
+    // them: the exact search settles on (almost) every small scenario
+    // and rmca is not trivially optimal everywhere.
+    EXPECT_GE(report.exactSettled(), 190) << report.summary();
+    EXPECT_GE(report.rmcaOptimal(), 150);
+    EXPECT_LE(report.rmcaOptimal(), report.exactSettled());
+
+    for (const auto &row : report.rows) {
+        EXPECT_GE(row.rmcaII, row.mii) << row.seed;
+        if (row.exactSettled) {
+            EXPECT_LE(row.exactII, row.rmcaII) << row.seed;
+            EXPECT_GE(row.exactII, row.mii) << row.seed;
+        }
+        EXPECT_GE(row.stages, 1) << row.seed;
+        EXPECT_GT(row.simCompute, 0) << row.seed;
+    }
+}
+
+TEST(Differential, ReportIsByteIdenticalAtAnyJobCount)
+{
+    const DiffOptions options = smokeOptions(48);
+    ParallelDriver serial(1);
+    const std::string one =
+        runDifferential(options, serial).serialise();
+    for (int jobs : {2, 8}) {
+        ParallelDriver driver(jobs);
+        EXPECT_EQ(runDifferential(options, driver).serialise(), one)
+            << "jobs=" << jobs;
+    }
+}
+
+TEST(Differential, ScenarioRowsArePureFunctionsOfSeedAndIndex)
+{
+    // Prefix property: the first K rows of a longer sweep equal the
+    // K-row sweep — scenarios never depend on the sweep size.
+    const auto small = runDifferential(smokeOptions(12));
+    const auto large = runDifferential(smokeOptions(24));
+    const std::string small_rows = small.serialise();
+    const std::string large_rows = large.serialise();
+    EXPECT_EQ(large_rows.compare(0, small_rows.find("total"),
+                                 small_rows, 0,
+                                 small_rows.find("total")),
+              0);
+}
+
+TEST(Differential, HeuristicOnlyModeSkipsExact)
+{
+    DiffOptions options = smokeOptions(24);
+    options.checkExact = false;
+    const auto report = runDifferential(options);
+    EXPECT_EQ(report.failed(), 0) << report.summary();
+    EXPECT_EQ(report.exactSettled(), 0);
+}
+
+TEST(Differential, RunsUnderAlternativeLocalityProviders)
+{
+    for (const char *provider : {"oracle", "hybrid:2"}) {
+        DiffOptions options = smokeOptions(16);
+        options.locality = provider;
+        const auto report = runDifferential(options);
+        EXPECT_EQ(report.failed(), 0)
+            << provider << "\n"
+            << report.summary();
+    }
+}
+
+// ------------------------------------------- hybrid:<budget> provider
+
+TEST(HybridBudget, SpendsSamplesBeforeFallingBack)
+{
+    // On a builtin loop with a large iteration space the default
+    // solver leaves some queries unconverged; a budgeted hybrid
+    // answers a superset of them by sampling instead of simulating.
+    // Budget 0 must behave exactly like the plain hybrid.
+    auto &registry = cme::LocalityRegistry::instance();
+    EXPECT_TRUE(registry.has("hybrid:0"));
+    EXPECT_TRUE(registry.has("hybrid:16"));
+    EXPECT_FALSE(registry.has("hybrid_16"));
+    // has() and create() agree: a malformed budget does not resolve.
+    EXPECT_FALSE(registry.has("hybrid:two"));
+    EXPECT_FALSE(registry.has("hybrid:-1"));
+
+    const auto nest = workloads::benchmarkByName("su2cor").loops[0];
+    const CacheGeom geom{2048, 32, 1};
+    const auto mem = nest.loops().size() ? nest.memoryOps()
+                                         : std::vector<OpId>{};
+    ASSERT_FALSE(mem.empty());
+
+    auto plain = registry.bind("hybrid", nest);
+    auto zero = registry.bind("hybrid:0", nest);
+    auto budgeted = registry.bind("hybrid:16", nest);
+    const double p = plain->missesPerIteration(mem, geom);
+    EXPECT_DOUBLE_EQ(zero->missesPerIteration(mem, geom), p);
+    // The budgeted answer stays within sampling noise of the plain
+    // one (both estimate the same exact quantity).
+    EXPECT_NEAR(budgeted->missesPerIteration(mem, geom), p, 0.5);
+}
+
+TEST(HybridBudget, DeterministicAcrossInstances)
+{
+    const auto nest = workloads::benchmarkByName("tomcatv").loops[0];
+    const CacheGeom geom{4096, 32, 1};
+    const auto mem = nest.memoryOps();
+    auto &registry = cme::LocalityRegistry::instance();
+    auto a = registry.bind("hybrid:3", nest);
+    auto b = registry.bind("hybrid:3", nest);
+    for (const OpId op : mem)
+        EXPECT_DOUBLE_EQ(a->missRatio(mem, op, geom),
+                         b->missRatio(mem, op, geom))
+            << op;
+}
+
+TEST(HybridBudgetDeath, RejectsMalformedBudgets)
+{
+    EXPECT_EXIT(
+        (void)cme::LocalityRegistry::instance().create("hybrid:two"),
+        ::testing::ExitedWithCode(1), "bad hybrid budget 'two'");
+    EXPECT_EXIT(
+        (void)cme::LocalityRegistry::instance().create("hybrid:-1"),
+        ::testing::ExitedWithCode(1), "bad hybrid budget");
+}
+
+} // namespace
+} // namespace mvp::harness

@@ -35,8 +35,16 @@ TEST(Workloads, LookupByName)
     const auto b = benchmarkByName("swim");
     EXPECT_EQ(b.name, "swim");
     EXPECT_GE(b.loops.size(), 3u);
+    // Unknown names die through the shared NamedFactoryTable error
+    // path: the component kind plus the list of valid names.
     EXPECT_EXIT((void)benchmarkByName("nonesuch"),
-                ::testing::ExitedWithCode(1), "unknown benchmark");
+                ::testing::ExitedWithCode(1),
+                "unknown workload 'nonesuch' \\(known: applu, apsi, "
+                "hydro2d, mgrid, su2cor, swim, tomcatv, turb3d\\)");
+    // Unknown *schemes* name the known schemes instead.
+    EXPECT_EXIT((void)benchmarkByName("ftp:loops"),
+                ::testing::ExitedWithCode(1),
+                "unknown workload scheme.*file:<path>, gen:<spec>");
 }
 
 TEST(Workloads, EveryLoopValidatesAndIsNonTrivial)
