@@ -23,6 +23,7 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/flags.hh"
 #include "machine/presets.hh"
 
 using namespace mvp;
@@ -33,6 +34,8 @@ main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
+    const std::int64_t time_budget =
+        harness::parseTimeBudgetFlag(argc, argv);
     harness::Workbench bench;
     const auto machine = withLimitedBuses(makeFourCluster(), 1, 4);
     std::printf("machine: %s\n\n", machine.summary().c_str());
@@ -57,6 +60,7 @@ main(int argc, char **argv)
         cfg.backend = v.backend;
         cfg.locality = locality;
         cfg.threshold = v.thr;
+        cfg.timeBudgetMs = time_budget;
         configs.push_back(cfg);
     }
     const auto results =

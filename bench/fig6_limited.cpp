@@ -26,6 +26,7 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/flags.hh"
 #include "machine/presets.hh"
 
 using namespace mvp;
@@ -43,6 +44,8 @@ main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
+    const std::int64_t time_budget =
+        harness::parseTimeBudgetFlag(argc, argv);
     harness::Workbench bench;
 
     struct Row
@@ -83,6 +86,7 @@ main(int argc, char **argv)
         cfg.backend = row.sched;
         cfg.locality = locality;
         cfg.threshold = row.thr;
+        cfg.timeBudgetMs = time_budget;
         configs.push_back(cfg);
     }
     const auto results =

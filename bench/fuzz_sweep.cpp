@@ -16,6 +16,7 @@
  * exit status is the failure count, capped at 125).
  *
  * Usage: fuzz_sweep [--jobs N] [--scenarios N] [--seed S] [--budget B]
+ *                   [--time-budget-ms MS] [--exact-backend NAME]
  *                   [--locality NAME] [--no-exact] [--verbose]
  */
 
@@ -27,6 +28,7 @@
 
 #include "common/strutil.hh"
 #include "harness/differential.hh"
+#include "harness/flags.hh"
 
 using namespace mvp;
 
@@ -38,6 +40,11 @@ main(int argc, char **argv)
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     if (!locality.empty())
         options.locality = locality;
+    options.timeBudgetMs = harness::parseTimeBudgetFlag(argc, argv);
+    const std::string exact_backend =
+        harness::parseExactBackendFlag(argc, argv);
+    if (!exact_backend.empty())
+        options.exactBackend = exact_backend;
     bool verbose = false;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--scenarios") && i + 1 < argc)

@@ -38,18 +38,24 @@
 # under "fuzz_sweep" in BENCH_sched.json. A failing scenario fails the
 # whole benchmark run.
 #
-# The output is standard google-benchmark JSON plus three extra
+# The output is standard google-benchmark JSON plus four extra
 # top-level keys: "seed_baseline", carrying the pre-optimisation
 # reference numbers of the benchmarks the build is gated on;
-# "parallel_sweep" with the sharded-driver wall-clock record; and
-# "cme", the locality-layer section — the latest
-# BM_StreamMaterialise / BM_CmeMissRatio_* / BM_Oracle* times plus
-# speedups against the recorded "pre_overhaul" reference (the PR-3
-# numbers, preserved across re-runs). A quick locality-only refresh:
+# "parallel_sweep" with the sharded-driver wall-clock record; "cme",
+# the locality-layer section — the latest BM_StreamMaterialise /
+# BM_CmeMissRatio_* / BM_Oracle* times plus speedups against the
+# recorded "pre_overhaul" reference (the PR-3 numbers, preserved
+# across re-runs); and "exact", the exact-engine section — the
+# BM_ScheduleExact / BM_ScheduleVerify times and node throughput,
+# speedups against the recorded pre-overhaul reference (the PR-5-era
+# numbers, seeded automatically from the record the first time the
+# section is built and preserved afterwards), and the fuzz sweep's
+# certified rate. Quick single-layer refreshes:
 #
 #   bench/run_bench.sh --filter 'BM_Cme|BM_Oracle|BM_Stream'
+#   bench/run_bench.sh --filter 'BM_Schedule(Exact|Verify)'
 #
-# Existing values of all three keys are preserved across re-runs that
+# Existing values of all four keys are preserved across re-runs that
 # do not remeasure them.
 
 set -euo pipefail
@@ -265,6 +271,48 @@ for fields in fuzz_lines:
     }
 if fuzz:
     fresh["fuzz_sweep"] = fuzz
+
+# The exact-engine section: the BM_ScheduleExact / BM_ScheduleVerify
+# times and node throughput that gate the exact-search overhaul, their
+# speedup against the recorded pre-overhaul reference, and the fuzz
+# sweep's certified rate (scenarios the engine settled / scenarios).
+# The reference is seeded from the benchmark record the first time
+# this section is built — i.e. from the last pre-overhaul run — and
+# preserved across re-runs like seed_baseline.
+EXACT_BENCHES = [
+    "BM_ScheduleExact/2",
+    "BM_ScheduleExact/4",
+    "BM_ScheduleVerify/2",
+    "BM_ScheduleVerify/4",
+]
+
+def exact_key(name):
+    return name.replace("/", "_")
+
+exact = prev.get("exact", {})
+exact_times = {b["name"]: b for b in fresh.get("benchmarks", [])
+               if b.get("name") in EXACT_BENCHES
+               and b.get("name") in measured}
+if exact_times:
+    baseline = exact.setdefault("pre_overhaul", {})
+    if not baseline:
+        for b in prev.get("benchmarks", []):
+            if b.get("name") in EXACT_BENCHES:
+                baseline[exact_key(b["name"]) + "_ns"] = round(
+                    b["real_time"], 1)
+    for name, b in exact_times.items():
+        k = exact_key(name)
+        exact[k + "_ns"] = round(b["real_time"], 1)
+        if "nodes/s" in b:
+            exact[k + "_nodes_per_s"] = round(b["nodes/s"])
+        ref = baseline.get(k + "_ns")
+        if ref and b["real_time"]:
+            exact["speedup_" + k] = round(ref / b["real_time"], 2)
+if fuzz and fuzz.get("scenarios"):
+    exact["certified_rate"] = round(
+        fuzz["exact_settled"] / fuzz["scenarios"], 4)
+if exact:
+    fresh["exact"] = exact
 
 with open(out_path, "w") as f:
     json.dump(fresh, f, indent=2)

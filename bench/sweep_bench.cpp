@@ -15,6 +15,7 @@
  * speedup that changes results cannot slip through.
  *
  * Usage: sweep_bench [--jobs N] [--exact] [--budget B]
+ *                    [--time-budget-ms MS] [--exact-backend NAME]
  *                    [--workloads A,B,...]
  *
  * --workloads accepts every workload form the registry resolves:
@@ -31,6 +32,7 @@
 
 #include "common/strutil.hh"
 #include "harness/experiment.hh"
+#include "harness/flags.hh"
 #include "harness/gapstudy.hh"
 #include "machine/presets.hh"
 
@@ -57,13 +59,20 @@ main(int argc, char **argv)
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::vector<std::string> workloads =
         harness::parseWorkloadsFlag(argc, argv);
+    harness::GapOptions gap_options;
+    if (!locality.empty())
+        gap_options.locality = locality;
+    gap_options.timeBudgetMs = harness::parseTimeBudgetFlag(argc, argv);
+    const std::string exact_backend =
+        harness::parseExactBackendFlag(argc, argv);
+    if (!exact_backend.empty())
+        gap_options.exactBackend = exact_backend;
     bool exact = false;
-    std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--exact"))
             exact = true;
         else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc)
-            budget = std::atoll(argv[++i]);
+            gap_options.nodeBudget = std::atoll(argv[++i]);
     }
 
     harness::Workbench bench(workloads);
@@ -109,7 +118,7 @@ main(int argc, char **argv)
         std::string all;
         for (const auto &machine : machines)
             all += harness::formatGapTable(harness::runGapStudy(
-                bench, machine, 0.25, budget, driver, locality));
+                bench, machine, gap_options, driver));
         const double ms = wallMs(start);
         std::printf("sweep=exact jobs=%d items=%zu wall_ms=%.1f "
                     "fingerprint=0x%016llx\n",

@@ -5,19 +5,25 @@
  * machine — the repo's analogue of the heuristic-vs-exact comparisons
  * in the exact-modulo-scheduling literature (Roorda's SMT scheduler,
  * Tirelli et al.'s SAT mapper). Loops the exact search cannot settle
- * within its node budget show as "gap unknown".
+ * within its budget show as "gap unknown", and each table states the
+ * unknown count and the budget in force.
  *
  * The study shards loops across a --jobs-sized pool (default: all
  * cores); the exact searches dominate its runtime and are mutually
  * independent, so it scales nearly linearly. Tables are byte-identical
  * at any job count.
  *
- * Usage: table_gap [--jobs N] [node_budget]
+ * Usage: table_gap [--jobs N] [--locality NAME] [--time-budget-ms MS]
+ *                  [--exact-backend NAME] [node_budget]
+ *
+ * The positional node_budget is the deprecated deterministic cap (0 =
+ * uncapped); the wall clock is the primary budget.
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "harness/flags.hh"
 #include "harness/gapstudy.hh"
 #include "machine/presets.hh"
 
@@ -27,20 +33,25 @@ int
 main(int argc, char **argv)
 {
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
+    harness::GapOptions options;
     const std::string locality = harness::parseLocalityFlag(argc, argv);
-    std::int64_t budget = sched::DEFAULT_SEARCH_BUDGET;
+    if (!locality.empty())
+        options.locality = locality;
+    options.timeBudgetMs = harness::parseTimeBudgetFlag(argc, argv);
+    const std::string backend =
+        harness::parseExactBackendFlag(argc, argv);
+    if (!backend.empty())
+        options.exactBackend = backend;
     if (argc > 1)
-        budget = std::atoll(argv[1]);
+        options.nodeBudget = std::atoll(argv[1]);
 
     harness::Workbench bench;
     for (int clusters : {2, 4}) {
         const MachineConfig machine = makeConfig(clusters);
-        std::printf("=== %s (search budget %lld nodes/loop) ===\n\n",
-                    machine.summary().c_str(),
-                    static_cast<long long>(budget));
-        const auto study = harness::runGapStudy(bench, machine, 0.25,
-                                                budget, driver, locality);
-        std::printf("%s\n\n", harness::formatGapTable(study).c_str());
+        std::printf("=== %s ===\n\n", machine.summary().c_str());
+        const auto study =
+            harness::runGapStudy(bench, machine, options, driver);
+        std::printf("%s\n", harness::formatGapTable(study).c_str());
     }
     return 0;
 }

@@ -18,6 +18,7 @@
 #include "common/strutil.hh"
 #include "common/table.hh"
 #include "harness/experiment.hh"
+#include "harness/flags.hh"
 #include "machine/presets.hh"
 
 using namespace mvp;
@@ -31,6 +32,8 @@ main(int argc, char **argv)
     // oracle | hybrid). ---
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
+    const std::int64_t time_budget =
+        harness::parseTimeBudgetFlag(argc, argv);
     std::printf("driver: %d worker(s), locality provider '%s'\n",
                 driver.jobs(), locality.empty() ? "cme" : locality.c_str());
 
@@ -54,6 +57,7 @@ main(int argc, char **argv)
             cfg.backend = backend;
             cfg.locality = locality;
             cfg.threshold = thr;
+            cfg.timeBudgetMs = time_budget;
             configs.push_back(cfg);
         }
     }

@@ -16,6 +16,7 @@
 #include "gen/generator.hh"
 #include "harness/differential.hh"
 #include "harness/experiment.hh"
+#include "harness/flags.hh"
 #include "text/format.hh"
 
 using namespace mvp;
@@ -59,6 +60,11 @@ main(int argc, char **argv)
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     harness::DiffOptions options;
     options.scenarios = 32;
+    options.timeBudgetMs = harness::parseTimeBudgetFlag(argc, argv);
+    const std::string exact_backend =
+        harness::parseExactBackendFlag(argc, argv);
+    if (!exact_backend.empty())
+        options.exactBackend = exact_backend;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--scenarios") && i + 1 < argc)
             options.scenarios = std::atoi(argv[++i]);

@@ -85,8 +85,11 @@ runScenario(std::uint64_t seed, const DiffOptions &options,
     if (options.checkExact) {
         sched::SchedulerOptions eopt = sopt;
         eopt.searchBudget = options.exactBudget;
+        eopt.timeBudgetMs = options.timeBudgetMs;
         const auto exact = sched::scheduleWithBackend(
-            "exact", graph, sc.machine, eopt, ctx);
+            options.exactBackend.empty() ? "exact"
+                                         : options.exactBackend,
+            graph, sc.machine, eopt, ctx);
         if (exact.ok && exact.stats.provenOptimal) {
             out.exactSettled = true;
             out.exactII = exact.schedule.ii();
@@ -260,6 +263,22 @@ DiffReport::summary() const
         "differential sweep: %zu scenarios, %d passed, %d failed; "
         "exact settled on %d (rmca II-optimal on %d)\n",
         rows.size(), passed(), failed(), exactSettled(), rmcaOptimal());
+    if (options.checkExact) {
+        const std::string clock =
+            options.timeBudgetMs < 0
+                ? std::string("no deadline")
+                : strprintf("%lld ms wall-clock/scenario",
+                            static_cast<long long>(
+                                options.timeBudgetMs));
+        out += strprintf(
+            "gap unknown on %d scenarios (certifying engine: %s; "
+            "budget: %s, %lld nodes/II attempt)\n",
+            static_cast<int>(rows.size()) - exactSettled(),
+            options.exactBackend.empty() ? "exact"
+                                         : options.exactBackend.c_str(),
+            clock.c_str(),
+            static_cast<long long>(options.exactBudget));
+    }
     for (std::size_t i = 0; i < rows.size(); ++i)
         if (!rows[i].failure.empty())
             out += strprintf("  FAIL scenario %zu (seed %llu, %s on "
@@ -283,6 +302,7 @@ runDifferential(const DiffOptions &options, ParallelDriver &driver)
     (void)cme::LocalityRegistry::instance().create(options.locality);
 
     DiffReport report;
+    report.options = options;
     report.rows.resize(static_cast<std::size_t>(options.scenarios));
     driver.run(report.rows.size(),
                [&](std::size_t i, sched::SchedContext &ctx) {

@@ -76,6 +76,20 @@ struct DiffOptions
      */
     std::int64_t exactBudget = 200'000;
 
+    /**
+     * Wall-clock budget of each scenario's exact search, in
+     * milliseconds (negative = no deadline). The node budget above is
+     * the deterministic cap; this is the machine-meaningful one.
+     */
+    std::int64_t timeBudgetMs = sched::DEFAULT_TIME_BUDGET_MS;
+
+    /**
+     * Certifying engine of the cross-check: "exact" (serial) or
+     * "portfolio" (raced on the worker pool). Empty is read as
+     * "exact".
+     */
+    std::string exactBackend = "exact";
+
     /** Skip the exact cross-check entirely (pure heuristic sweeps). */
     bool checkExact = true;
 };
@@ -106,6 +120,10 @@ struct ScenarioOutcome
 struct DiffReport
 {
     std::vector<ScenarioOutcome> rows;
+
+    /** The options the sweep ran under (for summary(), not part of
+     * the canonical serialisation). */
+    DiffOptions options;
 
     int passed() const;
     int failed() const;

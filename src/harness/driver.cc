@@ -21,84 +21,6 @@ defaultJobs()
     return hw >= 1 ? static_cast<int>(hw) : 1;
 }
 
-namespace
-{
-
-/**
- * Strip every `FLAG VALUE` / `FLAG=VALUE` occurrence from @p argv,
- * compacting the remaining arguments in place. Returns the last value
- * seen ("" when the flag is absent); a flag with no value is fatal.
- */
-std::string
-stripValueFlag(int &argc, char **argv, const std::string &flag,
-               const char *value_desc)
-{
-    std::string value;
-    const std::string prefix = flag + '=';
-    int out = 1;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == flag) {
-            if (i + 1 >= argc)
-                mvp_fatal(flag, " needs ", value_desc);
-            value = argv[++i];
-        } else if (arg.rfind(prefix, 0) == 0) {
-            value = arg.substr(prefix.size());
-        } else {
-            argv[out++] = argv[i];
-            continue;
-        }
-        if (value.empty())
-            mvp_fatal(flag, " wants ", value_desc);
-    }
-    argc = out;
-    return value;
-}
-
-} // namespace
-
-int
-parseJobsFlag(int &argc, char **argv)
-{
-    const std::string value =
-        stripValueFlag(argc, argv, "--jobs", "a worker count");
-    if (value.empty())
-        return 0;
-    const int jobs = std::atoi(value.c_str());
-    if (jobs < 1)
-        mvp_fatal("--jobs wants an integer >= 1, got '", value, "'");
-    return jobs;
-}
-
-std::string
-parseLocalityFlag(int &argc, char **argv)
-{
-    return stripValueFlag(argc, argv, "--locality", "a provider name");
-}
-
-std::vector<std::string>
-parseWorkloadsFlag(int &argc, char **argv)
-{
-    const std::string value = stripValueFlag(
-        argc, argv, "--workloads", "a comma-separated workload list");
-    std::vector<std::string> names;
-    std::size_t pos = 0;
-    while (pos < value.size()) {
-        std::size_t end = value.find(',', pos);
-        if (end == std::string::npos)
-            end = value.size();
-        if (end > pos)
-            names.push_back(value.substr(pos, end - pos));
-        pos = end + 1;
-    }
-    // An empty *result* means "all builtin suites" downstream; a flag
-    // that was given but names nothing (e.g. "--workloads ,") must
-    // not silently widen the sweep to everything.
-    if (!value.empty() && names.empty())
-        mvp_fatal("--workloads '", value, "' names no workloads");
-    return names;
-}
-
 ParallelDriver::ParallelDriver(int jobs)
     : jobs_(jobs >= 1 ? jobs : defaultJobs())
 {

@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "harness/flags.hh"   // the binaries' flag parsers lived here
 #include "sched/context.hh"
 
 namespace mvp::harness
@@ -53,32 +54,6 @@ namespace mvp::harness
  * concurrency, always at least 1.
  */
 int defaultJobs();
-
-/**
- * Parse and strip a `--jobs N` / `--jobs=N` flag from an argv vector
- * (the bench and example binaries all share this). Returns 0 when the
- * flag is absent — the ParallelDriver constructor maps 0 to
- * defaultJobs().
- */
-int parseJobsFlag(int &argc, char **argv);
-
-/**
- * Parse and strip a `--locality NAME` / `--locality=NAME` flag (the
- * locality-provider registry name the suite binaries forward into
- * RunConfig::locality). Returns "" when the flag is absent — the
- * harness reads that as the default "cme" provider.
- */
-std::string parseLocalityFlag(int &argc, char **argv);
-
-/**
- * Parse and strip a `--workloads A,B,...` / `--workloads=A,B,...`
- * flag: the comma-separated workload names a suite binary forwards
- * into the Workbench `only` selection. Every form
- * workloads::benchmarkByName accepts works here — builtin suites,
- * `file:<path>` loop files, `gen:<spec>` generated suites. Returns an
- * empty vector when the flag is absent (= all builtin suites).
- */
-std::vector<std::string> parseWorkloadsFlag(int &argc, char **argv);
 
 /**
  * A persistent worker pool that shards independent work items.

@@ -135,6 +135,10 @@ tryRunLoop(Workbench::Entry &entry, const RunConfig &config,
                "' not prepared for '" + res.loop +
                "' (Workbench::ensureLocality runs before fan-out)";
     opt.searchBudget = config.searchBudget;
+    opt.timeBudgetMs = config.timeBudgetMs;
+    opt.exactBackend = config.exactBackend.empty() ? "exact"
+                                                   : config.exactBackend;
+    opt.searchJobs = config.searchJobs;
     res.sched = sched::scheduleWithBackend(backendName(config),
                                            *entry.ddg, config.machine,
                                            opt, ctx);

@@ -55,8 +55,27 @@ struct RunConfig
 
     double threshold = 1.0;
 
-    /** Node budget forwarded to search-based backends. */
-    std::int64_t searchBudget = sched::DEFAULT_SEARCH_BUDGET;
+    /**
+     * Deprecated node cap forwarded to search-based backends (0 =
+     * uncapped, the default — the wall clock below is in charge).
+     */
+    std::int64_t searchBudget = 0;
+
+    /**
+     * Wall-clock budget of search-based backends per loop, in
+     * milliseconds (negative = no deadline).
+     */
+    std::int64_t timeBudgetMs = sched::DEFAULT_TIME_BUDGET_MS;
+
+    /**
+     * Certifying engine verify-mode points run ("exact" or
+     * "portfolio"); empty is read as "exact". Ignored by the
+     * heuristic backends.
+     */
+    std::string exactBackend = "exact";
+
+    /** Portfolio worker count (0 = default). */
+    int searchJobs = 0;
 };
 
 /** The scheduler-backend registry name runLoop() resolves @p config to. */

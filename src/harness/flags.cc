@@ -1,0 +1,101 @@
+#include "harness/flags.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "sched/scheduler.hh"
+
+namespace mvp::harness
+{
+
+std::string
+stripValueFlag(int &argc, char **argv, const std::string &flag,
+               const char *value_desc)
+{
+    std::string value;
+    const std::string prefix = flag + '=';
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag) {
+            if (i + 1 >= argc)
+                mvp_fatal(flag, " needs ", value_desc);
+            value = argv[++i];
+        } else if (arg.rfind(prefix, 0) == 0) {
+            value = arg.substr(prefix.size());
+        } else {
+            argv[out++] = argv[i];
+            continue;
+        }
+        if (value.empty())
+            mvp_fatal(flag, " wants ", value_desc);
+    }
+    argc = out;
+    return value;
+}
+
+int
+parseJobsFlag(int &argc, char **argv)
+{
+    const std::string value =
+        stripValueFlag(argc, argv, "--jobs", "a worker count");
+    if (value.empty())
+        return 0;
+    const int jobs = std::atoi(value.c_str());
+    if (jobs < 1)
+        mvp_fatal("--jobs wants an integer >= 1, got '", value, "'");
+    return jobs;
+}
+
+std::string
+parseLocalityFlag(int &argc, char **argv)
+{
+    return stripValueFlag(argc, argv, "--locality", "a provider name");
+}
+
+std::vector<std::string>
+parseWorkloadsFlag(int &argc, char **argv)
+{
+    const std::string value = stripValueFlag(
+        argc, argv, "--workloads", "a comma-separated workload list");
+    std::vector<std::string> names;
+    std::size_t pos = 0;
+    while (pos < value.size()) {
+        std::size_t end = value.find(',', pos);
+        if (end == std::string::npos)
+            end = value.size();
+        if (end > pos)
+            names.push_back(value.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    // An empty *result* means "all builtin suites" downstream; a flag
+    // that was given but names nothing (e.g. "--workloads ,") must
+    // not silently widen the sweep to everything.
+    if (!value.empty() && names.empty())
+        mvp_fatal("--workloads '", value, "' names no workloads");
+    return names;
+}
+
+std::int64_t
+parseTimeBudgetFlag(int &argc, char **argv)
+{
+    const std::string value = stripValueFlag(
+        argc, argv, "--time-budget-ms", "a millisecond count");
+    if (value.empty())
+        return sched::DEFAULT_TIME_BUDGET_MS;
+    char *end = nullptr;
+    const long long ms = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0')
+        mvp_fatal("--time-budget-ms wants an integer, got '", value,
+                  "'");
+    return ms;
+}
+
+std::string
+parseExactBackendFlag(int &argc, char **argv)
+{
+    return stripValueFlag(argc, argv, "--exact-backend",
+                          "a scheduler backend name");
+}
+
+} // namespace mvp::harness

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Command-line flags shared by every suite binary (bench/ and
+ * examples/): one strip-and-parse helper plus the typed parsers built
+ * on it. Each parser removes its flag from argv (compacting in place)
+ * so a binary can layer its own argument handling after the shared
+ * ones; an ill-formed value is fatal with a uniform message.
+ *
+ * Formerly these lived in harness/driver.{hh,cc}; they moved here when
+ * the budget and backend flags joined, so binaries that only parse
+ * flags stop pulling in the thread-pool header.
+ */
+
+#ifndef MVP_HARNESS_FLAGS_HH
+#define MVP_HARNESS_FLAGS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mvp::harness
+{
+
+/**
+ * Strip every `FLAG VALUE` / `FLAG=VALUE` occurrence from @p argv,
+ * compacting the remaining arguments in place. Returns the last value
+ * seen ("" when the flag is absent); a flag with no value is fatal,
+ * with @p value_desc naming what it wanted.
+ */
+std::string stripValueFlag(int &argc, char **argv,
+                           const std::string &flag,
+                           const char *value_desc);
+
+/**
+ * Parse and strip a `--jobs N` / `--jobs=N` flag. Returns 0 when the
+ * flag is absent — the ParallelDriver constructor maps 0 to
+ * defaultJobs().
+ */
+int parseJobsFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip a `--locality NAME` / `--locality=NAME` flag (the
+ * locality-provider registry name the suite binaries forward into
+ * RunConfig::locality). Returns "" when the flag is absent — the
+ * harness reads that as the default "cme" provider.
+ */
+std::string parseLocalityFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip a `--workloads A,B,...` / `--workloads=A,B,...`
+ * flag: the comma-separated workload names a suite binary forwards
+ * into the Workbench `only` selection. Every form
+ * workloads::benchmarkByName accepts works here — builtin suites,
+ * `file:<path>` loop files, `gen:<spec>` generated suites. Returns an
+ * empty vector when the flag is absent (= all builtin suites).
+ */
+std::vector<std::string> parseWorkloadsFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip a `--time-budget-ms N` / `--time-budget-ms=N` flag:
+ * the wall-clock budget of the exact search per loop, in
+ * milliseconds (SchedulerOptions::timeBudgetMs). Negative disables
+ * the deadline, 0 expires it on entry. Returns
+ * sched::DEFAULT_TIME_BUDGET_MS when the flag is absent.
+ */
+std::int64_t parseTimeBudgetFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip an `--exact-backend NAME` / `--exact-backend=NAME`
+ * flag: the certifying engine verify-mode sweeps run ("exact" serial
+ * search or "portfolio" on the worker pool;
+ * SchedulerOptions::exactBackend). Returns "" when the flag is absent
+ * — downstream reads that as "exact".
+ */
+std::string parseExactBackendFlag(int &argc, char **argv);
+
+} // namespace mvp::harness
+
+#endif // MVP_HARNESS_FLAGS_HH

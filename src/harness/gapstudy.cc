@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/logging.hh"
+#include "common/strutil.hh"
 #include "common/table.hh"
 #include "sched/backend.hh"
 
@@ -16,6 +17,12 @@ GapStudy::known() const
     for (const auto &r : rows)
         n += r.gapKnown ? 1 : 0;
     return n;
+}
+
+int
+GapStudy::unknown() const
+{
+    return static_cast<int>(rows.size()) - known();
 }
 
 int
@@ -39,15 +46,16 @@ GapStudy::totalGap() const
 
 GapStudy
 runGapStudy(Workbench &bench, const MachineConfig &machine,
-            double threshold, std::int64_t search_budget,
-            ParallelDriver &driver, const std::string &locality)
+            const GapOptions &options, ParallelDriver &driver)
 {
-    const std::string provider = locality.empty() ? "cme" : locality;
+    const std::string provider =
+        options.locality.empty() ? "cme" : options.locality;
     bench.ensureLocality(provider);   // main thread, before fan-out
     const auto &entries = bench.entries();
     auto verify = sched::BackendRegistry::instance().create("verify");
 
     GapStudy study;
+    study.options = options;
     study.rows.resize(entries.size());
     // Failures are recorded per item and reported after the pool
     // joins: a fatal inside a worker would std::exit() under the
@@ -57,9 +65,14 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
                                    sched::SchedContext &ctx) {
         auto &entry = *entries[i];
         sched::SchedulerOptions opt;
-        opt.missThreshold = threshold;
+        opt.missThreshold = options.threshold;
         opt.locality = entry.locality(provider);
-        opt.searchBudget = search_budget;
+        opt.searchBudget = options.nodeBudget;
+        opt.timeBudgetMs = options.timeBudgetMs;
+        opt.exactBackend = options.exactBackend.empty()
+                               ? "exact"
+                               : options.exactBackend;
+        opt.searchJobs = options.searchJobs;
         const auto res =
             verify->schedule(*entry.ddg, machine, opt, ctx);
         if (!res.ok) {
@@ -83,6 +96,18 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
         if (!err.empty())
             mvp_fatal(err);
     return study;
+}
+
+GapStudy
+runGapStudy(Workbench &bench, const MachineConfig &machine,
+            double threshold, std::int64_t search_budget,
+            ParallelDriver &driver, const std::string &locality)
+{
+    GapOptions options;
+    options.threshold = threshold;
+    options.nodeBudget = search_budget;
+    options.locality = locality;
+    return runGapStudy(bench, machine, options, driver);
 }
 
 GapStudy
@@ -153,7 +178,27 @@ formatGapTable(const GapStudy &study)
                 std::to_string(study.tight()),
                 std::to_string(study.totalGap())});
 
-    return table.render() + "\n" + sum.render();
+    // The "gap unknown" count and the budget that produced it belong
+    // in the report: a table where every gap is known under a 10 ms
+    // clock and one where half are unknown under 10 s are different
+    // results, not different renderings.
+    const GapOptions &o = study.options;
+    std::string budget =
+        o.timeBudgetMs < 0
+            ? "no deadline"
+            : std::to_string(o.timeBudgetMs) + " ms wall-clock/loop";
+    if (o.nodeBudget > 0)
+        budget += ", " + std::to_string(o.nodeBudget) +
+                  " nodes/II attempt";
+    const std::string backend =
+        o.exactBackend.empty() ? "exact" : o.exactBackend;
+    std::string tail = strprintf(
+        "gap unknown on %d of %zu loops (certifying engine: %s; "
+        "budget: %s)\n",
+        study.unknown(), study.rows.size(), backend.c_str(),
+        budget.c_str());
+
+    return table.render() + "\n" + sum.render() + "\n" + tail;
 }
 
 } // namespace mvp::harness

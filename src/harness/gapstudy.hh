@@ -4,8 +4,10 @@
  * heuristic and the exact branch-and-bound backend and tabulate the II
  * gap — the repo's analogue of the heuristic-vs-exact comparisons in
  * the SMT/SAT exact-modulo-scheduling literature (Roorda; Tirelli et
- * al.). Loops the exact search cannot settle within its node budget
- * are reported as "gap unknown" rather than guessed.
+ * al.). Loops the exact search cannot settle within its budget — the
+ * wall clock, or the deprecated node cap — are reported as "gap
+ * unknown" rather than guessed, and the report states both the
+ * unknown count and the budget that was in force.
  */
 
 #ifndef MVP_HARNESS_GAPSTUDY_HH
@@ -19,6 +21,40 @@
 
 namespace mvp::harness
 {
+
+/** How hard the certifying engine tries, and which engine it is. */
+struct GapOptions
+{
+    /** rmca miss-latency threshold. */
+    double threshold = 0.25;
+
+    /**
+     * Deprecated node cap per II attempt (0 = uncapped, leaving the
+     * wall clock in charge). Kept for deterministic-starvation tests:
+     * under a pure node cap the set of "gap unknown" rows is a pure
+     * function of (workbench, machine, options).
+     */
+    std::int64_t nodeBudget = 0;
+
+    /**
+     * Wall-clock budget per loop, in milliseconds (negative = no
+     * deadline, 0 = expired on entry). The budget the table reports
+     * as in force.
+     */
+    std::int64_t timeBudgetMs = sched::DEFAULT_TIME_BUDGET_MS;
+
+    /** Locality provider for the heuristic (empty = "cme"). */
+    std::string locality = "cme";
+
+    /**
+     * Certifying engine: "exact" (serial) or "portfolio" (raced on
+     * the worker pool). Empty is read as "exact".
+     */
+    std::string exactBackend = "exact";
+
+    /** Worker count of the portfolio backend (0 = default). */
+    int searchJobs = 0;
+};
 
 /** Per-loop outcome of the gap study. */
 struct GapRow
@@ -39,8 +75,14 @@ struct GapStudy
 {
     std::vector<GapRow> rows;
 
+    /** The budgets/engine the study ran under (for the report). */
+    GapOptions options;
+
     /** Rows with a known gap. */
     int known() const;
+
+    /** Rows without one — the "gap unknown" count of the report. */
+    int unknown() const;
 
     /** Rows where the heuristic was optimal (gap == 0, known). */
     int tight() const;
@@ -50,15 +92,20 @@ struct GapStudy
 };
 
 /**
- * Run the study over every loop of @p bench on @p machine, with the
- * rmca heuristic at @p threshold and the exact backend under
- * @p search_budget nodes per loop, sharding loops across @p driver.
- * The exact search is the workload this sharding was built for: a
- * single hard loop can cost ~10^3x an easy one, and the driver's
- * dynamic item claiming keeps the pool busy around it. Rows come back
- * in workbench order regardless of the job count. The heuristic's
- * cluster assignment consults the locality provider named by
- * @p locality (cme/provider.hh; empty is read as "cme").
+ * Run the study over every loop of @p bench on @p machine under
+ * @p options, sharding loops across @p driver. The exact search is the
+ * workload this sharding was built for: a single hard loop can cost
+ * ~10^3x an easy one, and the driver's dynamic item claiming keeps the
+ * pool busy around it. Rows come back in workbench order regardless of
+ * the job count.
+ */
+GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
+                     const GapOptions &options, ParallelDriver &driver);
+
+/**
+ * Historical signature: rmca at @p threshold against the serial exact
+ * backend under @p search_budget nodes per attempt (plus the default
+ * wall clock). Forwards to the GapOptions overload.
  */
 GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
                      double threshold, std::int64_t search_budget,

@@ -1,10 +1,13 @@
 #include "sched/backend.hh"
 
 #include <memory>
+#include <mutex>
 
 #include "cme/provider.hh"
 #include "common/logging.hh"
+#include "harness/driver.hh"
 #include "sched/exact/bnb.hh"
+#include "sched/exact/portfolio.hh"
 
 namespace mvp::sched
 {
@@ -29,6 +32,18 @@ bindFallbackLocality(SchedulerOptions &opt, const ddg::Ddg &graph)
         graph.loop());
     opt.locality = bound.get();
     return bound;
+}
+
+/** Map the generic scheduler options onto the exact engine's knobs. */
+exact::ExactOptions
+exactOptionsFrom(const SchedulerOptions &options)
+{
+    exact::ExactOptions bnb;
+    bnb.maxII = options.maxII;
+    bnb.nodeBudget = options.searchBudget;
+    bnb.timeBudgetMs = options.timeBudgetMs;
+    bnb.tiebreakBudget = options.tiebreakBudget;
+    return bnb;
 }
 
 /** The two heuristic engines share one wrapper; only memoryAware
@@ -69,10 +84,43 @@ class ExactBackend : public SchedulerBackend
                             const SchedulerOptions &options,
                             SchedContext &ctx) const override
     {
-        exact::BnbOptions bnb;
-        bnb.maxII = options.maxII;
-        bnb.nodeBudget = options.searchBudget;
-        return exact::scheduleExact(graph, machine, bnb, ctx);
+        return exact::scheduleExact(graph, machine,
+                                    exactOptionsFrom(options), ctx);
+    }
+};
+
+/**
+ * The exact engine on the persistent worker pool (exact/portfolio.hh):
+ * II-probe racing plus depth-1 subtree splitting, with a final serial
+ * re-derivation keeping placements byte-identical at any job count.
+ *
+ * The pool is process-wide and lazy: spawned on the first portfolio
+ * schedule, resized when searchJobs changes, parked between calls (the
+ * whole point of racing on a *persistent* pool — a gap study over
+ * hundreds of loops pays thread startup once). ParallelDriver::run is
+ * not reentrant, so one portfolio schedule runs at a time; concurrent
+ * callers serialise on the mutex.
+ */
+class PortfolioBackend : public SchedulerBackend
+{
+  public:
+    std::string_view name() const override { return "portfolio"; }
+
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options,
+                            SchedContext &ctx) const override
+    {
+        const int jobs = options.searchJobs > 0
+                             ? options.searchJobs
+                             : harness::defaultJobs();
+        static std::mutex mu;
+        static std::unique_ptr<harness::ParallelDriver> pool;
+        const std::lock_guard<std::mutex> lock(mu);
+        if (pool == nullptr || pool->jobs() != jobs)
+            pool = std::make_unique<harness::ParallelDriver>(jobs);
+        return exact::scheduleExactPortfolio(
+            graph, machine, exactOptionsFrom(options), *pool, ctx);
     }
 };
 
@@ -98,11 +146,15 @@ class VerifyBackend : public SchedulerBackend
         ScheduleResult res =
             ClusteredModuloScheduler(graph, machine, heur_opt).run(ctx);
 
-        exact::BnbOptions bnb;
-        bnb.maxII = options.maxII;
-        bnb.nodeBudget = options.searchBudget;
+        // The certifying engine is pluggable ("exact" serial search or
+        // "portfolio" on the worker pool); "verify" itself falls back
+        // to "exact" rather than recursing.
+        const std::string &inner =
+            options.exactBackend == "verify" || options.exactBackend.empty()
+                ? "exact"
+                : options.exactBackend;
         const ScheduleResult ex =
-            exact::scheduleExact(graph, machine, bnb, ctx);
+            scheduleWithBackend(inner, graph, machine, options, ctx);
 
         res.stats.searchNodes = ex.stats.searchNodes;
         res.stats.budgetExhausted = ex.stats.budgetExhausted;
@@ -130,6 +182,8 @@ BackendRegistry::BackendRegistry()
         return std::make_unique<HeuristicBackend>("rmca", true);
     });
     add("exact", [] { return std::make_unique<ExactBackend>(); });
+    add("portfolio",
+        [] { return std::make_unique<PortfolioBackend>(); });
     add("verify", [] { return std::make_unique<VerifyBackend>(); });
 }
 

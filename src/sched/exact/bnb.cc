@@ -1,8 +1,12 @@
 #include "sched/exact/bnb.hh"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 #include "common/logging.hh"
+#include "sched/exact/memo.hh"
+#include "sched/exact/pressure.hh"
 #include "sched/lifetimes.hh"
 #include "sched/mii.hh"
 #include "sched/mrt.hh"
@@ -16,17 +20,25 @@ namespace
 
 constexpr Cycle NO_BOUND = CYCLE_MAX / 4;
 
+/** Attempt nodes before the dominance memo starts hashing states:
+ * easy searches never pay the signature cost, hard ones amortise it
+ * over millions of avoided nodes. Node counts are deterministic, so
+ * activation is too. */
+constexpr std::int64_t MEMO_ACTIVATION_NODES = 4096;
+
 /** Outcome of one DFS subtree. */
 enum class Walk
 {
     Continue,   ///< subtree exhausted, keep searching siblings
     Stop,       ///< a satisfying schedule was found, unwind
-    Abort,      ///< node budget exhausted, unwind
+    Abort,      ///< budget exhausted or cancelled, unwind
 };
 
 /**
  * One committed transfer, kept on an undo stack so backtracking can
- * release the bus and the comm-start entry it booked.
+ * release the bus and the comm-start entry it booked. The booking
+ * depth feeds conflict attribution: a candidate refuted by bus
+ * saturation cites the decisions whose transfers crowd the window.
  */
 struct BookedComm
 {
@@ -36,6 +48,7 @@ struct BookedComm
     Cycle xferStart;
     std::size_t xferSlot;
     int bus;
+    int depth;   ///< DFS depth that booked it
 };
 
 /**
@@ -52,12 +65,19 @@ struct BookedComm
  *    single lowest-numbered empty one (clusters are interchangeable in
  *    the machine model, so every solution has a relabelled twin whose
  *    clusters first appear in DFS order).
+ *
+ * On top of the enumeration sit three search accelerators (see
+ * bnb.hh): the incremental pressure bound, conflict-driven
+ * backjumping, and dominance memoization. All three are
+ * result-preserving — the minimal II, the lifted lower bound and the
+ * best (first minimal-pressure) schedule are identical with each
+ * toggled on or off; only the node count shrinks.
  */
 class Searcher
 {
   public:
     Searcher(const ddg::Ddg &graph, const MachineConfig &machine,
-             const BnbOptions &options, SchedContext &ctx)
+             const ExactOptions &options, SchedContext &ctx)
         : graph_(graph), machine_(machine), options_(options), ctx_(ctx),
           mrt_(machine, 1), sched_(1, graph.size(), machine.nClusters)
     {
@@ -72,6 +92,8 @@ class Searcher
         need_out_.resize(n);
         in_nbs_.resize(n);
         out_nbs_.resize(n);
+        nb_mask_.assign(n, 0);
+        c_order_.resize(n);
         for (int f = 0; f < ir::NUM_FU_TYPES; ++f) {
             remaining_[f] = 0;
             used_[f] = 0;
@@ -106,29 +128,123 @@ class Searcher
     Walk dfs(std::size_t k);
     Walk leaf();
     Walk tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
-                  std::size_t k);
+                  std::size_t k, std::uint64_t &conf);
     void snapshotNeighbours(OpId v, std::size_t k);
     bool bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k);
     void unbook(std::size_t mark);
     bool resourcesFit() const;
+    bool applyPressure(OpId v, ClusterId c, Cycle t,
+                       std::size_t comm_mark);
+    void computeSignature(std::size_t k, std::uint64_t &lo,
+                          std::uint64_t &hi) const;
 
     /**
-     * Charge one search node against the attempt budget; false means
-     * the budget is exhausted and the attempt must abort. Every child
-     * the search considers is charged exactly once — candidate
-     * placements in tryPlace() and children pruned beforehand by an
-     * empty dependence window alike — so the node count at which "gap
-     * unknown" degradation triggers depends only on (loop, machine,
-     * options), never on how a sweep is sharded.
+     * Charge one search node against the budgets; false means the
+     * attempt must abort (node cap, wall-clock deadline, or a
+     * portfolio sibling proved the probe pointless). Every child the
+     * search considers is charged exactly once — candidate placements
+     * in tryPlace() and children pruned beforehand by an empty
+     * dependence window alike — so under a pure node cap the count at
+     * which "gap unknown" degradation triggers depends only on (loop,
+     * machine, options), never on how a sweep is sharded. The
+     * deadline and the cancel token are polled every 64 nodes,
+     * starting at the first (so a zero budget aborts deterministically
+     * before any work).
      */
     bool chargeNode()
     {
-        if (++nodes_ > attempt_limit_) {
+        ++nodes_;
+        if (node_cap_ && nodes_ > attempt_limit_) {
             budget_hit_ = true;
             return false;
         }
+        // The tiebreak allowance ends the phase, it is not a budget
+        // failure: the minimal II (and its certificate) are already
+        // secured, only pressureOptimal is forfeited.
+        if (found_ && tiebreak_cap_ > 0 &&
+            nodes_ - found_nodes_ > tiebreak_cap_)
+            return false;
+        if ((nodes_ & 63) == 1) {
+            if (deadline_on_ &&
+                std::chrono::steady_clock::now() >= deadline_) {
+                budget_hit_ = true;
+                return false;
+            }
+            if (cancel_ != nullptr &&
+                cancel_->load(std::memory_order_relaxed) <= ii_) {
+                cancelled_ = true;
+                budget_hit_ = true;
+                return false;
+            }
+        }
         return true;
     }
+
+    /**
+     * Subtree-splitting filter: at depth 1 (the root op has exactly
+     * one candidate) each candidate belongs to one shard, so the
+     * shards' trees partition the full tree and the union of shard
+     * refutations is a complete refutation.
+     */
+    bool shardSkip(std::size_t k)
+    {
+        return k == 1 && shard_count_ > 1 &&
+               (depth1_counter_++ % shard_count_) != shard_index_;
+    }
+
+    /** @name Conflict-driven backjumping */
+    /// @{
+    static constexpr std::uint64_t prefixMask(std::size_t k)
+    {
+        return k >= 64 ? ~0ull : ((1ull << k) - 1);
+    }
+
+    /**
+     * Exhausted depth: turn the accumulated conflict set into a jump.
+     * An empty set certifies the whole II infeasible (no earlier
+     * decision is implicated, so every assignment fails identically);
+     * otherwise the deepest cited decision is the next one worth
+     * revisiting and the rest of the set is carried to it.
+     */
+    void setJump(std::uint64_t mask)
+    {
+        jump_active_ = true;
+        if (mask == 0) {
+            jump_to_ = -1;
+            carry_ = 0;
+        } else {
+            jump_to_ = 63 - std::countl_zero(mask);
+            carry_ = mask & ~(1ull << jump_to_);
+        }
+    }
+
+    /** Depths whose transfers currently hold buses. */
+    std::uint64_t bookedDepthMask() const
+    {
+        std::uint64_t m = 0;
+        for (const BookedComm &bc : booked_)
+            m |= 1ull << bc.depth;
+        return m;
+    }
+
+    /** Index into the occupant-depth table (maintained when cbj_). */
+    std::size_t fuCell(ClusterId c, std::size_t slot,
+                       ir::FuType fu) const
+    {
+        return (slot * static_cast<std::size_t>(machine_.nClusters) +
+                static_cast<std::size_t>(c)) *
+                   ir::NUM_FU_TYPES +
+               static_cast<std::size_t>(fu);
+    }
+
+    /** Depths occupying (cluster, slot, fu) in the reservation
+     * table. */
+    std::uint64_t fuOccupantMask(ClusterId c, std::size_t slot,
+                                 ir::FuType fu) const
+    {
+        return fu_depth_mask_[fuCell(c, slot, fu)];
+    }
+    /// @}
 
     Cycle &commStart(OpId u, ClusterId c)
     {
@@ -140,7 +256,7 @@ class Searcher
 
     const ddg::Ddg &graph_;
     const MachineConfig &machine_;
-    const BnbOptions &options_;
+    const ExactOptions &options_;
     SchedContext &ctx_;   ///< ordering + lifetime scratch
 
     Cycle ii_ = 1;
@@ -165,19 +281,60 @@ class Searcher
     std::vector<std::vector<std::pair<OpId, int>>> need_in_;
     /** Destination clusters needing a transfer: (cluster, budget). */
     std::vector<std::vector<std::pair<ClusterId, Cycle>>> need_out_;
+    /** Placed-neighbour depths of the op at each depth (conflicts). */
+    std::vector<std::uint64_t> nb_mask_;
+    /** (slot, cluster, fu) -> depth bits of the current occupants. */
+    std::vector<std::uint64_t> fu_depth_mask_;
 
     /** Transient dedup scratch, clean between uses. */
     std::vector<OpId> in_need_ids_;
     std::vector<int> in_min_dist_;
     std::vector<Cycle> out_budget_;
+    std::vector<ClusterId> cluster_order_scratch_;
+    std::vector<int> cluster_score_scratch_;
+    /** Per-depth cluster visit order (survives the recursion). */
+    std::vector<std::vector<ClusterId>> c_order_;
 
     /** FU-class counting bound. */
     int remaining_[ir::NUM_FU_TYPES];
     int used_[ir::NUM_FU_TYPES];
 
+    /** Search accelerators. */
+    PressureTracker pressure_;
+    DominanceMemo memo_;
+    std::vector<int> order_pos_;     ///< op -> DFS depth
+    std::vector<int> death_depth_;   ///< depth at which an op goes dead
+    bool cbj_ = false;
+    bool memo_on_ = false;
+    /**
+     * Incremental pressure tracking is maintained only when the
+     * tiebreak needs its bound; with the tiebreak off (first feasible
+     * leaf wins — e.g. portfolio racing probes) leaves fall back to
+     * the one-shot computeLifetimes check and the search skips the
+     * per-placement interval bookkeeping entirely.
+     */
+    bool pressure_on_ = false;
+    bool jump_active_ = false;
+    int jump_to_ = 0;
+    std::uint64_t carry_ = 0;
+
+    /** Budgets. */
     std::int64_t nodes_ = 0;
     std::int64_t attempt_limit_ = 0;   ///< nodes_ cap of this II attempt
+    std::int64_t attempt_start_nodes_ = 0;
+    std::int64_t found_nodes_ = 0;     ///< nodes_ at the first leaf
+    std::int64_t tiebreak_cap_ = 0;    ///< tiebreak node allowance
+    bool node_cap_ = false;
+    bool deadline_on_ = false;
+    std::chrono::steady_clock::time_point deadline_;
+    const std::atomic<Cycle> *cancel_ = nullptr;
     bool budget_hit_ = false;
+    bool cancelled_ = false;
+
+    /** Sharding. */
+    int shard_count_ = 1;
+    int shard_index_ = 0;
+    std::int64_t depth1_counter_ = 0;
 
     bool found_ = false;
     Cycle best_pressure_ = CYCLE_MAX;
@@ -192,6 +349,7 @@ Searcher::snapshotNeighbours(OpId v, std::size_t k)
     auto &outs = out_nbs_[k];
     ins.clear();
     outs.clear();
+    std::uint64_t mask = 0;
     for (int ei : graph_.inEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
         if (e.src == v || !placed_[static_cast<std::size_t>(e.src)])
@@ -203,6 +361,8 @@ Searcher::snapshotNeighbours(OpId v, std::size_t k)
             (e.isRegFlow() ? ready : pu.time + e.latency) - ii_dist;
         ins.push_back({e.src, e.distance, e.isRegFlow(), ii_dist, ready,
                        base_early, pu.cluster});
+        if (cbj_)
+            mask |= 1ull << order_pos_[static_cast<std::size_t>(e.src)];
     }
     for (int ei : graph_.outEdges(v)) {
         const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
@@ -212,12 +372,18 @@ Searcher::snapshotNeighbours(OpId v, std::size_t k)
         const Cycle budget = pw.time + ii_ * e.distance;
         outs.push_back(
             {e.isRegFlow(), pw.cluster, budget, budget - e.latency});
+        if (cbj_)
+            mask |= 1ull << order_pos_[static_cast<std::size_t>(e.dst)];
     }
+    nb_mask_[k] = mask;
 }
 
 /**
  * The per-class counting bound: every unplaced op needs one slot of
- * its FU class somewhere in the II x clusters reservation table.
+ * its FU class somewhere in the II x clusters reservation table. The
+ * used counts are a pure function of the DFS depth (which ops are
+ * placed, not where), so a failure here refutes every node at this
+ * depth — an empty conflict set, i.e. an instant II refutation.
  */
 bool
 Searcher::resourcesFit() const
@@ -244,6 +410,7 @@ Searcher::bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k)
     const Cycle lrb = machine_.regBusLatency;
     const Cycle out_lat = graph_.opLatency(v);
     const std::size_t mark = booked_.size();
+    const int depth = static_cast<int>(k);
 
     for (const auto &[u, min_dist] : need_in_[k]) {
         const auto &pu = sched_.placed(u);
@@ -257,7 +424,8 @@ Searcher::bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k)
                 const int bus = mrt_.findFreeBusAt(sx);
                 if (bus != BUS_NONE) {
                     mrt_.reserveBusAt(bus, sx);
-                    booked_.push_back({u, pu.cluster, c, x, sx, bus});
+                    booked_.push_back(
+                        {u, pu.cluster, c, x, sx, bus, depth});
                     commStart(u, c) = x;
                     ok = true;
                     break;
@@ -282,7 +450,7 @@ Searcher::bookTransfers(OpId v, ClusterId c, Cycle t, std::size_t k)
                 const int bus = mrt_.findFreeBusAt(sx);
                 if (bus != BUS_NONE) {
                     mrt_.reserveBusAt(bus, sx);
-                    booked_.push_back({v, c, dest, x, sx, bus});
+                    booked_.push_back({v, c, dest, x, sx, bus, depth});
                     commStart(v, dest) = x;
                     ok = true;
                     break;
@@ -309,44 +477,227 @@ Searcher::unbook(std::size_t mark)
     }
 }
 
+/**
+ * Mirror the placement (v -> c at t) into the pressure tracker: a new
+ * local interval when v produces a value, a local extension plus a
+ * remote interval per transfer this placement booked, and extensions
+ * of every placed register neighbour's interval to the new read
+ * times — exactly the intervals lifetimes.cc would derive from the
+ * full schedule (a debug assert in leaf() keeps the two honest).
+ * Returns false when the subtree is pruned: a cluster past its
+ * register file (sound in both phases — intervals only grow), or a
+ * summed MaxLive already at the incumbent (tiebreak phase; leaf
+ * acceptance needs a strict improvement, so the winner is unchanged).
+ */
+bool
+Searcher::applyPressure(OpId v, ClusterId c, Cycle t,
+                        std::size_t comm_mark)
+{
+    const Cycle lrb = machine_.regBusLatency;
+    if (graph_.loop().op(v).producesValue())
+        pressure_.addLocal(v, c, t + graph_.opLatency(v));
+    for (std::size_t i = comm_mark; i < booked_.size(); ++i) {
+        const BookedComm &bc = booked_[i];
+        pressure_.extendLocal(bc.producer, bc.xferStart);
+        pressure_.addRemote(bc.producer, bc.to, bc.xferStart + lrb);
+    }
+    for (int ei : graph_.inEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (e.src == v || !e.isRegFlow() ||
+            !placed_[static_cast<std::size_t>(e.src)])
+            continue;
+        const Cycle read = t + ii_ * e.distance;
+        const auto &pu = sched_.placed(e.src);
+        if (pu.cluster == c)
+            pressure_.extendLocal(e.src, read);
+        else
+            pressure_.extendRemote(e.src, c, read);
+    }
+    for (int ei : graph_.outEdges(v)) {
+        const auto &e = graph_.edges()[static_cast<std::size_t>(ei)];
+        if (!e.isRegFlow() || !placed_[static_cast<std::size_t>(e.dst)])
+            continue;
+        const auto &pw = sched_.placed(e.dst);
+        const Cycle read = pw.time + ii_ * e.distance;
+        if (pw.cluster == c)
+            pressure_.extendLocal(v, read);
+        else
+            pressure_.extendRemote(v, pw.cluster, read);
+    }
+    if (pressure_.overflown())
+        return false;
+    return !(found_ && pressure_.sumMax() >= best_pressure_);
+}
+
+/**
+ * Canonical partial-schedule signature for the dominance memo. An op
+ * whose graph neighbours are all placed is "dead": nothing the future
+ * places can consult its absolute cycle (windows only read live
+ * neighbours, its lifetime intervals are final, its transfers are
+ * never reused), so it is folded by modulo slot and interval
+ * footprint instead — which is what lets prefixes that differ only in
+ * a dead op's full-II shift collide. Everything the future *can*
+ * observe is folded absolutely: live placements, live interval ends,
+ * live transfer starts, and the implied MRT/bus occupancy. Transfers
+ * fold order-independently (the undo stack's order is path-dependent,
+ * the transfer multiset is not).
+ */
+void
+Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
+                           std::uint64_t &hi) const
+{
+    std::uint64_t a = 0x2545f4914f6cdd1dull;
+    std::uint64_t b = 0x9e3779b97f4a7c15ull;
+    const auto fold = [&](std::uint64_t x) {
+        a = (a ^ x) * 0x100000001b3ull;
+        b ^= x + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2);
+    };
+    const auto slot_of = [&](Cycle t) {
+        Cycle m = t % ii_;
+        if (m < 0)
+            m += ii_;
+        return static_cast<std::uint64_t>(m);
+    };
+
+    fold(static_cast<std::uint64_t>(ii_));
+    fold(k);
+    const auto dk = static_cast<int>(k);
+    for (std::size_t d = 0; d < k; ++d) {
+        const auto u = order_[d];
+        const auto &pu = sched_.placed(u);
+        const bool dead =
+            death_depth_[static_cast<std::size_t>(u)] <= dk;
+        fold(dead ? 0x51u : 0x1Du);
+        fold(static_cast<std::uint64_t>(pu.cluster));
+        fold(dead ? slot_of(pu.time)
+                  : static_cast<std::uint64_t>(pu.time));
+        // Lifetime intervals shape subtree outcomes only when the
+        // pressure bound is live; without it they are not tracked and
+        // must not (need not) be folded.
+        if (!pressure_on_)
+            continue;
+        if (const auto *iv = pressure_.localOf(u)) {
+            if (dead) {
+                fold(slot_of(iv->from));
+                fold(static_cast<std::uint64_t>(iv->to - iv->from));
+            } else {
+                fold(static_cast<std::uint64_t>(iv->to));
+            }
+        }
+        for (ClusterId c = 0; c < machine_.nClusters; ++c) {
+            if (const auto *iv = pressure_.remoteOf(u, c)) {
+                fold(0x77u + static_cast<std::uint64_t>(c));
+                if (dead) {
+                    fold(slot_of(iv->from));
+                    fold(static_cast<std::uint64_t>(iv->to - iv->from));
+                } else {
+                    fold(static_cast<std::uint64_t>(iv->from));
+                    fold(static_cast<std::uint64_t>(iv->to));
+                }
+            }
+        }
+    }
+
+    std::uint64_t cx = 0;
+    std::uint64_t cs = 0;
+    for (const BookedComm &bc : booked_) {
+        const bool dead =
+            death_depth_[static_cast<std::size_t>(bc.producer)] <= dk;
+        std::uint64_t h = 0x100000001b3ull;
+        h = (h ^ static_cast<std::uint64_t>(bc.producer)) *
+            0x100000001b3ull;
+        h = (h ^ static_cast<std::uint64_t>(bc.to)) * 0x100000001b3ull;
+        h = (h ^ (dead ? slot_of(bc.xferStart)
+                       : static_cast<std::uint64_t>(bc.xferStart))) *
+            0x100000001b3ull;
+        h = (h ^ static_cast<std::uint64_t>(bc.bus + 2)) *
+            0x100000001b3ull;
+        cx ^= h;
+        cs += h * 0x9e3779b97f4a7c15ull;
+    }
+    fold(cx);
+    fold(cs);
+    lo = a;
+    hi = b;
+}
+
 Walk
 Searcher::leaf()
 {
-    const LifetimeStats lt =
-        computeLifetimes(graph_, sched_, machine_, ctx_.lifetimes);
-    for (int ml : lt.maxLivePerCluster)
-        if (ml > machine_.regsPerCluster)
-            return Walk::Continue;   // dead leaf: register file overflow
-
     Cycle pressure = 0;
-    for (int ml : lt.maxLivePerCluster)
-        pressure += ml;
-    if (!found_ || pressure < best_pressure_) {
-        best_ = sched_;
-        best_max_live_ = lt.maxLivePerCluster;
-        best_pressure_ = pressure;
+    if (pressure_on_) {
+        if (pressure_.overflown())
+            return Walk::Continue;   // defensive: pruned at placement
+        pressure = pressure_.sumMax();
+#ifndef NDEBUG
+        // The tracker must agree with the from-scratch recompute on
+        // every leaf it accepts.
+        const LifetimeStats lt =
+            computeLifetimes(graph_, sched_, machine_, ctx_.lifetimes);
+        for (std::size_t c = 0; c < lt.maxLivePerCluster.size(); ++c)
+            mvp_assert(lt.maxLivePerCluster[c] ==
+                           pressure_.clusterMaxes()[c],
+                       "pressure tracker diverged from "
+                       "computeLifetimes at a leaf");
+#endif
+        if (!found_ || pressure < best_pressure_) {
+            best_ = sched_;
+            best_max_live_ = pressure_.clusterMaxes();
+            best_pressure_ = pressure;
+        }
+    } else {
+        const LifetimeStats lt =
+            computeLifetimes(graph_, sched_, machine_, ctx_.lifetimes);
+        for (int ml : lt.maxLivePerCluster)
+            if (ml > machine_.regsPerCluster) {
+                // Dead leaf (register overflow): refuted by the placed
+                // lifetimes, which every decision shaped.
+                if (cbj_)
+                    setJump(prefixMask(order_.size()));
+                return Walk::Continue;
+            }
+        for (int ml : lt.maxLivePerCluster)
+            pressure += ml;
+        if (!found_ || pressure < best_pressure_) {
+            best_ = sched_;
+            best_max_live_ = lt.maxLivePerCluster;
+            best_pressure_ = pressure;
+        }
     }
-    found_ = true;
+    if (!found_) {
+        found_ = true;
+        found_nodes_ = nodes_;
+    }
+    // A leaf implicates every decision: the tiebreak enumeration above
+    // it must stay chronological (backjumping may only skip certified
+    // refutations, never unexplored schedules).
+    if (cbj_)
+        setJump(prefixMask(order_.size()));
     // Keep searching this II for a lower-pressure schedule (bounded by
-    // the node budget), or stop at the first one when the tiebreak is
-    // off.
+    // the budgets), or stop at the first one when the tiebreak is off.
     return options_.tiebreakPressure ? Walk::Continue : Walk::Stop;
 }
 
 Walk
 Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
-                   std::size_t k)
+                   std::size_t k, std::uint64_t &conf)
 {
     if (!chargeNode())
         return Walk::Abort;
     const auto fu = graph_.loop().op(v).fuType();
-    if (!mrt_.fuFreeAt(slot, c, fu))
+    if (!mrt_.fuFreeAt(slot, c, fu)) {
+        if (cbj_)
+            conf |= fuOccupantMask(c, slot, fu);
         return Walk::Continue;
+    }
 
     const std::size_t comm_mark = booked_.size();
     const std::size_t sched_comm_mark = sched_.comms().size();
-    if (!bookTransfers(v, c, t, k))
+    if (!bookTransfers(v, c, t, k)) {
+        if (cbj_)
+            conf |= nb_mask_[k] | bookedDepthMask();
         return Walk::Continue;
+    }
 
     // Commit the placement.
     auto &pv = sched_.placed(v);
@@ -356,6 +707,8 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
     pv.missScheduled = false;
     placed_[static_cast<std::size_t>(v)] = 1;
     mrt_.placeFu(t, c, fu);
+    if (cbj_)
+        fu_depth_mask_[fuCell(c, slot, fu)] |= 1ull << k;
     ++used_[static_cast<int>(fu)];
     --remaining_[static_cast<int>(fu)];
     if (cluster_pop_[static_cast<std::size_t>(c)]++ == 0)
@@ -366,7 +719,17 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
             {bc.producer, bc.from, bc.to, bc.xferStart, bc.bus});
     }
 
-    const Walk w = resourcesFit() ? dfs(k + 1) : Walk::Continue;
+    Walk w = Walk::Continue;
+    if (pressure_on_) {
+        const std::size_t pressure_mark = pressure_.mark();
+        if (applyPressure(v, c, t, comm_mark))
+            w = dfs(k + 1);
+        else if (cbj_)
+            conf |= prefixMask(k);
+        pressure_.undoTo(pressure_mark);
+    } else {
+        w = dfs(k + 1);
+    }
 
     // Undo in reverse commit order.
     sched_.comms().resize(sched_comm_mark);
@@ -374,6 +737,8 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
         --opened_;
     ++remaining_[static_cast<int>(fu)];
     --used_[static_cast<int>(fu)];
+    if (cbj_)
+        fu_depth_mask_[fuCell(c, slot, fu)] &= ~(1ull << k);
     mrt_.removeFu(t, c, fu);
     placed_[static_cast<std::size_t>(v)] = 0;
     pv = PlacedOp{};
@@ -387,6 +752,32 @@ Searcher::dfs(std::size_t k)
     if (k == order_.size())
         return leaf();
 
+    // Pure function of the depth: failing here refutes the II outright.
+    if (!resourcesFit()) {
+        if (cbj_)
+            setJump(0);
+        return Walk::Continue;
+    }
+
+    // The memo records certified-infeasible subtrees, so it is only
+    // consulted and fed during refutation (before any schedule is
+    // found); the tiebreak phase never pays the signature cost.
+    std::uint64_t sig_lo = 0;
+    std::uint64_t sig_hi = 0;
+    bool have_sig = false;
+    if (memo_on_ && !found_ && k > 0 &&
+        nodes_ - attempt_start_nodes_ >= MEMO_ACTIVATION_NODES) {
+        computeSignature(k, sig_lo, sig_hi);
+        have_sig = true;
+        if (memo_.contains(sig_lo, sig_hi)) {
+            // An equivalent prefix was exhausted under an incumbent no
+            // better than the current one: nothing new below.
+            if (cbj_)
+                setJump(prefixMask(k));
+            return Walk::Continue;
+        }
+    }
+
     const OpId v = order_[k];
     const Cycle lrb = machine_.regBusLatency;
     const Cycle out_lat = graph_.opLatency(v);
@@ -397,10 +788,37 @@ Searcher::dfs(std::size_t k)
     const bool has_pred = !ins.empty();
     const bool has_succ = !outs.empty();
 
+    // Union of conflict citations over every refuted candidate below.
+    std::uint64_t conf = 0;
+
     // Cluster-symmetry break: populated clusters plus one fresh one.
+    // In the tiebreak phase, clusters already holding this op's
+    // register neighbours go first: co-location avoids remote
+    // intervals, so low-pressure incumbents surface early and the
+    // incumbent bound starts cutting while the allowance lasts.
     const ClusterId c_limit = std::min<ClusterId>(
         machine_.nClusters, opened_ + 1);
-    for (ClusterId c = 0; c < c_limit; ++c) {
+    auto &c_order = c_order_[k];
+    c_order.resize(static_cast<std::size_t>(c_limit));
+    for (ClusterId i = 0; i < c_limit; ++i)
+        c_order[static_cast<std::size_t>(i)] = i;
+    if (found_ && c_limit > 1) {
+        auto &score = cluster_score_scratch_;
+        score.assign(static_cast<std::size_t>(c_limit), 0);
+        for (const InNb &nb : ins)
+            if (nb.isReg && nb.cluster < c_limit)
+                ++score[static_cast<std::size_t>(nb.cluster)];
+        for (const OutNb &nb : outs)
+            if (nb.isReg && nb.cluster < c_limit)
+                ++score[static_cast<std::size_t>(nb.cluster)];
+        std::stable_sort(c_order.begin(), c_order.end(),
+                         [&](ClusterId a, ClusterId b) {
+                             return score[static_cast<std::size_t>(a)] >
+                                    score[static_cast<std::size_t>(b)];
+                         });
+    }
+    for (ClusterId ci = 0; ci < c_limit; ++ci) {
+        const ClusterId c = c_order[static_cast<std::size_t>(ci)];
         // --- Window bounds and transfer needs for this cluster, the
         // same arithmetic as the heuristic's trySlot(). The dedup
         // scratch drains into this depth's need lists so recursion
@@ -462,8 +880,12 @@ Searcher::dfs(std::size_t k)
         }
         // A cluster whose dependence window is empty is a pruned child:
         // charge it like any candidate so budget exhaustion triggers at
-        // a sharding-independent node count.
+        // a sharding-independent node count. The window was pinched by
+        // this op's placed neighbours (and any transfers consulted), so
+        // those are the conflict citations.
         if (has_pred && has_succ && late < early) {
+            if (cbj_)
+                conf |= nb_mask_[k] | bookedDepthMask();
             if (!chargeNode())
                 return Walk::Abort;
             continue;
@@ -476,9 +898,19 @@ Searcher::dfs(std::size_t k)
             const Cycle lo = hi - ii_ + 1;
             std::size_t s = mrt_.slot(hi);
             for (Cycle t = hi; t >= lo; --t) {
-                const Walk w = tryPlace(v, c, t, s, k);
+                if (shardSkip(k)) {
+                    s = mrt_.prevSlot(s);
+                    continue;
+                }
+                const Walk w = tryPlace(v, c, t, s, k, conf);
                 if (w != Walk::Continue)
                     return w;
+                if (jump_active_) {
+                    if (jump_to_ != static_cast<int>(k))
+                        return Walk::Continue;   // not implicated: skip
+                    conf |= carry_;
+                    jump_active_ = false;
+                }
                 s = mrt_.prevSlot(s);
             }
         } else {
@@ -489,13 +921,36 @@ Searcher::dfs(std::size_t k)
                                  : std::min(late, early + ii_ - 1);
             std::size_t s = mrt_.slot(early);
             for (Cycle t = early; t <= hi; ++t) {
-                const Walk w = tryPlace(v, c, t, s, k);
+                if (shardSkip(k)) {
+                    s = mrt_.nextSlot(s);
+                    continue;
+                }
+                const Walk w = tryPlace(v, c, t, s, k, conf);
                 if (w != Walk::Continue)
                     return w;
+                if (jump_active_) {
+                    if (jump_to_ != static_cast<int>(k))
+                        return Walk::Continue;   // not implicated: skip
+                    conf |= carry_;
+                    jump_active_ = false;
+                }
                 s = mrt_.nextSlot(s);
             }
         }
     }
+    // Exhausted cleanly: remember the state (nothing new below it) and
+    // hand the conflict set to the deepest implicated decision. The
+    // candidate windows themselves were carved by this op's placed
+    // neighbours (and the booked transfers commStart consulted), so
+    // those decisions are implicated in the exhaustion even when no
+    // individual candidate cited them — moving one shifts the window
+    // to cycles this enumeration never saw. The !found_ re-check keeps
+    // every stored entry a certified-infeasible subtree even when a
+    // leaf turned up inside this one.
+    if (have_sig && !found_)
+        memo_.insert(sig_lo, sig_hi);
+    if (cbj_)
+        setJump(conf | nb_mask_[k] | bookedDepthMask());
     return Walk::Continue;
 }
 
@@ -515,16 +970,62 @@ Searcher::run()
 
     // Same placement order as the heuristic (computed once at MII):
     // the search tree then contains every heuristic run as one path.
+    // Portfolio shards and the final re-derivation compute the same
+    // ordering, so every probe explores (its slice of) the same tree.
     computeOrdering(graph_, result.stats.mii, order_, ctx_.ordering);
 
-    // Up to this many II attempts may burn their whole node budget
-    // without settling before the search gives up; each unsettled
-    // attempt costs at most nodeBudget nodes, so the total work is
-    // bounded even on pathological loops.
+    const std::size_t n = order_.size();
+    cbj_ = options_.conflictLearning && n <= 64;
+    memo_on_ = options_.dominanceMemo;
+    pressure_on_ = options_.tiebreakPressure;
+    order_pos_.assign(graph_.size(), 0);
+    for (std::size_t d = 0; d < n; ++d)
+        order_pos_[static_cast<std::size_t>(order_[d])] =
+            static_cast<int>(d);
+    if (memo_on_) {
+        // An op is dead once it and every graph neighbour are placed:
+        // no future window, transfer or lifetime can consult it.
+        death_depth_.assign(graph_.size(), 0);
+        for (std::size_t v = 0; v < graph_.size(); ++v)
+            death_depth_[v] = order_pos_[v] + 1;
+        for (const auto &e : graph_.edges()) {
+            if (e.src == e.dst)
+                continue;
+            auto &ds = death_depth_[static_cast<std::size_t>(e.src)];
+            auto &dd = death_depth_[static_cast<std::size_t>(e.dst)];
+            ds = std::max(
+                ds, order_pos_[static_cast<std::size_t>(e.dst)] + 1);
+            dd = std::max(
+                dd, order_pos_[static_cast<std::size_t>(e.src)] + 1);
+        }
+    }
+
+    node_cap_ = options_.nodeBudget > 0;
+    if (options_.hasDeadline) {
+        deadline_on_ = true;
+        deadline_ = options_.deadline;
+    } else if (options_.timeBudgetMs >= 0) {
+        deadline_on_ = true;
+        deadline_ = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(options_.timeBudgetMs);
+    }
+    cancel_ = options_.sharedBestII;
+    tiebreak_cap_ = options_.tiebreakBudget;
+    shard_count_ = std::max(1, options_.shardCount);
+    shard_index_ = options_.shardIndex;
+
+    // Up to this many II attempts may burn their whole node cap
+    // without settling before the search gives up; the wall-clock
+    // deadline instead ends the search at the first aborted attempt
+    // (time does not come back at a larger II).
     constexpr int MAX_ABORTED_ATTEMPTS = 4;
     int aborted_attempts = 0;
 
-    for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
+    const Cycle first_ii =
+        options_.onlyII > 0 ? options_.onlyII : result.stats.mii;
+    const Cycle last_ii =
+        options_.onlyII > 0 ? options_.onlyII : options_.maxII;
+    for (Cycle ii = first_ii; ii <= last_ii; ++ii) {
         ++result.stats.iiAttempts;
         ii_ = ii;
         mrt_.reset(ii);
@@ -536,9 +1037,22 @@ Searcher::run()
         booked_.clear();
         for (int f = 0; f < ir::NUM_FU_TYPES; ++f)
             used_[f] = 0;
+        pressure_.reset(ii, machine_.nClusters, graph_.size(),
+                        machine_.regsPerCluster);
+        if (cbj_)
+            fu_depth_mask_.assign(static_cast<std::size_t>(ii) *
+                                      static_cast<std::size_t>(
+                                          machine_.nClusters) *
+                                      ir::NUM_FU_TYPES,
+                                  0);
+        memo_.reset();
+        depth1_counter_ = 0;
+        jump_active_ = false;
+        attempt_start_nodes_ = nodes_;
         attempt_limit_ = nodes_ + options_.nodeBudget;
 
         const Walk w = dfs(0);
+        jump_active_ = false;
         if (found_) {
             // The first feasible II is minimal over the search space;
             // it carries the certificate when it meets the lower
@@ -555,9 +1069,16 @@ Searcher::run()
         }
         if (w == Walk::Abort) {
             // Budget gone with nothing found at this II: the II is
-            // neither feasible-in-space nor refuted. Move on (a larger
-            // II is usually much easier) until the abort allowance is
-            // spent; the lower bound must not rise past this II.
+            // neither feasible-in-space nor refuted; the lower bound
+            // must not rise past it. A cancelled probe or an expired
+            // deadline ends the search outright; a node-cap abort
+            // moves on (a larger II is usually much easier) until the
+            // abort allowance is spent.
+            if (cancelled_)
+                break;
+            if (deadline_on_ &&
+                std::chrono::steady_clock::now() >= deadline_)
+                break;
             if (++aborted_attempts >= MAX_ABORTED_ATTEMPTS)
                 break;
             continue;
@@ -579,7 +1100,7 @@ Searcher::run()
                   "was found for loop '" +
                       graph_.loop().name() + "'"
                 : "no feasible II up to " +
-                      std::to_string(options_.maxII) + " for loop '" +
+                      std::to_string(last_ii) + " for loop '" +
                       graph_.loop().name() + "'";
         return result;
     }
@@ -607,14 +1128,14 @@ Searcher::run()
 
 ScheduleResult
 scheduleExact(const ddg::Ddg &graph, const MachineConfig &machine,
-              const BnbOptions &options, SchedContext &ctx)
+              const ExactOptions &options, SchedContext &ctx)
 {
     return Searcher(graph, machine, options, ctx).run();
 }
 
 ScheduleResult
 scheduleExact(const ddg::Ddg &graph, const MachineConfig &machine,
-              const BnbOptions &options)
+              const ExactOptions &options)
 {
     SchedContext ctx;
     return scheduleExact(graph, machine, options, ctx);

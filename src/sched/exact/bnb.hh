@@ -1,6 +1,6 @@
 /**
  * @file
- * Exact modulo scheduling by branch and bound.
+ * Exact modulo scheduling by conflict-driven branch and bound.
  *
  * The search enumerates, at a fixed II, every (cluster, cycle) placement
  * of every operation over the same candidate windows the heuristic
@@ -24,25 +24,43 @@
  * scheduler of this family can do better", not absolute infeasibility
  * below.
  *
- * Pruning bounds, reused from the heuristic stack:
- *  - MII = max(ResMII, RecMII) floors the II iteration (mii.cc);
- *  - per-class FU counts prune partial schedules whose unplaced ops no
- *    longer fit the remaining reservation-table slots (mrt.cc);
- *  - dependence windows (early/late from placed neighbours) cut the
- *    candidate cycles per op to at most II;
- *  - bus saturation fails a candidate before it is committed;
- *  - register pressure (lifetimes.cc) rejects complete schedules whose
- *    MaxLive exceeds a cluster's register file.
+ * Pruning, strongest first:
+ *  - incremental register pressure (exact/pressure.hh): lifetime
+ *    intervals only grow along a DFS path, so a partial schedule whose
+ *    per-cluster MaxLive already exceeds the register file — or whose
+ *    summed MaxLive already reaches the incumbent during the tiebreak —
+ *    is cut without visiting its subtree;
+ *  - conflict-driven backjumping: every refuted candidate cites the
+ *    earlier decisions implicated in its failure (window-defining
+ *    neighbours, FU-slot occupants, booked transfers); when an op's
+ *    candidates are exhausted the union of citations names the deepest
+ *    decision worth revisiting, skipping the unimplicated levels in
+ *    between, and an empty union certifies the whole II infeasible on
+ *    the spot (lifted into the iiLowerBound that persists across II
+ *    probes);
+ *  - dominance memoization (exact/memo.hh): canonical signatures of
+ *    partial schedules (dead ops reduced to their modulo footprints)
+ *    prune prefixes equivalent to one already exhausted;
+ *  - MII = max(ResMII, RecMII) floors the II iteration, per-class FU
+ *    counts refute depths whose unplaced ops no longer fit the table,
+ *    dependence windows cap candidates per op at II cycles, and bus
+ *    saturation fails candidates before commit.
  *
- * Once a feasible schedule is found at the minimal II, the remaining
- * node budget is spent minimising the register-pressure tiebreak
- * (summed MaxLive over clusters). A node/time budget degrades the whole
- * search gracefully: on exhaustion the best schedule so far is returned
- * with provenOptimal == false ("gap unknown").
+ * Once a feasible schedule is found at the minimal II, the search keeps
+ * running to minimise the register-pressure tiebreak (summed MaxLive).
+ * Budgets degrade the whole search gracefully: on exhaustion the best
+ * schedule so far is returned with provenOptimal == false ("gap
+ * unknown"). The primary budget is wall-clock (timeBudgetMs), checked
+ * on the node-charging path; the node budget remains as a deprecated
+ * cap for callers that need machine-independent determinism of the
+ * degradation point itself.
  */
 
 #ifndef MVP_SCHED_EXACT_BNB_HH
 #define MVP_SCHED_EXACT_BNB_HH
+
+#include <atomic>
+#include <chrono>
 
 #include "ddg/ddg.hh"
 #include "machine/machine.hh"
@@ -51,18 +69,32 @@
 namespace mvp::sched::exact
 {
 
-/** Branch-and-bound knobs. */
-struct BnbOptions
+/** Exact-search knobs. */
+struct ExactOptions
 {
     /** Give up (fail the loop) beyond this II. */
     Cycle maxII = 512;
 
     /**
-     * Candidate placements evaluated per II attempt before that
-     * attempt is abandoned (neither feasible nor refuted). A few
-     * abandoned attempts in a row fail the whole search.
+     * Deprecated node cap: candidate placements evaluated per II
+     * attempt before that attempt is abandoned (neither feasible nor
+     * refuted); 0 (the default) means uncapped, leaving the wall-clock
+     * budget in charge. Kept for callers that need the degradation
+     * point to be a pure function of (loop, machine, options) — node
+     * charging is still interleaving-independent — and for tests that
+     * starve the search deterministically.
      */
-    std::int64_t nodeBudget = DEFAULT_SEARCH_BUDGET;
+    std::int64_t nodeBudget = 0;
+
+    /**
+     * Wall-clock budget for the whole search (all II attempts),
+     * checked on the node-charging path. Negative = unlimited; 0 = an
+     * already-expired deadline (the first charged node aborts, which
+     * keeps even that degenerate case deterministic). On expiry the
+     * search degrades exactly like the node cap: best schedule so far,
+     * "gap unknown".
+     */
+    std::int64_t timeBudgetMs = DEFAULT_TIME_BUDGET_MS;
 
     /**
      * After the minimal II is secured, keep searching that II for the
@@ -71,7 +103,60 @@ struct BnbOptions
      * schedule.
      */
     bool tiebreakPressure = true;
+
+    /**
+     * Node allowance of the tiebreak phase: nodes charged after the
+     * first feasible schedule before the attempt settles for the best
+     * schedule seen (pressureOptimal == false); 0 = unlimited. The II
+     * certificate is decided before the tiebreak starts, so the
+     * allowance never weakens it; node-based on purpose so the
+     * tiebreak's outcome is reproducible across machines and job
+     * counts (a wall-clock tiebreak would make reports
+     * timing-dependent). Exhausting it is a documented phase end, not
+     * a budget failure — budgetExhausted stays false.
+     */
+    std::int64_t tiebreakBudget = DEFAULT_TIEBREAK_BUDGET;
+
+    /** Dominance/transposition memoization (exact/memo.hh). */
+    bool dominanceMemo = true;
+
+    /** Conflict-driven backjumping (loops of <= 64 ops). */
+    bool conflictLearning = true;
+
+    /**
+     * @name Portfolio-shard plumbing (sched/exact/portfolio.hh)
+     * Default values leave all of it inert; the portfolio backend uses
+     * these to race II probes and split subtrees across workers.
+     */
+    /// @{
+    /** > 0: probe exactly this II instead of scanning from MII. */
+    Cycle onlyII = 0;
+
+    /**
+     * Partition the search: this searcher explores only the depth-1
+     * candidates whose index is congruent to shardIndex mod
+     * shardCount. The union of all shards' trees is the full tree (the
+     * root op has a single candidate), so "every shard refuted" is a
+     * complete refutation.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+
+    /**
+     * Shared incumbent II, polled on the charging path: the attempt
+     * aborts once *sharedBestII <= the II being searched (a refutation
+     * at or above a known-feasible II proves nothing more). Not owned.
+     */
+    const std::atomic<Cycle> *sharedBestII = nullptr;
+
+    /** Deadline shared across shards; overrides timeBudgetMs. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+    /// @}
 };
+
+/** Historical name, kept for existing callers. */
+using BnbOptions = ExactOptions;
 
 /**
  * Schedule @p graph exactly, drawing ordering/lifetime scratch from
@@ -81,21 +166,24 @@ struct BnbOptions
  * comms, provenOptimal, iiLowerBound, pressureOptimal, searchNodes,
  * budgetExhausted.
  *
- * Budget accounting is interleaving-independent: every child the
- * search considers is charged exactly once (see Searcher::chargeNode),
- * so the node count at which "gap unknown" degradation triggers is a
- * pure function of (loop, machine, options) — identical whether loops
- * are swept serially or sharded across a thread pool.
+ * Node charging is interleaving-independent: every child the search
+ * considers is charged exactly once (see Searcher::chargeNode), so
+ * under a pure node cap the degradation point is a pure function of
+ * (loop, machine, options) — identical whether loops are swept
+ * serially or sharded across a thread pool. The wall-clock budget
+ * trades that reproducibility of the *cutoff point* for a
+ * machine-meaningful bound; results that settle within the budget are
+ * deterministic either way.
  */
 ScheduleResult scheduleExact(const ddg::Ddg &graph,
                              const MachineConfig &machine,
-                             const BnbOptions &options,
+                             const ExactOptions &options,
                              SchedContext &ctx);
 
 /** scheduleExact with a transient context. */
 ScheduleResult scheduleExact(const ddg::Ddg &graph,
                              const MachineConfig &machine,
-                             const BnbOptions &options = {});
+                             const ExactOptions &options = {});
 
 } // namespace mvp::sched::exact
 

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Dominance/transposition memo for the exact branch-and-bound search:
+ * an open-addressing hash set of canonical partial-schedule signatures
+ * (same design family as the CME RatioMemo — flat storage, linear
+ * probing, geometric growth), recording subtrees the search has already
+ * exhausted.
+ *
+ * The searcher folds everything a partial schedule's *future* can
+ * depend on into a 128-bit signature (two independent 64-bit hashes):
+ * the placements of still-live operations at absolute cycles, dead
+ * operations reduced to their modulo slot and final lifetime
+ * footprints, booked bus transfers, and the DFS depth. Two states with
+ * equal signatures have isomorphic subtrees, so the second visit is
+ * pruned. Soundness of the prune does not need a stored value: an
+ * entry is inserted only when its subtree was exhausted under the
+ * register-pressure incumbent of the time, and the incumbent is
+ * monotone non-increasing, so a re-visit can never find a strictly
+ * better leaf inside (see bnb.cc for the argument).
+ *
+ * The table is per-searcher scratch (reset at each II attempt — the
+ * signature does not canonicalise across IIs) and never shared between
+ * threads; the portfolio backend gives every shard its own searcher.
+ */
+
+#ifndef MVP_SCHED_EXACT_MEMO_HH
+#define MVP_SCHED_EXACT_MEMO_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mvp::sched::exact
+{
+
+/** Open-addressing set of 128-bit partial-schedule signatures. */
+class DominanceMemo
+{
+  public:
+    /** Forget every signature, keeping the table's capacity. */
+    void reset()
+    {
+        if (size_ > 0)
+            std::fill(keys_.begin(), keys_.end(), Key{0, 0});
+        size_ = 0;
+    }
+
+    /** True when (lo, hi) was inserted since the last reset(). */
+    bool contains(std::uint64_t lo, std::uint64_t hi) const
+    {
+        if (keys_.empty())
+            return false;
+        remap(lo, hi);
+        const std::size_t mask = keys_.size() - 1;
+        for (std::size_t i = lo & mask;; i = (i + 1) & mask) {
+            const Key &k = keys_[i];
+            if (k.lo == 0 && k.hi == 0)
+                return false;
+            if (k.lo == lo && k.hi == hi)
+                return true;
+        }
+    }
+
+    /**
+     * Insert (lo, hi); duplicates are no-ops. When the table has grown
+     * to its cap and is nearly full, further inserts are dropped — the
+     * memo is an accelerator, losing entries only costs pruning.
+     */
+    void insert(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (keys_.empty())
+            keys_.assign(INITIAL_SLOTS, Key{0, 0});
+        else if (size_ * 8 >= keys_.size() * 5) {
+            if (keys_.size() < MAX_SLOTS)
+                grow();
+            else if (size_ * 16 >= keys_.size() * 15)
+                return;   // ~94% full at cap: stop inserting
+        }
+        remap(lo, hi);
+        const std::size_t mask = keys_.size() - 1;
+        for (std::size_t i = lo & mask;; i = (i + 1) & mask) {
+            Key &k = keys_[i];
+            if (k.lo == lo && k.hi == hi)
+                return;
+            if (k.lo == 0 && k.hi == 0) {
+                k = {lo, hi};
+                ++size_;
+                return;
+            }
+        }
+    }
+
+    /** Entries inserted since the last reset(). */
+    std::size_t size() const { return size_; }
+
+    /** Current slot count (0 until the first insert). */
+    std::size_t capacity() const { return keys_.size(); }
+
+  private:
+    struct Key
+    {
+        std::uint64_t lo;
+        std::uint64_t hi;
+    };
+
+    static constexpr std::size_t INITIAL_SLOTS = 1u << 12;
+    static constexpr std::size_t MAX_SLOTS = 1u << 20;
+
+    /** The all-zero key is the empty-slot sentinel; remap it. */
+    static void remap(std::uint64_t &lo, std::uint64_t &hi)
+    {
+        if (lo == 0 && hi == 0)
+            lo = 0x9e3779b97f4a7c15ull;
+    }
+
+    void grow()
+    {
+        std::vector<Key> old = std::move(keys_);
+        keys_.assign(old.size() * 4, Key{0, 0});
+        const std::size_t mask = keys_.size() - 1;
+        for (const Key &k : old) {
+            if (k.lo == 0 && k.hi == 0)
+                continue;
+            for (std::size_t i = k.lo & mask;; i = (i + 1) & mask) {
+                if (keys_[i].lo == 0 && keys_[i].hi == 0) {
+                    keys_[i] = k;
+                    break;
+                }
+            }
+        }
+    }
+
+    std::vector<Key> keys_;
+    std::size_t size_ = 0;
+};
+
+} // namespace mvp::sched::exact
+
+#endif // MVP_SCHED_EXACT_MEMO_HH

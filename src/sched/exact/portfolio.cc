@@ -1,0 +1,205 @@
+#include "sched/exact/portfolio.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/driver.hh"
+#include "sched/mii.hh"
+
+namespace mvp::sched::exact
+{
+
+namespace
+{
+
+/** What a fully-merged II probe settled to. */
+enum class Probe
+{
+    Feasible,   ///< some shard found a schedule
+    Refuted,    ///< every shard exhausted its subtree
+    Aborted     ///< a shard hit a budget: the II stays unresolved
+};
+
+/** Merge one II's shard results (all shards of one II, in order). */
+Probe
+mergeShards(const ScheduleResult *shard, int count)
+{
+    bool feasible = false;
+    bool refuted = true;
+    for (int s = 0; s < count; ++s) {
+        if (shard[s].ok)
+            feasible = true;
+        else if (shard[s].stats.budgetExhausted)
+            refuted = false;   // aborted or cancelled, not exhausted
+    }
+    if (feasible)
+        return Probe::Feasible;
+    return refuted ? Probe::Refuted : Probe::Aborted;
+}
+
+} // namespace
+
+ScheduleResult
+scheduleExactPortfolio(const ddg::Ddg &graph,
+                       const MachineConfig &machine,
+                       const ExactOptions &options,
+                       harness::ParallelDriver &pool, SchedContext &ctx)
+{
+    // Degenerate loops take the serial path: nothing to race.
+    if (graph.size() == 0)
+        return scheduleExact(graph, machine, options, ctx);
+
+    const Cycle res_mii = resMii(graph.loop(), machine);
+    const Cycle rec_mii = graph.recMii();
+    const Cycle mii = std::max(res_mii, rec_mii);
+
+    const int jobs = std::max(1, pool.jobs());
+    const int probes = std::min(jobs, 2);           // concurrent IIs
+    const int shards = std::max(1, jobs / probes);  // splits per II
+
+    // One deadline across every wave (the serial engine's whole-search
+    // budget); the final re-derivation below gets a fresh window.
+    const bool deadline_on =
+        options.hasDeadline || options.timeBudgetMs >= 0;
+    const auto deadline =
+        options.hasDeadline
+            ? options.deadline
+            : std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      options.timeBudgetMs < 0 ? 0
+                                               : options.timeBudgetMs);
+
+    // Shared incumbent: probes at or above it cancel themselves.
+    std::atomic<Cycle> shared_best{options.maxII + 1};
+
+    Cycle next = mii;       // lowest unprobed II
+    Cycle lb = mii;         // IIs below are refuted, gaplessly from MII
+    Cycle best = options.maxII + 1;
+    bool gapless = true;    // no aborted II below the refuted prefix
+    int aborted_attempts = 0;
+    // Same allowance as the serial engine: keep probing larger IIs
+    // past a few budget-starved attempts, then give up.
+    constexpr int MAX_ABORTED_ATTEMPTS = 4;
+    std::int64_t total_nodes = 0;
+    int ii_attempts = 0;
+
+    std::vector<ScheduleResult> slots;
+    while (next <= options.maxII && next < best) {
+        if (deadline_on &&
+            std::chrono::steady_clock::now() >= deadline)
+            break;
+        if (aborted_attempts > MAX_ABORTED_ATTEMPTS &&
+            best > options.maxII)
+            break;
+
+        const Cycle wave_last = std::min(
+            {next + probes - 1, options.maxII, best - 1});
+        const int wave_iis = static_cast<int>(wave_last - next + 1);
+        const std::size_t n =
+            static_cast<std::size_t>(wave_iis) *
+            static_cast<std::size_t>(shards);
+        slots.assign(n, ScheduleResult{});
+        pool.run(n, [&](std::size_t idx, SchedContext &wctx) {
+            const Cycle ii =
+                next + static_cast<Cycle>(idx) / shards;
+            ExactOptions o = options;
+            o.onlyII = ii;
+            o.shardIndex = static_cast<int>(idx) % shards;
+            o.shardCount = shards;
+            o.tiebreakPressure = false;   // probes settle feasibility
+            o.sharedBestII = &shared_best;
+            o.hasDeadline = deadline_on;
+            o.deadline = deadline;
+            if (!deadline_on)
+                o.timeBudgetMs = -1;
+            ScheduleResult r = scheduleExact(graph, machine, o, wctx);
+            if (r.ok) {
+                Cycle cur =
+                    shared_best.load(std::memory_order_relaxed);
+                while (ii < cur &&
+                       !shared_best.compare_exchange_weak(
+                           cur, ii, std::memory_order_relaxed)) {
+                }
+            }
+            slots[idx] = std::move(r);
+        });
+
+        for (int w = 0; w < wave_iis; ++w) {
+            const Cycle ii = next + w;
+            ++ii_attempts;
+            for (int s = 0; s < shards; ++s)
+                total_nodes +=
+                    slots[static_cast<std::size_t>(w) * shards + s]
+                        .stats.searchNodes;
+            switch (mergeShards(
+                &slots[static_cast<std::size_t>(w) * shards],
+                shards)) {
+            case Probe::Feasible:
+                best = std::min(best, ii);
+                break;
+            case Probe::Refuted:
+                if (gapless && ii == lb)
+                    lb = ii + 1;
+                mvp_verbose("portfolio: loop '", graph.loop().name(),
+                            "' II=", ii, " refuted (", shards,
+                            " shards)");
+                break;
+            case Probe::Aborted:
+                if (ii < best) {
+                    gapless = false;
+                    ++aborted_attempts;
+                }
+                break;
+            }
+        }
+        next = wave_last + 1;
+    }
+
+    if (best > options.maxII) {
+        // Nothing found: same failure modes and error strings as the
+        // serial engine.
+        ScheduleResult fail;
+        fail.stats.resMii = res_mii;
+        fail.stats.recMii = rec_mii;
+        fail.stats.mii = mii;
+        fail.stats.iiAttempts = ii_attempts;
+        fail.stats.searchNodes = total_nodes;
+        fail.stats.iiLowerBound = lb;
+        const bool starved = !gapless || next <= options.maxII;
+        fail.stats.budgetExhausted = starved;
+        fail.error =
+            starved ? "exact search budget exhausted before any "
+                      "schedule was found for loop '" +
+                          graph.loop().name() + "'"
+                    : "no feasible II up to " +
+                          std::to_string(options.maxII) +
+                          " for loop '" + graph.loop().name() + "'";
+        return fail;
+    }
+
+    // Serial re-derivation at the settled II: placements become a pure
+    // function of (loop, machine, options) — byte-identical at any job
+    // count — and the caller's pressure tiebreak runs here, under its
+    // node allowance and a fresh wall-clock window.
+    ExactOptions fin = options;
+    fin.onlyII = best;
+    fin.shardIndex = 0;
+    fin.shardCount = 1;
+    fin.sharedBestII = nullptr;
+    fin.hasDeadline = false;
+    ScheduleResult out = scheduleExact(graph, machine, fin, ctx);
+
+    out.stats.iiAttempts += ii_attempts;
+    out.stats.searchNodes += total_nodes;
+    out.stats.iiLowerBound = lb;
+    if (out.ok) {
+        out.stats.provenOptimal = best == lb;
+        out.stats.budgetExhausted = best != lb;
+    }
+    return out;
+}
+
+} // namespace mvp::sched::exact

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Portfolio exact scheduling: the serial branch-and-bound engine
+ * (exact/bnb.hh) raced and sharded across the harness's persistent
+ * worker pool.
+ *
+ * The portfolio parallelises the part of the exact search that
+ * dominates hard loops — refuting the IIs below the optimum — along
+ * two axes at once:
+ *
+ *  - **II-probe racing**: consecutive candidate IIs are searched
+ *    concurrently (each with ExactOptions::onlyII), so the refutation
+ *    of II = k and the feasibility probe of II = k+1 overlap instead
+ *    of serialising.
+ *  - **Subtree splitting**: each II probe is partitioned into
+ *    depth-1 shards (ExactOptions::shardIndex / shardCount); the union
+ *    of the shards' trees is the full tree, so "every shard refuted"
+ *    is a complete refutation of that II, and any shard finding a
+ *    schedule settles feasibility.
+ *
+ * Probes share one wall-clock deadline and one atomic incumbent II
+ * (ExactOptions::sharedBestII): a probe at or above a known-feasible
+ * II cancels itself on the node-charging path, since its outcome can
+ * no longer change the answer.
+ *
+ * Determinism contract: feasibility and refutation of an II are pure
+ * functions of (loop, machine, II) — every shard runs to completion or
+ * is cancelled only when the answer is already decided — so the
+ * minimal II and its certificate are interleaving-independent. The
+ * *returned placements* are made byte-identical across job counts by a
+ * final serial re-derivation: once the minimal II is known, the
+ * schedule is recomputed single-threaded at exactly that II with the
+ * caller's tiebreak options and a fresh budget. Racing probes run with
+ * the pressure tiebreak off (first feasible leaf settles the probe);
+ * only the re-derivation pays the tiebreak.
+ *
+ * Budget degradation mirrors the serial engine: on deadline expiry (or
+ * per-shard node-cap aborts) the best schedule found so far is
+ * returned with provenOptimal == false ("gap unknown") and the lower
+ * bound reflects only the gapless prefix of refuted IIs.
+ */
+
+#ifndef MVP_SCHED_EXACT_PORTFOLIO_HH
+#define MVP_SCHED_EXACT_PORTFOLIO_HH
+
+#include "sched/exact/bnb.hh"
+
+namespace mvp::harness
+{
+class ParallelDriver;
+}
+
+namespace mvp::sched::exact
+{
+
+/**
+ * Schedule @p graph exactly on @p pool's workers. @p options carries
+ * the user-facing knobs (maxII, budgets, tiebreak*); the
+ * portfolio-shard plumbing fields (onlyII, shardIndex/Count,
+ * sharedBestII, deadline) are owned by the portfolio itself and
+ * ignored on input, except `deadline`/`hasDeadline` which override
+ * timeBudgetMs as in the serial engine. @p ctx serves the final serial
+ * re-derivation; the pool workers use their own contexts.
+ *
+ * Never throws; failure (no feasible II within maxII, or the budget
+ * exhausted first) is reported in the result exactly like
+ * scheduleExact. pool.run() is not reentrant, so neither is this
+ * function on one pool.
+ */
+ScheduleResult scheduleExactPortfolio(const ddg::Ddg &graph,
+                                      const MachineConfig &machine,
+                                      const ExactOptions &options,
+                                      harness::ParallelDriver &pool,
+                                      SchedContext &ctx);
+
+} // namespace mvp::sched::exact
+
+#endif // MVP_SCHED_EXACT_PORTFOLIO_HH

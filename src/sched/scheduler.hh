@@ -37,11 +37,34 @@ namespace mvp::sched
 {
 
 /**
- * Default branch-and-bound node budget per II attempt (exact backend);
- * one shared constant so the scheduler, harness, benches and docs
- * cannot drift apart.
+ * Historical default branch-and-bound node budget per II attempt
+ * (exact backend). The node budget is deprecated in favour of the
+ * wall-clock budget below — SchedulerOptions::searchBudget now
+ * defaults to 0 (uncapped) — but the constant stays for callers and
+ * tests that want a machine-independent, deterministic starvation
+ * point.
  */
 constexpr std::int64_t DEFAULT_SEARCH_BUDGET = 2'000'000;
+
+/**
+ * Default wall-clock budget of the exact search, in milliseconds; one
+ * shared constant so the scheduler, harness, benches and docs cannot
+ * drift apart. Negative disables the deadline entirely; 0 is an
+ * already-expired deadline (deterministic immediate degradation).
+ */
+constexpr std::int64_t DEFAULT_TIME_BUDGET_MS = 10'000;
+
+/**
+ * Default node allowance of the register-pressure tiebreak phase
+ * (nodes charged after the first feasible schedule at the minimal II).
+ * Deliberately node-based, not wall-clock: the tiebreak's outcome
+ * (which schedule, pressureOptimal) then stays a pure function of
+ * (loop, machine, options), which is what keeps gap tables and
+ * differential reports byte-identical across machines and job counts.
+ * The II certificate itself is never affected — it is decided before
+ * the tiebreak starts.
+ */
+constexpr std::int64_t DEFAULT_TIEBREAK_BUDGET = 150'000;
 
 /** Scheduler configuration. */
 struct SchedulerOptions
@@ -80,15 +103,47 @@ struct SchedulerOptions
     Cycle maxII = 512;
 
     /**
-     * Branch-and-bound node budget of the exact backend, per II
-     * attempt (candidate placements evaluated). When an attempt runs
+     * Deprecated branch-and-bound node cap of the exact backend, per
+     * II attempt (candidate placements evaluated); 0 = uncapped, the
+     * default, leaving timeBudgetMs in charge. When an attempt runs
      * out the search degrades gracefully: an unrefuted II is skipped
      * rather than proven, later schedules lose the optimality
      * certificate ("gap unknown"), and a budget-capped pressure
      * tiebreak keeps the best schedule seen. Ignored by the heuristic
      * backends.
      */
-    std::int64_t searchBudget = DEFAULT_SEARCH_BUDGET;
+    std::int64_t searchBudget = 0;
+
+    /**
+     * Wall-clock budget of the exact search in milliseconds (whole
+     * search, all II attempts). Negative = unlimited, 0 = expired on
+     * entry; degradation is the same "gap unknown" path as the node
+     * cap. Ignored by the heuristic backends.
+     */
+    std::int64_t timeBudgetMs = DEFAULT_TIME_BUDGET_MS;
+
+    /**
+     * Node allowance of the exact tiebreak phase (see
+     * DEFAULT_TIEBREAK_BUDGET); 0 = unlimited. Ignored by the
+     * heuristic backends.
+     */
+    std::int64_t tiebreakBudget = DEFAULT_TIEBREAK_BUDGET;
+
+    /**
+     * Exact engine the verify backend certifies the heuristic against:
+     * "exact" (serial branch and bound, the default) or "portfolio"
+     * (II-probe racing + subtree splitting on a worker pool). Any
+     * registered backend name works; "verify" itself falls back to
+     * "exact".
+     */
+    std::string exactBackend = "exact";
+
+    /**
+     * Worker count of the portfolio backend's internal pool; 0 (the
+     * default) means harness::defaultJobs() (MVP_JOBS / hardware).
+     * Ignored by every other backend.
+     */
+    int searchJobs = 0;
 };
 
 /** Static quantities the scheduler reports alongside the schedule. */

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * The portfolio backend and the exact-engine speedup machinery it is
+ * built on.
+ *
+ *  - Portfolio-vs-serial agreement over every workload loop and
+ *    clustered machine (the 96-combo sweep): same II, same lower
+ *    bound, same certificate, byte-identical placements.
+ *  - Determinism across job counts: the optimality-gap table is
+ *    byte-identical at searchJobs 1, 2 and 8.
+ *  - Budget degradation: an already-expired wall-clock budget reports
+ *    "gap unknown" through the same error contract as the serial
+ *    engine.
+ *  - Refutation lifting: exhausted II probes persist as certified
+ *    lower bounds, with and without conflict learning.
+ *  - DominanceMemo unit behaviour (insert/contains/reset, the
+ *    zero-key sentinel, duplicate no-ops, growth).
+ *  - Pruning toggles never change the answer, and the node-based
+ *    tiebreak budget is reproducible and never reads as a budget
+ *    failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ddg/ddg.hh"
+#include "harness/driver.hh"
+#include "harness/gapstudy.hh"
+#include "machine/presets.hh"
+#include "sched/backend.hh"
+#include "sched/exact/bnb.hh"
+#include "sched/exact/memo.hh"
+#include "sched/exact/portfolio.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::sched
+{
+namespace
+{
+
+void
+expectSameSchedule(const ScheduleResult &a, const ScheduleResult &b,
+                   const ddg::Ddg &graph, const std::string &label)
+{
+    ASSERT_EQ(a.ok, b.ok) << label;
+    ASSERT_TRUE(a.ok) << label << ": " << a.error;
+    EXPECT_EQ(a.schedule.ii(), b.schedule.ii()) << label;
+    EXPECT_EQ(a.stats.iiLowerBound, b.stats.iiLowerBound) << label;
+    EXPECT_EQ(a.stats.provenOptimal, b.stats.provenOptimal) << label;
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        const auto pa = a.schedule.placed(static_cast<OpId>(v));
+        const auto pb = b.schedule.placed(static_cast<OpId>(v));
+        EXPECT_EQ(pa.time, pb.time) << label << " op " << v;
+        EXPECT_EQ(pa.cluster, pb.cluster) << label << " op " << v;
+    }
+}
+
+/** The headline property: the portfolio is a faster route to the same
+ * answer. Every loop, every machine, compared field by field against
+ * the serial engine, including placements (the final serial
+ * re-derivation makes them job-count independent). */
+TEST(Portfolio, AgreesWithSerialOnEveryLoop)
+{
+    harness::ParallelDriver pool(4);
+    int solved = 0;
+    for (const auto &wl : workloads::allLoops()) {
+        for (int nc : {1, 2, 4}) {
+            const auto machine = makeConfig(nc);
+            const auto graph = ddg::Ddg::build(wl.nest, machine);
+            const std::string label = wl.benchmark + "/" +
+                                      wl.nest.name() + "/c" +
+                                      std::to_string(nc);
+            const auto serial = exact::scheduleExact(graph, machine);
+            SchedContext ctx;
+            const auto port = exact::scheduleExactPortfolio(
+                graph, machine, {}, pool, ctx);
+            expectSameSchedule(serial, port, graph, label);
+            ++solved;
+        }
+    }
+    EXPECT_EQ(solved, 96);
+}
+
+TEST(Portfolio, RegisteredAsBackend)
+{
+    auto &reg = BackendRegistry::instance();
+    ASSERT_TRUE(reg.has("portfolio"));
+    const auto backend = reg.create("portfolio");
+    ASSERT_NE(backend, nullptr);
+    EXPECT_EQ(backend->name(), "portfolio");
+}
+
+/** The determinism contract behind every report: the gap table is a
+ * pure function of (workloads, machine, options), not of the job
+ * count. */
+TEST(Portfolio, GapTableByteIdenticalAcrossJobCounts)
+{
+    harness::ParallelDriver driver(2);
+    harness::Workbench bench({"tomcatv", "swim", "hydro2d"});
+    const auto machine = makeTwoCluster();
+
+    std::string reference;
+    for (int jobs : {1, 2, 8}) {
+        harness::GapOptions options;
+        options.exactBackend = "portfolio";
+        options.searchJobs = jobs;
+        const auto study =
+            harness::runGapStudy(bench, machine, options, driver);
+        EXPECT_EQ(study.unknown(), 0) << "jobs " << jobs;
+        const std::string table = harness::formatGapTable(study);
+        if (reference.empty())
+            reference = table;
+        else
+            EXPECT_EQ(table, reference) << "jobs " << jobs;
+    }
+}
+
+/** An expired wall-clock budget degrades exactly like the serial
+ * engine: no schedule, budgetExhausted, the documented error text. */
+TEST(Portfolio, StarvedBudgetDegradesGracefully)
+{
+    const auto bench = workloads::makeApplu();
+    const auto machine = makeFourCluster();
+    const auto graph = ddg::Ddg::build(bench.loops[1], machine);
+    SchedulerOptions opt;
+    opt.timeBudgetMs = 0;
+    opt.searchJobs = 2;
+    const auto r =
+        scheduleWithBackend("portfolio", graph, machine, opt);
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.stats.budgetExhausted);
+    EXPECT_FALSE(r.stats.provenOptimal);
+    EXPECT_NE(r.error.find("budget"), std::string::npos);
+
+    // The serial engine must say the same thing in the same words —
+    // reports diff the two backends verbatim.
+    exact::ExactOptions eopt;
+    eopt.timeBudgetMs = 0;
+    const auto s = exact::scheduleExact(graph, machine, eopt);
+    EXPECT_FALSE(s.ok);
+    EXPECT_EQ(r.error, s.error);
+}
+
+/** Refutation lifting: when the minimal feasible II sits above MII,
+ * the exhausted probes below it persist as a certified lower bound —
+ * the certificate is lb == II, not lb == MII. */
+TEST(ExactEngine, RefutedProbesLiftTheLowerBound)
+{
+    int lifted = 0;
+    for (const auto &wl : workloads::allLoops()) {
+        for (int nc : {2, 4}) {
+            const auto machine = makeConfig(nc);
+            const auto graph = ddg::Ddg::build(wl.nest, machine);
+            const auto r = exact::scheduleExact(graph, machine);
+            ASSERT_TRUE(r.ok) << wl.nest.name();
+            if (!r.stats.provenOptimal ||
+                r.schedule.ii() == r.stats.mii)
+                continue;
+            // Optimality above MII can only come from refutations.
+            EXPECT_EQ(r.stats.iiLowerBound, r.schedule.ii())
+                << wl.nest.name() << "/c" << nc;
+            EXPECT_GT(r.stats.iiAttempts, 1)
+                << wl.nest.name() << "/c" << nc;
+            ++lifted;
+        }
+    }
+    // The property must not hold vacuously.
+    EXPECT_GT(lifted, 0);
+}
+
+/** Pruning is invisible in the answer: conflict learning and the
+ * dominance memo may only change node counts, never the II, the
+ * bound, the certificate or the placements. */
+TEST(ExactEngine, PruningTogglesNeverChangeTheAnswer)
+{
+    const char *names[] = {"tomcatv", "hydro2d", "mgrid"};
+    for (const char *name : names) {
+        const auto bench = workloads::benchmarkByName(name);
+        for (const auto &nest : bench.loops) {
+            for (int nc : {2, 4}) {
+                const auto machine = makeConfig(nc);
+                const auto graph = ddg::Ddg::build(nest, machine);
+                const std::string label = std::string(name) + "/" +
+                                          nest.name() + "/c" +
+                                          std::to_string(nc);
+                exact::ExactOptions base;
+                const auto ref =
+                    exact::scheduleExact(graph, machine, base);
+                ASSERT_TRUE(ref.ok) << label;
+                for (int mask = 0; mask < 3; ++mask) {
+                    exact::ExactOptions opt;
+                    opt.dominanceMemo = mask & 1;
+                    opt.conflictLearning = mask & 2;
+                    const auto r =
+                        exact::scheduleExact(graph, machine, opt);
+                    ASSERT_TRUE(r.ok) << label;
+                    EXPECT_EQ(r.schedule.ii(), ref.schedule.ii())
+                        << label << " mask " << mask;
+                    EXPECT_EQ(r.stats.iiLowerBound,
+                              ref.stats.iiLowerBound)
+                        << label << " mask " << mask;
+                    EXPECT_EQ(r.stats.provenOptimal,
+                              ref.stats.provenOptimal)
+                        << label << " mask " << mask;
+                }
+            }
+        }
+    }
+}
+
+TEST(DominanceMemo, InsertContainsResetAndGrowth)
+{
+    exact::DominanceMemo memo;
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_EQ(memo.capacity(), 0u);
+    EXPECT_FALSE(memo.contains(1, 2));
+
+    memo.insert(1, 2);
+    EXPECT_TRUE(memo.contains(1, 2));
+    EXPECT_FALSE(memo.contains(2, 1));
+    EXPECT_EQ(memo.size(), 1u);
+
+    // Duplicates are no-ops.
+    memo.insert(1, 2);
+    EXPECT_EQ(memo.size(), 1u);
+
+    // The all-zero signature collides with the empty-slot sentinel
+    // and must be remapped, not lost.
+    memo.insert(0, 0);
+    EXPECT_TRUE(memo.contains(0, 0));
+
+    // Push past the initial table to force at least one growth.
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        memo.insert(i * 0x9e3779b97f4a7c15ull, i + 1);
+    for (std::uint64_t i = 0; i < 8192; ++i)
+        EXPECT_TRUE(memo.contains(i * 0x9e3779b97f4a7c15ull, i + 1));
+    EXPECT_GE(memo.capacity(), 8192u);
+
+    memo.reset();
+    EXPECT_EQ(memo.size(), 0u);
+    EXPECT_FALSE(memo.contains(1, 2));
+    // reset() keeps the capacity (it is per-II scratch).
+    EXPECT_GE(memo.capacity(), 8192u);
+}
+
+/** The tiebreak allowance is node-based so its outcome is a pure
+ * function of the inputs: two runs agree exactly, and running out of
+ * allowance ends the phase without reading as a budget failure. */
+TEST(ExactEngine, TiebreakBudgetIsDeterministicAndBenign)
+{
+    const auto bench = workloads::makeSwim();
+    const auto machine = makeTwoCluster();
+    const auto graph = ddg::Ddg::build(bench.loops[0], machine);
+
+    exact::ExactOptions opt;
+    opt.tiebreakBudget = 1;
+    const auto a = exact::scheduleExact(graph, machine, opt);
+    const auto b = exact::scheduleExact(graph, machine, opt);
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_FALSE(a.stats.budgetExhausted);
+    EXPECT_FALSE(a.stats.pressureOptimal);
+    EXPECT_EQ(a.stats.searchNodes, b.stats.searchNodes);
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        EXPECT_EQ(a.schedule.placed(static_cast<OpId>(v)).time,
+                  b.schedule.placed(static_cast<OpId>(v)).time);
+        EXPECT_EQ(a.schedule.placed(static_cast<OpId>(v)).cluster,
+                  b.schedule.placed(static_cast<OpId>(v)).cluster);
+    }
+
+    // The full-allowance run finds an at-least-as-lean schedule and
+    // the same II (the certificate precedes the tiebreak).
+    const auto full = exact::scheduleExact(graph, machine);
+    ASSERT_TRUE(full.ok);
+    EXPECT_EQ(full.schedule.ii(), a.schedule.ii());
+}
+
+} // namespace
+} // namespace mvp::sched
