@@ -379,11 +379,12 @@ Searcher::snapshotNeighbours(OpId v, std::size_t k)
 }
 
 /**
- * The per-class counting bound: every unplaced op needs one slot of
- * its FU class somewhere in the II x clusters reservation table. The
- * used counts are a pure function of the DFS depth (which ops are
- * placed, not where), so a failure here refutes every node at this
- * depth — an empty conflict set, i.e. an instant II refutation.
+ * The per-class counting bound: every op needs one slot of its FU
+ * class somewhere in the II x clusters reservation table. Placement
+ * keeps remaining_[f] + used_[f] invariant (the total op count of
+ * class f), so the comparison is a pure function of the II — checked
+ * once per attempt before the search starts, where a failure is an
+ * instant II refutation; below the root it could never fire.
  */
 bool
 Searcher::resourcesFit() const
@@ -541,11 +542,20 @@ Searcher::applyPressure(OpId v, ClusterId c, Cycle t,
  * live transfer starts, and the implied MRT/bus occupancy. Transfers
  * fold order-independently (the undo stack's order is path-dependent,
  * the transfer multiset is not).
+ *
+ * The modulo reduction of dead state is tied to the pressure tracker:
+ * the folded (slot, length) footprints are what keep two colliding
+ * prefixes register-equivalent. With the tracker off (first-leaf-wins
+ * probes) no footprints exist, yet leaf() still refutes register
+ * overflow from the full placed lifetimes — which a dead op's
+ * whole-II shift lengthens — so dead placements and transfers must
+ * then fold absolutely or the memo would prune feasible subtrees.
  */
 void
 Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
                            std::uint64_t &hi) const
 {
+    const bool fold_dead = pressure_on_;
     std::uint64_t a = 0x2545f4914f6cdd1dull;
     std::uint64_t b = 0x9e3779b97f4a7c15ull;
     const auto fold = [&](std::uint64_t x) {
@@ -566,7 +576,7 @@ Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
         const auto u = order_[d];
         const auto &pu = sched_.placed(u);
         const bool dead =
-            death_depth_[static_cast<std::size_t>(u)] <= dk;
+            fold_dead && death_depth_[static_cast<std::size_t>(u)] <= dk;
         fold(dead ? 0x51u : 0x1Du);
         fold(static_cast<std::uint64_t>(pu.cluster));
         fold(dead ? slot_of(pu.time)
@@ -602,6 +612,7 @@ Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
     std::uint64_t cs = 0;
     for (const BookedComm &bc : booked_) {
         const bool dead =
+            fold_dead &&
             death_depth_[static_cast<std::size_t>(bc.producer)] <= dk;
         std::uint64_t h = 0x100000001b3ull;
         h = (h ^ static_cast<std::uint64_t>(bc.producer)) *
@@ -751,13 +762,6 @@ Searcher::dfs(std::size_t k)
 {
     if (k == order_.size())
         return leaf();
-
-    // Pure function of the depth: failing here refutes the II outright.
-    if (!resourcesFit()) {
-        if (cbj_)
-            setJump(0);
-        return Walk::Continue;
-    }
 
     // The memo records certified-infeasible subtrees, so it is only
     // consulted and fed during refutation (before any schedule is
@@ -1050,6 +1054,17 @@ Searcher::run()
         jump_active_ = false;
         attempt_start_nodes_ = nodes_;
         attempt_limit_ = nodes_ + options_.nodeBudget;
+
+        // FU counting refutes the II before the attempt pays for a
+        // single node (see resourcesFit — the check is II-pure, so
+        // re-evaluating it inside the search would do no work).
+        if (!resourcesFit()) {
+            if (result.stats.iiLowerBound == ii)
+                result.stats.iiLowerBound = ii + 1;
+            mvp_verbose("exact: loop '", graph_.loop().name(),
+                        "' II=", ii, " refuted by FU counting");
+            continue;
+        }
 
         const Walk w = dfs(0);
         jump_active_ = false;

@@ -42,9 +42,10 @@
  *    partial schedules (dead ops reduced to their modulo footprints)
  *    prune prefixes equivalent to one already exhausted;
  *  - MII = max(ResMII, RecMII) floors the II iteration, per-class FU
- *    counts refute depths whose unplaced ops no longer fit the table,
- *    dependence windows cap candidates per op at II cycles, and bus
- *    saturation fails candidates before commit.
+ *    counts refute IIs whose reservation table cannot seat every op
+ *    before an attempt charges its first node, dependence windows cap
+ *    candidates per op at II cycles, and bus saturation fails
+ *    candidates before commit.
  *
  * Once a feasible schedule is found at the minimal II, the search keeps
  * running to minimise the register-pressure tiebreak (summed MaxLive).

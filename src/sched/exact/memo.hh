@@ -10,9 +10,11 @@
  * depend on into a 128-bit signature (two independent 64-bit hashes):
  * the placements of still-live operations at absolute cycles, dead
  * operations reduced to their modulo slot and final lifetime
- * footprints, booked bus transfers, and the DFS depth. Two states with
- * equal signatures have isomorphic subtrees, so the second visit is
- * pruned. Soundness of the prune does not need a stored value: an
+ * footprints (only while the pressure tracker maintains those
+ * footprints — first-leaf-wins searches fold dead state absolutely,
+ * see computeSignature), booked bus transfers, and the DFS depth. Two
+ * states with equal signatures have isomorphic subtrees, so the
+ * second visit is pruned. Soundness of the prune does not need a stored value: an
  * entry is inserted only when its subtree was exhausted under the
  * register-pressure incumbent of the time, and the incumbent is
  * monotone non-increasing, so a re-visit can never find a strictly

@@ -86,12 +86,16 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
     std::int64_t total_nodes = 0;
     int ii_attempts = 0;
 
+    /** Winning shard's schedule at `best`: proof of feasibility kept
+     * in case the final serial re-derivation runs out of budget. */
+    ScheduleResult shard_best;
+
     std::vector<ScheduleResult> slots;
     while (next <= options.maxII && next < best) {
         if (deadline_on &&
             std::chrono::steady_clock::now() >= deadline)
             break;
-        if (aborted_attempts > MAX_ABORTED_ATTEMPTS &&
+        if (aborted_attempts >= MAX_ABORTED_ATTEMPTS &&
             best > options.maxII)
             break;
 
@@ -138,7 +142,18 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
                 &slots[static_cast<std::size_t>(w) * shards],
                 shards)) {
             case Probe::Feasible:
-                best = std::min(best, ii);
+                if (ii < best) {
+                    best = ii;
+                    for (int s = 0; s < shards; ++s) {
+                        auto &r = slots[static_cast<std::size_t>(w) *
+                                            shards +
+                                        s];
+                        if (r.ok) {
+                            shard_best = std::move(r);
+                            break;
+                        }
+                    }
+                }
                 break;
             case Probe::Refuted:
                 if (gapless && ii == lb)
@@ -192,13 +207,26 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
     fin.hasDeadline = false;
     ScheduleResult out = scheduleExact(graph, machine, fin, ctx);
 
+    if (!out.ok) {
+        // The re-derivation's budget expired before it re-found a leaf
+        // (the feasible subtree may sit late in an enumeration a
+        // high-index shard reached quickly). Feasibility at `best` was
+        // already proven, so return the winning shard's schedule
+        // rather than a failure; the tiebreak never ran over it.
+        shard_best.stats.iiAttempts = ii_attempts + out.stats.iiAttempts;
+        shard_best.stats.searchNodes = total_nodes + out.stats.searchNodes;
+        shard_best.stats.iiLowerBound = lb;
+        shard_best.stats.provenOptimal = best == lb;
+        shard_best.stats.pressureOptimal = false;
+        shard_best.stats.budgetExhausted = true;
+        return shard_best;
+    }
+
     out.stats.iiAttempts += ii_attempts;
     out.stats.searchNodes += total_nodes;
     out.stats.iiLowerBound = lb;
-    if (out.ok) {
-        out.stats.provenOptimal = best == lb;
-        out.stats.budgetExhausted = best != lb;
-    }
+    out.stats.provenOptimal = best == lb;
+    out.stats.budgetExhausted = best != lb;
     return out;
 }
 

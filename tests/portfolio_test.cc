@@ -209,6 +209,38 @@ TEST(ExactEngine, PruningTogglesNeverChangeTheAnswer)
     }
 }
 
+/** Regression: the memo must stay sound in the portfolio's probe
+ * configuration — tiebreakPressure off (first leaf wins), memo on.
+ * Without the pressure tracker the signature has no lifetime
+ * footprints to fold, yet leaf() still refutes register overflow from
+ * the full placed lifetimes, which a dead op's whole-II shift
+ * lengthens; folding dead ops by modulo slot there once let a
+ * register-starved subtree memo-prune an aliased feasible one,
+ * falsely refuting a feasible II. Probe-mode answers must match the
+ * memo-off search leaf for leaf. */
+TEST(ExactEngine, DominanceMemoSoundWithoutPressureTiebreak)
+{
+    for (const auto &wl : workloads::allLoops()) {
+        for (int nc : {1, 2, 4}) {
+            const auto machine = makeConfig(nc);
+            const auto graph = ddg::Ddg::build(wl.nest, machine);
+            const std::string label = wl.benchmark + "/" +
+                                      wl.nest.name() + "/c" +
+                                      std::to_string(nc);
+            exact::ExactOptions probe;
+            probe.tiebreakPressure = false;
+            exact::ExactOptions plain = probe;
+            plain.dominanceMemo = false;
+            const auto a = exact::scheduleExact(graph, machine, probe);
+            const auto b = exact::scheduleExact(graph, machine, plain);
+            // A sound memo only skips certified-infeasible subtrees,
+            // so the first feasible leaf — not just the II — is
+            // identical with the memo on or off.
+            expectSameSchedule(a, b, graph, label);
+        }
+    }
+}
+
 TEST(DominanceMemo, InsertContainsResetAndGrowth)
 {
     exact::DominanceMemo memo;
