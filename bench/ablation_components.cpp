@@ -32,6 +32,7 @@ using harness::RunConfig;
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::int64_t time_budget =

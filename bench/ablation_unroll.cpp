@@ -35,6 +35,7 @@ using namespace mvp;
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     std::string locality = harness::parseLocalityFlag(argc, argv);
     if (locality.empty())

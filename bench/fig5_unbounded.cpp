@@ -49,6 +49,7 @@ const double THRESHOLDS[] = {1.00, 0.75, 0.25, 0.00};
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::int64_t time_budget =

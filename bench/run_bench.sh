@@ -4,7 +4,8 @@
 #
 # Usage:
 #   bench/run_bench.sh [--filter REGEX] [--jobs N] [--sweep|--no-sweep]
-#                      [--fuzz|--no-fuzz] [extra google-benchmark flags]
+#                      [--fuzz|--no-fuzz] [--metrics]
+#                      [extra google-benchmark flags]
 #
 # --filter REGEX limits the run to matching benchmarks (and merges only
 # their numbers into BENCH_sched.json), e.g.
@@ -29,6 +30,14 @@
 #   FUZZ_SCENARIOS  differential fuzz-sweep scenario count (default 200)
 #   FUZZ_SEED       differential fuzz-sweep base seed (default: the
 #                   library's fixed seed)
+#
+# --metrics runs the jobs=N suite sweep with the obs registry enabled
+# (sweep_bench --metrics=FILE) and distils the report into a "metrics"
+# section of BENCH_sched.json: search-health rates (memo hits/probes,
+# nodes per search), locality-cache hit rates (RatioMemo, StreamCache)
+# and pool utilisation. Off by default — the instrumented run is a
+# second sweep pass — and merged like every other section: keys a run
+# does not remeasure survive from the previous record.
 #
 # Like the suite sweep, the differential fuzz sweep (bench/fuzz_sweep:
 # generated scenarios through schedule validation, exact-II
@@ -67,6 +76,7 @@ OUT="$ROOT/BENCH_sched.json"
 JOBS="$(nproc 2>/dev/null || echo 1)"
 SWEEP=auto
 FUZZ=auto
+METRICS=no
 ARGS=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -104,6 +114,10 @@ while [ $# -gt 0 ]; do
         FUZZ=no
         shift
         ;;
+      --metrics)
+        METRICS=yes
+        shift
+        ;;
       *)
         ARGS+=("$1")
         shift
@@ -131,7 +145,9 @@ cmake --build "$BUILD_DIR" -j --target micro_sched sweep_bench fuzz_sweep
 TMP="$(mktemp)"
 SWEEP_TMP="$(mktemp)"
 FUZZ_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP"' EXIT
+METRICS_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP" "$METRICS_TMP"' EXIT
+: > "$METRICS_TMP"
 
 "$BUILD_DIR/micro_sched" \
     --benchmark_filter="${BENCH_FILTER:-.*}" \
@@ -146,8 +162,15 @@ if [ "$SWEEP" = yes ]; then
     SWEEP_ARGS=(--exact)
     [ -n "${SWEEP_BUDGET:-}" ] && SWEEP_ARGS+=(--budget "$SWEEP_BUDGET")
     echo "suite sweep at jobs=1 and jobs=$JOBS ..."
-    "$BUILD_DIR/sweep_bench" --jobs 1 "${SWEEP_ARGS[@]}" | tee -a "$SWEEP_TMP"
+    M1=()
+    [ "$JOBS" = 1 ] && [ "$METRICS" = yes ] && M1=("--metrics=$METRICS_TMP")
+    "$BUILD_DIR/sweep_bench" --jobs 1 "${SWEEP_ARGS[@]}" \
+        ${M1[@]+"${M1[@]}"} | tee -a "$SWEEP_TMP"
     if [ "$JOBS" != 1 ]; then
+        # The jobs=N pass doubles as the instrumented run on --metrics
+        # (the registry costs one predictable branch when disabled, so
+        # the timing stays comparable either way).
+        [ "$METRICS" = yes ] && SWEEP_ARGS+=("--metrics=$METRICS_TMP")
         "$BUILD_DIR/sweep_bench" --jobs "$JOBS" "${SWEEP_ARGS[@]}" \
             | tee -a "$SWEEP_TMP"
     fi
@@ -163,11 +186,12 @@ if [ "$FUZZ" = yes ]; then
     "$BUILD_DIR/fuzz_sweep" "${FUZZ_ARGS[@]}" | tee "$FUZZ_TMP"
 fi
 
-python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" <<'EOF'
+python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" "$METRICS_TMP" <<'EOF'
 import json
 import sys
 
-fresh_path, out_path, sweep_path, jobs, fuzz_path = sys.argv[1:6]
+(fresh_path, out_path, sweep_path, jobs, fuzz_path,
+ metrics_path) = sys.argv[1:7]
 # A filter that matches no benchmark leaves the output file empty
 # (google-benchmark writes nothing); treat it as "measured nothing" so
 # sweep-only refreshes still merge.
@@ -313,6 +337,56 @@ if fuzz and fuzz.get("scenarios"):
         fuzz["exact_settled"] / fuzz["scenarios"], 4)
 if exact:
     fresh["exact"] = exact
+
+# The observability section (--metrics runs only): distil the
+# obs::Registry report of the instrumented sweep into the health rates
+# worth tracking across PRs — search effort and memo/prune behaviour,
+# locality-cache hit rates, pool utilisation. Preserved across re-runs
+# that skip the instrumented sweep, like every other section.
+try:
+    with open(metrics_path) as f:
+        report = json.load(f)
+except (OSError, ValueError):
+    report = {}
+if report:
+    det = report.get("deterministic", {}).get("counters", {})
+    rt = report.get("runtime", {})
+    rtc = rt.get("counters", {})
+    rtg = rt.get("gauges", {})
+    metrics = prev.get("metrics", {})
+
+    def rate(num, den):
+        return round(num / den, 4) if den else None
+
+    searches = det.get("exact.searches", 0)
+    metrics.update({
+        "exact_searches": searches,
+        "exact_nodes": det.get("exact.nodes", 0),
+        "exact_nodes_per_search": rate(det.get("exact.nodes", 0),
+                                       searches),
+        "exact_memo_hit_rate": rate(det.get("exact.memo_hits", 0),
+                                    det.get("exact.memo_probes", 0)),
+        "exact_prune_fu": det.get("exact.prune_fu", 0),
+        "exact_prune_pressure": det.get("exact.prune_pressure", 0),
+        "exact_backjumps": det.get("exact.backjumps", 0),
+        "ratio_memo_hit_rate": rate(
+            rtg.get("cme.ratio_lookups", 0)
+            - rtg.get("cme.ratio_queries_solved", 0),
+            rtg.get("cme.ratio_lookups", 0)),
+        "stream_cache_hit_rate": rate(
+            rtg.get("cme.stream_requests", 0)
+            - rtg.get("cme.streams_built", 0),
+            rtg.get("cme.stream_requests", 0)),
+        "oracle_incremental_rate": rate(
+            rtg.get("oracle.incremental_extensions", 0),
+            rtg.get("oracle.incremental_extensions", 0)
+            + rtg.get("oracle.full_simulations", 0)),
+        "pool_workers": rtg.get("pool.workers", 0),
+        "pool_items": det.get("pool.items", 0),
+        "pool_busy_ms": rtc.get("pool.busy_ms", 0),
+    })
+    metrics = {k: v for k, v in metrics.items() if v is not None}
+    fresh["metrics"] = metrics
 
 with open(out_path, "w") as f:
     json.dump(fresh, f, indent=2)

@@ -55,6 +55,7 @@ wallMs(std::chrono::steady_clock::time_point from)
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::vector<std::string> workloads =

@@ -27,6 +27,7 @@ using harness::RunConfig;
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     // --- 1. A driver: --jobs workers, default one per core; the
     // locality provider is selectable the same way (--locality cme |
     // oracle | hybrid). ---

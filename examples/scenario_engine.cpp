@@ -57,6 +57,7 @@ machine "text.twocluster" {
 int
 main(int argc, char **argv)
 {
+    harness::parseObservabilityFlags(argc, argv);
     harness::ParallelDriver driver(harness::parseJobsFlag(argc, argv));
     harness::DiffOptions options;
     options.scenarios = 32;

@@ -124,6 +124,7 @@ CmeAnalysis::solveRatio(const std::vector<OpId> &set, OpId op,
 {
     const detail::QueryKeyRef ref{detail::queryHash(geom, op, set), &geom,
                                   op, &set};
+    lookups_.fetch_add(1, std::memory_order_relaxed);
     if (detail::RatioValue hit; memo_.lookup(ref, &hit))
         return hit;
     queries_.fetch_add(1, std::memory_order_relaxed);

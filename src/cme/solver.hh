@@ -144,6 +144,16 @@ class CmeAnalysis : public LocalityAnalysis
         return points_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Total solveRatio() calls, memo hits included; with
+     * queriesSolved() (the misses) this yields the RatioMemo hit
+     * rate. Same concurrent-use caveat as queriesSolved().
+     */
+    std::size_t ratioLookups() const
+    {
+        return lookups_.load(std::memory_order_relaxed);
+    }
+
   private:
     /**
      * Decide hit/miss for position @p ref_pos of the set at iteration
@@ -179,6 +189,7 @@ class CmeAnalysis : public LocalityAnalysis
     detail::ShardedRatioMemo memo_;
     std::atomic<std::size_t> queries_{0};
     std::atomic<std::size_t> points_{0};
+    std::atomic<std::size_t> lookups_{0};
 };
 
 } // namespace mvp::cme

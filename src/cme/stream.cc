@@ -1,6 +1,7 @@
 #include "cme/stream.hh"
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace mvp::cme
 {
@@ -34,6 +35,7 @@ StreamCache::buildLines(OpId op, std::int64_t line_bytes) const
 const LineStream &
 StreamCache::lines(OpId op, int line_bytes)
 {
+    requests_.fetch_add(1, std::memory_order_relaxed);
     const Key key{op, line_bytes, 0};
     Shard &shard = shardOf(key);
     {
@@ -45,6 +47,7 @@ StreamCache::lines(OpId op, int line_bytes)
     // Build outside the lock: streams are pure functions of the key, so
     // a racing builder produces an identical value and emplace() keeps
     // whichever arrived first.
+    MVP_TRACE_SPAN("stream-build", {}, static_cast<std::int64_t>(op));
     auto fresh = buildLines(op, line_bytes);
     built_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -54,6 +57,7 @@ StreamCache::lines(OpId op, int line_bytes)
 const SetBuckets &
 StreamCache::buckets(OpId op, const CacheGeom &geom)
 {
+    requests_.fetch_add(1, std::memory_order_relaxed);
     const std::int64_t num_sets = geom.numSets();
     mvp_assert(num_sets > 0, "cache with no sets");
     const Key key{op, geom.lineBytes, num_sets};

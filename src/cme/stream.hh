@@ -121,6 +121,16 @@ class StreamCache
         return built_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * lines()/buckets() calls so far (monotone). Together with
+     * streamsBuilt() this yields the cache hit rate; under concurrent
+     * use two racing builders of one key both count a miss.
+     */
+    std::size_t streamRequests() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Key
     {
@@ -178,6 +188,7 @@ class StreamCache
     std::int64_t points_;
     std::array<Shard, NUM_SHARDS> shards_;
     std::atomic<std::size_t> built_{0};
+    std::atomic<std::size_t> requests_{0};
 };
 
 } // namespace mvp::cme

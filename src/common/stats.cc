@@ -2,12 +2,33 @@
 
 #include <algorithm>
 #include <cmath>
-#include <sstream>
+#include <cstdio>
 
 #include "common/logging.hh"
 
 namespace mvp
 {
+
+namespace
+{
+
+/**
+ * Locale-proof double rendering: snprintf follows the C locale's
+ * LC_NUMERIC decimal point, so normalise any ',' it may emit. Keeps
+ * histogram dumps byte-stable no matter what the host set.
+ */
+std::string
+fmtStatDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    for (char *p = buf; *p != '\0'; ++p)
+        if (*p == ',')
+            *p = '.';
+    return buf;
+}
+
+} // namespace
 
 void
 RunningStat::add(double x)
@@ -82,6 +103,19 @@ StatGroup::counter(const std::string &name)
     return counters_[name];
 }
 
+void
+StatGroup::set(const std::string &name, std::int64_t value)
+{
+    counters_[name] = value;
+}
+
+void
+StatGroup::setMax(const std::string &name, std::int64_t value)
+{
+    auto &slot = counters_[name];
+    slot = std::max(slot, value);
+}
+
 std::int64_t
 StatGroup::value(const std::string &name) const
 {
@@ -92,10 +126,18 @@ StatGroup::value(const std::string &name) const
 std::string
 StatGroup::dump(const std::string &prefix) const
 {
-    std::ostringstream os;
-    for (const auto &[name, value] : counters_)
-        os << prefix << name << " = " << value << '\n';
-    return os.str();
+    // std::to_string instead of an ostream: ostreams honour the global
+    // std::locale, whose numpunct may group digits ("1.234.567"),
+    // which would break byte-compared reports on such hosts.
+    std::string out;
+    for (const auto &[name, value] : counters_) {
+        out += prefix;
+        out += name;
+        out += " = ";
+        out += std::to_string(value);
+        out += '\n';
+    }
+    return out;
 }
 
 void
@@ -149,6 +191,63 @@ double
 Histogram::mean() const
 {
     return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    mvp_assert(p >= 0.0 && p <= 100.0, "percentile wants 0..100");
+    if (count_ == 0)
+        return 0.0;
+    // Rank in [0, count): the sample the requested fraction of the
+    // distribution sits at, walked bucket by bucket.
+    const double rank =
+        p / 100.0 * static_cast<double>(count_ - 1);
+    double seen = 0.0;
+    if (rank < static_cast<double>(underflow_))
+        return lo_;
+    seen += static_cast<double>(underflow_);
+    const double width =
+        (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto in_bucket = static_cast<double>(counts_[i]);
+        if (in_bucket > 0.0 && rank < seen + in_bucket) {
+            // Linear interpolation inside the bucket.
+            const double frac = (rank - seen) / in_bucket;
+            return lo_ + (static_cast<double>(i) + frac) * width;
+        }
+        seen += in_bucket;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::dump() const
+{
+    std::string out = "count=" + std::to_string(count_);
+    out += " mean=" + fmtStatDouble(mean());
+    out += " p50=" + fmtStatDouble(percentile(50.0));
+    out += " p90=" + fmtStatDouble(percentile(90.0));
+    out += " p99=" + fmtStatDouble(percentile(99.0));
+    if (underflow_ > 0)
+        out += " underflow=" + std::to_string(underflow_);
+    if (overflow_ > 0)
+        out += " overflow=" + std::to_string(overflow_);
+    return out;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    mvp_assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+                   counts_.size() == other.counts_.size(),
+               "merging histograms with different binning");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    count_ += other.count_;
+    sum_ += other.sum_;
 }
 
 } // namespace mvp

@@ -84,6 +84,17 @@ class StatGroup
     /** Mutable access to the counter named @p name (created at 0). */
     std::int64_t &counter(const std::string &name);
 
+    /**
+     * Gauge-set: overwrite @p name with @p value. The honest spelling
+     * for sampled quantities (pool high-water marks, harvested cache
+     * totals) that were previously smuggled through `counter() +=`
+     * arithmetic.
+     */
+    void set(const std::string &name, std::int64_t value);
+
+    /** Gauge-set keeping the larger of the stored and given value. */
+    void setMax(const std::string &name, std::int64_t value);
+
     /** Read-only value of @p name (0 when never touched). */
     std::int64_t value(const std::string &name) const;
 
@@ -93,7 +104,12 @@ class StatGroup
         return counters_;
     }
 
-    /** Render "name = value" lines. */
+    /**
+     * Render "name = value" lines. Locale-independent: values are
+     * formatted with std::to_string, so a host locale with digit
+     * grouping (e.g. de_DE) cannot leak thousands separators into
+     * fingerprinted reports.
+     */
     std::string dump(const std::string &prefix = "") const;
 
     /** Add every counter of @p other into this group. */
@@ -140,6 +156,29 @@ class Histogram
 
     /** Mean of all recorded samples. */
     double mean() const;
+
+    /**
+     * Approximate percentile @p p (0..100) from the bucket counts,
+     * linearly interpolated inside the winning bucket. Underflow
+     * samples clamp to the low bound and overflow samples to the high
+     * bound (a fixed-range histogram cannot know their true values).
+     * Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /**
+     * One-line summary renderer:
+     * "count=N mean=M p50=A p90=B p99=C min<lo max>=hi" style, with
+     * under/overflow counts when nonzero. Locale-independent.
+     */
+    std::string dump() const;
+
+    /**
+     * Fold @p other into this histogram. Both must have identical
+     * bounds and bucket counts (asserted): merged distributions only
+     * make sense over the same binning.
+     */
+    void merge(const Histogram &other);
 
   private:
     double lo_;

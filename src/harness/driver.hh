@@ -98,8 +98,9 @@ class ParallelDriver
     /** Spawn the pool if it is not running yet. */
     void ensurePool();
 
-    /** Worker loop: park, claim items of the current sweep, repeat. */
-    void workerMain();
+    /** Worker loop: park, claim items of the current sweep, repeat.
+     * @p w is the worker's pool index, used for trace track names. */
+    void workerMain(int w);
 
     int jobs_;
 

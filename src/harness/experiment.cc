@@ -2,9 +2,13 @@
 
 #include <algorithm>
 
+#include "cme/oracle.hh"
 #include "cme/provider.hh"
+#include "cme/solver.hh"
 #include "common/logging.hh"
 #include "machine/presets.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sched/backend.hh"
 
 namespace mvp::harness
@@ -139,18 +143,24 @@ tryRunLoop(Workbench::Entry &entry, const RunConfig &config,
     opt.exactBackend = config.exactBackend.empty() ? "exact"
                                                    : config.exactBackend;
     opt.searchJobs = config.searchJobs;
-    res.sched = sched::scheduleWithBackend(backendName(config),
-                                           *entry.ddg, config.machine,
-                                           opt, ctx);
+    {
+        MVP_TRACE_SPAN("schedule", res.loop);
+        res.sched = sched::scheduleWithBackend(backendName(config),
+                                               *entry.ddg,
+                                               config.machine, opt, ctx);
+    }
     if (!res.sched.ok)
         return "scheduling failed for '" + res.loop +
                "': " + res.sched.error;
+    if (obs::metricsOn())
+        ctx.metrics.det("harness.loops_scheduled") += 1;
 
     const std::string err =
         res.sched.schedule.validate(*entry.ddg, config.machine);
     if (!err.empty())
         return "invalid schedule for '" + res.loop + "':\n" + err;
 
+    MVP_TRACE_SPAN("simulate", res.loop);
     res.sim = sim::simulateLoop(*entry.ddg, res.sched.schedule,
                                 config.machine, sim_params);
     return "";
@@ -179,9 +189,71 @@ prepareConfig(Workbench &bench, const RunConfig &config)
     if (!sched::BackendRegistry::instance().has(name))
         (void)sched::BackendRegistry::instance().create(name);   // fatals
     bench.ensureLocality(localityName(config));
+    if (config.metrics)
+        obs::Registry::instance().enable();
+    if (!config.traceFile.empty() && !obs::traceOn())
+        obs::traceInit(config.traceFile);
 }
 
 } // namespace
+
+/**
+ * Snapshot the shared caches' cumulative tallies into the registry.
+ * Max-merged gauges, not counters: the atomics are monotone over the
+ * process, so "keep the largest seen" makes repeated harvests (one
+ * per sweep) idempotent instead of double-counting. Runtime section —
+ * two workers racing one memo key legitimately both count a miss.
+ */
+void
+harvestLocalityMetrics(const Workbench &bench)
+{
+    if (!obs::metricsOn())
+        return;
+    std::int64_t streams_built = 0;
+    std::int64_t stream_requests = 0;
+    std::int64_t ratio_lookups = 0;
+    std::int64_t ratio_solved = 0;
+    std::int64_t points_evaluated = 0;
+    std::int64_t oracle_full = 0;
+    std::int64_t oracle_incremental = 0;
+    for (const auto &entry : bench.entries()) {
+        if (entry->streams) {
+            streams_built +=
+                static_cast<std::int64_t>(entry->streams->streamsBuilt());
+            stream_requests += static_cast<std::int64_t>(
+                entry->streams->streamRequests());
+        }
+        for (const auto &[provider, analysis] : entry->bound) {
+            if (const auto *cme =
+                    dynamic_cast<const cme::CmeAnalysis *>(
+                        analysis.get())) {
+                ratio_lookups +=
+                    static_cast<std::int64_t>(cme->ratioLookups());
+                ratio_solved +=
+                    static_cast<std::int64_t>(cme->queriesSolved());
+                points_evaluated +=
+                    static_cast<std::int64_t>(cme->pointsEvaluated());
+            }
+            if (const auto *oracle =
+                    dynamic_cast<const cme::CacheOracle *>(
+                        analysis.get())) {
+                oracle_full += static_cast<std::int64_t>(
+                    oracle->fullSimulations());
+                oracle_incremental += static_cast<std::int64_t>(
+                    oracle->incrementalExtensions());
+            }
+        }
+    }
+    obs::MetricShard shard;
+    shard.rtMax("cme.streams_built", streams_built);
+    shard.rtMax("cme.stream_requests", stream_requests);
+    shard.rtMax("cme.ratio_lookups", ratio_lookups);
+    shard.rtMax("cme.ratio_queries_solved", ratio_solved);
+    shard.rtMax("cme.points_evaluated", points_evaluated);
+    shard.rtMax("oracle.full_simulations", oracle_full);
+    shard.rtMax("oracle.incremental_extensions", oracle_incremental);
+    obs::Registry::instance().fold(shard);
+}
 
 LoopRunResult
 runLoop(Workbench::Entry &entry, const RunConfig &config,
@@ -254,6 +326,7 @@ runSuite(Workbench &bench, const RunConfig &config,
                        entries[i]->locality(provider), results[i]);
                });
     checkErrors(errors);
+    harvestLocalityMetrics(bench);
     return mergeSuite(std::move(results));
 }
 
@@ -291,6 +364,7 @@ runSuiteSweep(Workbench &bench, const std::vector<RunConfig> &configs,
                        entries[e]->locality(providers[c]), results[i]);
                });
     checkErrors(errors);
+    harvestLocalityMetrics(bench);
 
     std::vector<SuiteResult> out;
     out.reserve(configs.size());

@@ -3,6 +3,8 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sched/scheduler.hh"
 
 namespace mvp::harness
@@ -96,6 +98,68 @@ parseExactBackendFlag(int &argc, char **argv)
 {
     return stripValueFlag(argc, argv, "--exact-backend",
                           "a scheduler backend name");
+}
+
+bool
+parseLogLevelFlag(int &argc, char **argv)
+{
+    const std::string value =
+        stripValueFlag(argc, argv, "--log-level", "a verbosity name");
+    if (value.empty())
+        return false;
+    if (value == "quiet")
+        setLogLevel(LogLevel::Quiet);
+    else if (value == "normal")
+        setLogLevel(LogLevel::Normal);
+    else if (value == "verbose")
+        setLogLevel(LogLevel::Verbose);
+    else if (value == "debug")
+        setLogLevel(LogLevel::Debug);
+    else
+        mvp_fatal("--log-level wants quiet|normal|verbose|debug, got '",
+                  value, "'");
+    return true;
+}
+
+void
+parseObservabilityFlags(int &argc, char **argv)
+{
+    parseLogLevelFlag(argc, argv);
+
+    // --metrics takes an *optional* value, which stripValueFlag cannot
+    // express (it fatals on a valueless flag), so scan by hand: match
+    // the exact flag or its `=` form, never a `--metrics-foo`.
+    bool metrics_on = false;
+    std::string metrics_path;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+            metrics_on = true;
+        } else if (arg.rfind("--metrics=", 0) == 0) {
+            metrics_on = true;
+            metrics_path = arg.substr(sizeof "--metrics=" - 1);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+
+    const std::string trace_path =
+        stripValueFlag(argc, argv, "--trace", "an output file");
+
+    if (metrics_on)
+        obs::metricsInit(metrics_path);
+    if (!trace_path.empty())
+        obs::traceInit(trace_path);
+    if (metrics_on || !trace_path.empty()) {
+        // One finish hook for both: reports land after the binary's
+        // last sweep, whatever its exit path through main.
+        std::atexit([] {
+            obs::metricsFinish();
+            obs::traceFinish();
+        });
+    }
 }
 
 } // namespace mvp::harness

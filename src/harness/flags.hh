@@ -74,6 +74,27 @@ std::int64_t parseTimeBudgetFlag(int &argc, char **argv);
  */
 std::string parseExactBackendFlag(int &argc, char **argv);
 
+/**
+ * Parse and strip a `--log-level LEVEL` / `--log-level=LEVEL` flag
+ * (quiet|normal|verbose|debug) and apply it via setLogLevel().
+ * Returns true when the flag was given; anything but the four names
+ * is fatal.
+ */
+bool parseLogLevelFlag(int &argc, char **argv);
+
+/**
+ * Parse and strip the observability flags every suite binary shares:
+ *
+ *  - `--log-level=LEVEL` (see parseLogLevelFlag);
+ *  - `--metrics[=FILE]`: enable the obs::Registry; the report goes to
+ *    FILE as JSON, or to stdout as text with the bare form;
+ *  - `--trace=FILE`: record Chrome trace-event JSON into FILE.
+ *
+ * The reports are written by an atexit hook (obs::metricsFinish /
+ * obs::traceFinish), so binaries need no explicit teardown call.
+ */
+void parseObservabilityFlags(int &argc, char **argv);
+
 } // namespace mvp::harness
 
 #endif // MVP_HARNESS_FLAGS_HH

@@ -95,6 +95,7 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
     for (const std::string &err : errors)
         if (!err.empty())
             mvp_fatal(err);
+    harvestLocalityMetrics(bench);
     return study;
 }
 

@@ -29,6 +29,7 @@
 
 #include "common/types.hh"
 #include "ddg/ddg.hh"
+#include "obs/metrics.hh"
 #include "sched/sentinels.hh"
 
 namespace mvp::sched
@@ -191,6 +192,23 @@ class SchedContext
     /** The node ordering, computed once per run and kept across II
      * bumps. */
     std::vector<OpId> order;
+
+    /** Metric accumulator riding along with the scratch: same
+     * ownership, same thread-affinity. Schedulers record here with
+     * plain integer arithmetic; whoever owns the context folds it
+     * into the obs::Registry at sweep boundaries (the parallel
+     * driver does this per worker per sweep). The destructor folds
+     * whatever is left so transient contexts aren't lost — the
+     * Registry singleton is first touched at flag-parse time, well
+     * before any static pool's contexts are built, so it outlives
+     * them. */
+    obs::MetricShard metrics;
+
+    ~SchedContext()
+    {
+        if (obs::metricsOn())
+            obs::Registry::instance().fold(metrics);
+    }
 };
 
 } // namespace mvp::sched

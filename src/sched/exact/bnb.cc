@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sched/exact/memo.hh"
 #include "sched/exact/pressure.hh"
 #include "sched/lifetimes.hh"
@@ -205,16 +206,29 @@ class Searcher
      * decision is implicated, so every assignment fails identically);
      * otherwise the deepest cited decision is the next one worth
      * revisiting and the rest of the set is carried to it.
+     *
+     * @p from is the depth being left, for the jump-depth telemetry:
+     * a skip of more than one level counts as a backjump and its
+     * distance lands in the depth histogram.
      */
-    void setJump(std::uint64_t mask)
+    void setJump(std::uint64_t mask, std::size_t from)
     {
         jump_active_ = true;
         if (mask == 0) {
             jump_to_ = -1;
             carry_ = 0;
+            ++ii_empty_conf_;
+            if (bj_hist_ != nullptr)
+                bj_hist_->add(static_cast<double>(from) + 1.0);
         } else {
             jump_to_ = 63 - std::countl_zero(mask);
             carry_ = mask & ~(1ull << jump_to_);
+            const int dist = static_cast<int>(from) - jump_to_;
+            if (dist > 1) {
+                ++backjumps_;
+                if (bj_hist_ != nullptr)
+                    bj_hist_->add(static_cast<double>(dist));
+            }
         }
     }
 
@@ -340,6 +354,34 @@ class Searcher
     Cycle best_pressure_ = CYCLE_MAX;
     ModuloSchedule best_;
     std::vector<int> best_max_live_;
+
+    /**
+     * @name Observability tallies
+     * Plain members bumped on the hot path (an increment is cheaper
+     * than the branch that would skip it) and folded once per run()
+     * by foldMetrics(). A serial search's counts are a pure function
+     * of (loop, machine, options) and fold into the deterministic
+     * section; a portfolio probe (shared incumbent or sharded tree)
+     * races siblings, so its counts are runtime-only.
+     */
+    /// @{
+    void foldMetrics(const ScheduleResult &result);
+
+    Histogram *bj_hist_ = nullptr;   ///< non-null only when metricsOn
+    std::int64_t leaves_ = 0;
+    std::int64_t dead_leaves_ = 0;       ///< register-overflow leaves
+    std::int64_t backjumps_ = 0;         ///< jumps skipping > 1 level
+    std::int64_t ii_empty_conf_ = 0;     ///< empty-conflict certificates
+    std::int64_t memo_probes_ = 0;
+    std::int64_t memo_hits_ = 0;
+    std::int64_t prune_fu_ = 0;          ///< FU slot already taken
+    std::int64_t prune_bus_ = 0;         ///< transfers unbookable
+    std::int64_t prune_window_ = 0;      ///< empty dependence window
+    std::int64_t prune_pressure_ = 0;    ///< register bound cut
+    std::int64_t fu_refuted_ = 0;        ///< IIs refuted by counting
+    std::int64_t ii_refuted_ = 0;        ///< IIs refuted by search
+    std::int64_t lifts_ = 0;             ///< lower-bound raises
+    /// @}
 };
 
 void
@@ -635,6 +677,7 @@ Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
 Walk
 Searcher::leaf()
 {
+    ++leaves_;
     Cycle pressure = 0;
     if (pressure_on_) {
         if (pressure_.overflown())
@@ -663,8 +706,9 @@ Searcher::leaf()
             if (ml > machine_.regsPerCluster) {
                 // Dead leaf (register overflow): refuted by the placed
                 // lifetimes, which every decision shaped.
+                ++dead_leaves_;
                 if (cbj_)
-                    setJump(prefixMask(order_.size()));
+                    setJump(prefixMask(order_.size()), order_.size());
                 return Walk::Continue;
             }
         for (int ml : lt.maxLivePerCluster)
@@ -683,7 +727,7 @@ Searcher::leaf()
     // it must stay chronological (backjumping may only skip certified
     // refutations, never unexplored schedules).
     if (cbj_)
-        setJump(prefixMask(order_.size()));
+        setJump(prefixMask(order_.size()), order_.size());
     // Keep searching this II for a lower-pressure schedule (bounded by
     // the budgets), or stop at the first one when the tiebreak is off.
     return options_.tiebreakPressure ? Walk::Continue : Walk::Stop;
@@ -697,6 +741,7 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
         return Walk::Abort;
     const auto fu = graph_.loop().op(v).fuType();
     if (!mrt_.fuFreeAt(slot, c, fu)) {
+        ++prune_fu_;
         if (cbj_)
             conf |= fuOccupantMask(c, slot, fu);
         return Walk::Continue;
@@ -705,6 +750,7 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
     const std::size_t comm_mark = booked_.size();
     const std::size_t sched_comm_mark = sched_.comms().size();
     if (!bookTransfers(v, c, t, k)) {
+        ++prune_bus_;
         if (cbj_)
             conf |= nb_mask_[k] | bookedDepthMask();
         return Walk::Continue;
@@ -733,10 +779,13 @@ Searcher::tryPlace(OpId v, ClusterId c, Cycle t, std::size_t slot,
     Walk w = Walk::Continue;
     if (pressure_on_) {
         const std::size_t pressure_mark = pressure_.mark();
-        if (applyPressure(v, c, t, comm_mark))
+        if (applyPressure(v, c, t, comm_mark)) {
             w = dfs(k + 1);
-        else if (cbj_)
-            conf |= prefixMask(k);
+        } else {
+            ++prune_pressure_;
+            if (cbj_)
+                conf |= prefixMask(k);
+        }
         pressure_.undoTo(pressure_mark);
     } else {
         w = dfs(k + 1);
@@ -773,11 +822,13 @@ Searcher::dfs(std::size_t k)
         nodes_ - attempt_start_nodes_ >= MEMO_ACTIVATION_NODES) {
         computeSignature(k, sig_lo, sig_hi);
         have_sig = true;
+        ++memo_probes_;
         if (memo_.contains(sig_lo, sig_hi)) {
             // An equivalent prefix was exhausted under an incumbent no
             // better than the current one: nothing new below.
+            ++memo_hits_;
             if (cbj_)
-                setJump(prefixMask(k));
+                setJump(prefixMask(k), k);
             return Walk::Continue;
         }
     }
@@ -888,6 +939,7 @@ Searcher::dfs(std::size_t k)
         // this op's placed neighbours (and any transfers consulted), so
         // those are the conflict citations.
         if (has_pred && has_succ && late < early) {
+            ++prune_window_;
             if (cbj_)
                 conf |= nb_mask_[k] | bookedDepthMask();
             if (!chargeNode())
@@ -954,13 +1006,53 @@ Searcher::dfs(std::size_t k)
     if (have_sig && !found_)
         memo_.insert(sig_lo, sig_hi);
     if (cbj_)
-        setJump(conf | nb_mask_[k] | bookedDepthMask());
+        setJump(conf | nb_mask_[k] | bookedDepthMask(), k);
     return Walk::Continue;
+}
+
+void
+Searcher::foldMetrics(const ScheduleResult &result)
+{
+    if (!obs::metricsOn())
+        return;
+    // A probe search (shared incumbent or sharded tree) races its
+    // siblings — whoever publishes the incumbent first reshapes the
+    // others' pruning — so its counts go to the runtime section. The
+    // portfolio's final serial re-derivation, and every plain exact
+    // search, is a pure function of (loop, machine, options) within
+    // budget and byte-compares across job counts.
+    const bool probe = cancel_ != nullptr || shard_count_ > 1;
+    const char *prefix = probe ? "portfolio.shard." : "exact.";
+    auto &m = ctx_.metrics;
+    const auto c = [&](const char *name) -> std::int64_t & {
+        return m.counter(!probe, std::string(prefix) + name);
+    };
+    c("searches") += 1;
+    c("nodes") += nodes_;
+    c("ii_attempts") += result.stats.iiAttempts;
+    c("ii_refuted") += ii_refuted_;
+    c("fu_refuted") += fu_refuted_;
+    c("lifts") += lifts_;
+    c("leaves") += leaves_;
+    c("dead_leaves") += dead_leaves_;
+    c("backjumps") += backjumps_;
+    c("ii_certified_infeasible") += ii_empty_conf_;
+    c("memo_probes") += memo_probes_;
+    c("memo_hits") += memo_hits_;
+    c("prune_fu") += prune_fu_;
+    c("prune_bus") += prune_bus_;
+    c("prune_window") += prune_window_;
+    c("prune_pressure") += prune_pressure_;
+    if (cancelled_)
+        c("cancelled") += 1;
+    if (budget_hit_)
+        c("budget_exhausted") += 1;
 }
 
 ScheduleResult
 Searcher::run()
 {
+    MVP_TRACE_SPAN("exact", graph_.loop().name());
     ScheduleResult result;
     result.stats.resMii = resMii(graph_.loop(), machine_);
     result.stats.recMii = graph_.recMii();
@@ -1018,6 +1110,17 @@ Searcher::run()
     shard_count_ = std::max(1, options_.shardCount);
     shard_index_ = options_.shardIndex;
 
+    if (obs::metricsOn()) {
+        // Same routing rule as foldMetrics(): probe searches race
+        // siblings, so their distributions are runtime-only.
+        const bool probe = cancel_ != nullptr || shard_count_ > 1;
+        bj_hist_ = probe ? &ctx_.metrics.rtHist(
+                               "portfolio.shard.backjump_depth", 0.0,
+                               65.0, 65)
+                         : &ctx_.metrics.detHist("exact.backjump_depth",
+                                                 0.0, 65.0, 65);
+    }
+
     // Up to this many II attempts may burn their whole node cap
     // without settling before the search gives up; the wall-clock
     // deadline instead ends the search at the first aborted attempt
@@ -1030,6 +1133,8 @@ Searcher::run()
     const Cycle last_ii =
         options_.onlyII > 0 ? options_.onlyII : options_.maxII;
     for (Cycle ii = first_ii; ii <= last_ii; ++ii) {
+        MVP_TRACE_SPAN("exact-ii", graph_.loop().name(),
+                       static_cast<std::int64_t>(ii));
         ++result.stats.iiAttempts;
         ii_ = ii;
         mrt_.reset(ii);
@@ -1059,8 +1164,11 @@ Searcher::run()
         // single node (see resourcesFit — the check is II-pure, so
         // re-evaluating it inside the search would do no work).
         if (!resourcesFit()) {
-            if (result.stats.iiLowerBound == ii)
+            ++fu_refuted_;
+            if (result.stats.iiLowerBound == ii) {
                 result.stats.iiLowerBound = ii + 1;
+                ++lifts_;
+            }
             mvp_verbose("exact: loop '", graph_.loop().name(),
                         "' II=", ii, " refuted by FU counting");
             continue;
@@ -1100,14 +1208,18 @@ Searcher::run()
         }
         // DFS ran dry within budget: II == ii is refuted; the lower
         // bound rises only while refutations are gapless from MII.
-        if (result.stats.iiLowerBound == ii)
+        ++ii_refuted_;
+        if (result.stats.iiLowerBound == ii) {
             result.stats.iiLowerBound = ii + 1;
+            ++lifts_;
+        }
         mvp_verbose("exact: loop '", graph_.loop().name(), "' II=", ii,
                     " refuted (", nodes_, " nodes)");
     }
 
     result.stats.searchNodes = nodes_;
     result.stats.budgetExhausted = budget_hit_;
+    foldMetrics(result);
     if (!result.ok) {
         result.error =
             budget_hit_

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "harness/driver.hh"
+#include "obs/trace.hh"
 #include "sched/mii.hh"
 
 namespace mvp::sched::exact
@@ -90,6 +91,13 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
      * in case the final serial re-derivation runs out of budget. */
     ScheduleResult shard_best;
 
+    // Runtime counters: probe outcomes depend on who raced whom (an
+    // abort is literally a timing event), so nothing here is part of
+    // the byte-compared deterministic section.
+    const bool mets = obs::metricsOn();
+    if (mets)
+        ctx.metrics.rt("portfolio.runs") += 1;
+
     std::vector<ScheduleResult> slots;
     while (next <= options.maxII && next < best) {
         if (deadline_on &&
@@ -98,6 +106,11 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
         if (aborted_attempts >= MAX_ABORTED_ATTEMPTS &&
             best > options.maxII)
             break;
+
+        MVP_TRACE_SPAN("portfolio-wave", graph.loop().name(),
+                       static_cast<std::int64_t>(next));
+        if (mets)
+            ctx.metrics.rt("portfolio.waves") += 1;
 
         const Cycle wave_last = std::min(
             {next + probes - 1, options.maxII, best - 1});
@@ -123,10 +136,16 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
             if (r.ok) {
                 Cycle cur =
                     shared_best.load(std::memory_order_relaxed);
+                std::int64_t races = 0;
                 while (ii < cur &&
                        !shared_best.compare_exchange_weak(
                            cur, ii, std::memory_order_relaxed)) {
+                    ++races;
                 }
+                // Interleaving-shaped by definition: each retry is a
+                // sibling publishing its incumbent first.
+                if (races > 0 && obs::metricsOn())
+                    wctx.metrics.rt("portfolio.cas_retries") += races;
             }
             slots[idx] = std::move(r);
         });
@@ -138,9 +157,17 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
                 total_nodes +=
                     slots[static_cast<std::size_t>(w) * shards + s]
                         .stats.searchNodes;
-            switch (mergeShards(
-                &slots[static_cast<std::size_t>(w) * shards],
-                shards)) {
+            const Probe probe = mergeShards(
+                &slots[static_cast<std::size_t>(w) * shards], shards);
+            if (mets) {
+                const char *outcome =
+                    probe == Probe::Feasible ? "portfolio.probe_feasible"
+                    : probe == Probe::Refuted
+                        ? "portfolio.probe_refuted"
+                        : "portfolio.probe_aborted";
+                ctx.metrics.rt(outcome) += 1;
+            }
+            switch (probe) {
             case Probe::Feasible:
                 if (ii < best) {
                     best = ii;

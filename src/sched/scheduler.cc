@@ -5,6 +5,7 @@
 
 #include "cme/reuse.hh"
 #include "common/logging.hh"
+#include "obs/trace.hh"
 #include "sched/lifetimes.hh"
 #include "sched/mii.hh"
 #include "sched/mrt.hh"
@@ -633,6 +634,15 @@ ClusteredModuloScheduler::ClusteredModuloScheduler(
 ScheduleResult
 ClusteredModuloScheduler::run(SchedContext &ctx)
 {
+    MVP_TRACE_SPAN("heuristic", graph_.loop().name());
+    // Metric names carry the flavour so the A/B question ("does RMCA
+    // retry IIs more often than the baseline?") reads off the report.
+    const bool mets = obs::metricsOn();
+    const std::string prefix =
+        options_.memoryAware ? "sched.rmca." : "sched.baseline.";
+    std::int64_t place_failures = 0;
+    std::int64_t register_overflows = 0;
+
     ScheduleResult result;
     result.stats.resMii = resMii(graph_.loop(), machine_);
     result.stats.recMii = graph_.recMii();
@@ -641,14 +651,20 @@ ClusteredModuloScheduler::run(SchedContext &ctx)
 
     // The ordering is computed once at mII and kept across II bumps in
     // the context's order buffer.
-    computeOrdering(graph_, result.stats.mii, ctx.order, ctx.ordering);
-    result.stats.orderingBothNeighbours =
-        bothNeighbourCount(graph_, ctx.order, ctx.ordering);
+    {
+        MVP_TRACE_SPAN("ordering");
+        computeOrdering(graph_, result.stats.mii, ctx.order,
+                        ctx.ordering);
+        result.stats.orderingBothNeighbours =
+            bothNeighbourCount(graph_, ctx.order, ctx.ordering);
+    }
 
     // One attempt object reused across II bumps (reset() re-arms it
     // without reallocating any buffer).
     Attempt attempt(graph_, machine_, options_, ctx.placement);
     for (Cycle ii = result.stats.mii; ii <= options_.maxII; ++ii) {
+        MVP_TRACE_SPAN("place-ii", graph_.loop().name(),
+                       static_cast<std::int64_t>(ii));
         ++result.stats.iiAttempts;
         attempt.reset(ii);
         bool ok = true;
@@ -657,6 +673,7 @@ ClusteredModuloScheduler::run(SchedContext &ctx)
                 mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
                             ": op ", v, " unplaceable");
                 ok = false;
+                ++place_failures;
                 break;
             }
         }
@@ -666,6 +683,7 @@ ClusteredModuloScheduler::run(SchedContext &ctx)
         if (!attempt.checkRegisters(ctx.lifetimes)) {
             mvp_verbose("loop '", graph_.loop().name(), "' II=", ii,
                         ": register pressure exceeded");
+            ++register_overflows;
             continue;
         }
 
@@ -681,12 +699,31 @@ ClusteredModuloScheduler::run(SchedContext &ctx)
             static_cast<int>(result.schedule.numComms());
         result.stats.missScheduledLoads =
             result.schedule.missScheduledLoads();
+        if (mets) {
+            ctx.metrics.det(prefix + "runs") += 1;
+            ctx.metrics.det(prefix + "ii_attempts") +=
+                result.stats.iiAttempts;
+            ctx.metrics.det(prefix + "place_failures") += place_failures;
+            ctx.metrics.det(prefix + "register_overflows") +=
+                register_overflows;
+            ctx.metrics.det(prefix + "promoted_loads") +=
+                result.stats.missScheduledLoads;
+        }
         return result;
     }
 
     result.error = "no feasible II up to " +
                    std::to_string(options_.maxII) + " for loop '" +
                    graph_.loop().name() + "'";
+    if (mets) {
+        ctx.metrics.det(prefix + "runs") += 1;
+        ctx.metrics.det(prefix + "failed_runs") += 1;
+        ctx.metrics.det(prefix + "ii_attempts") +=
+            result.stats.iiAttempts;
+        ctx.metrics.det(prefix + "place_failures") += place_failures;
+        ctx.metrics.det(prefix + "register_overflows") +=
+            register_overflows;
+    }
     return result;
 }
 
