@@ -37,6 +37,10 @@ main(int argc, char **argv)
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::int64_t time_budget =
         harness::parseTimeBudgetFlag(argc, argv);
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--locality",
+                                 "--time-budget-ms", "--log-level",
+                                 "--metrics", "--trace"});
     harness::Workbench bench;
     const auto machine = withLimitedBuses(makeFourCluster(), 1, 4);
     std::printf("machine: %s\n\n", machine.summary().c_str());

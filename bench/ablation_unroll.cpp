@@ -40,6 +40,10 @@ main(int argc, char **argv)
     std::string locality = harness::parseLocalityFlag(argc, argv);
     if (locality.empty())
         locality = "cme";
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--locality",
+                                 "--log-level", "--metrics",
+                                 "--trace"});
     const auto machine = withLimitedBuses(makeTwoCluster(), 1, 1);
     // Resolve the provider name on the main thread: an unknown name
     // must fatal here, not inside a pool worker.

@@ -47,6 +47,10 @@ main(int argc, char **argv)
     const std::string locality = harness::parseLocalityFlag(argc, argv);
     const std::int64_t time_budget =
         harness::parseTimeBudgetFlag(argc, argv);
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--locality",
+                                 "--time-budget-ms", "--log-level",
+                                 "--metrics", "--trace"});
     harness::Workbench bench;
 
     struct Row

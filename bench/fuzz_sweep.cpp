@@ -46,23 +46,28 @@ main(int argc, char **argv)
         harness::parseExactBackendFlag(argc, argv);
     if (!exact_backend.empty())
         options.exactBackend = exact_backend;
-    bool verbose = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--scenarios") && i + 1 < argc)
-            options.scenarios = std::atoi(argv[++i]);
-        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
-            options.seed = std::strtoull(argv[++i], nullptr, 0);
-        else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc)
-            options.exactBudget = std::atoll(argv[++i]);
-        else if (!std::strcmp(argv[i], "--no-exact"))
-            options.checkExact = false;
-        else if (!std::strcmp(argv[i], "--verbose"))
-            verbose = true;
-        else {
-            std::fprintf(stderr, "unknown argument '%s'\n", argv[i]);
-            return 2;
-        }
-    }
+    const std::string scenarios = harness::stripValueFlag(
+        argc, argv, "--scenarios", "scenario count");
+    if (!scenarios.empty())
+        options.scenarios = std::atoi(scenarios.c_str());
+    const std::string seed =
+        harness::stripValueFlag(argc, argv, "--seed", "seed");
+    if (!seed.empty())
+        options.seed = std::strtoull(seed.c_str(), nullptr, 0);
+    const std::string budget =
+        harness::stripValueFlag(argc, argv, "--budget", "node budget");
+    if (!budget.empty())
+        options.exactBudget = std::atoll(budget.c_str());
+    if (harness::stripBoolFlag(argc, argv, "--no-exact"))
+        options.checkExact = false;
+    const bool verbose =
+        harness::stripBoolFlag(argc, argv, "--verbose");
+    harness::rejectUnknownFlags(
+        argc, argv,
+        {"--jobs", "--locality", "--time-budget-ms",
+         "--exact-backend", "--scenarios", "--seed", "--budget",
+         "--no-exact", "--verbose", "--log-level", "--metrics",
+         "--trace"});
     if (options.scenarios < 1) {
         std::fprintf(stderr, "--scenarios wants a positive count\n");
         return 2;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The scheduling service as a long-running process.
+ *
+ * Default mode speaks the framed protocol (svc/session.hh) on
+ * stdin/stdout — pipe a request stream in, read the replies; with
+ * --listen it serves the same protocol on loopback TCP instead, one
+ * session per connection sharing one cache and worker pool.
+ *
+ * Usage: mvp_served [--jobs N] [--state FILE] [--listen PORT]
+ *                   [--log-level L] [--metrics[=F]] [--trace=F]
+ *
+ * --state FILE loads warm state (schedule cache + locality memos)
+ * from FILE at startup when it exists — a missing file is a cold
+ * start, not an error — and, in stdio mode, saves back to FILE when
+ * the session ends. TCP sessions persist on demand via the protocol's
+ * SAVE/LOAD frames (there is no clean shutdown hook on a listener
+ * that runs until killed).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/flags.hh"
+#include "svc/server.hh"
+#include "svc/service.hh"
+
+using namespace mvp;
+
+int
+main(int argc, char **argv)
+{
+    harness::parseObservabilityFlags(argc, argv);
+    const int jobs = harness::parseJobsFlag(argc, argv);
+    const std::string state =
+        harness::stripValueFlag(argc, argv, "--state", "state file");
+    const std::string listen =
+        harness::stripValueFlag(argc, argv, "--listen", "TCP port");
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--state", "--listen",
+                                 "--log-level", "--metrics",
+                                 "--trace"});
+
+    svc::SchedService service(jobs);
+
+    if (!state.empty()) {
+        // Status goes to stderr: stdout is the reply stream in stdio
+        // mode, and warm and cold runs must emit identical bytes
+        // there.
+        std::string err;
+        if (service.loadStateFile(state, &err))
+            std::fprintf(stderr, "svc: warm state loaded from '%s'\n",
+                         state.c_str());
+        else
+            std::fprintf(stderr, "svc: cold start (%s)\n",
+                         err.c_str());
+    }
+
+    if (!listen.empty()) {
+        char *end = nullptr;
+        const long port = std::strtol(listen.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || port < 0 ||
+            port > 65535)
+            mvp_fatal("--listen wants a TCP port, got '", listen,
+                      "'");
+        return svc::runTcpServer(service, static_cast<int>(port));
+    }
+
+    svc::runStdioSession(service, std::cin, std::cout);
+
+    if (!state.empty()) {
+        std::string err;
+        if (!service.saveStateFile(state, &err))
+            mvp_warn("svc: warm state not saved: ", err);
+    }
+    return 0;
+}

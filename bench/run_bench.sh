@@ -4,7 +4,7 @@
 #
 # Usage:
 #   bench/run_bench.sh [--filter REGEX] [--jobs N] [--sweep|--no-sweep]
-#                      [--fuzz|--no-fuzz] [--metrics]
+#                      [--fuzz|--no-fuzz] [--metrics] [--serve]
 #                      [extra google-benchmark flags]
 #
 # --filter REGEX limits the run to matching benchmarks (and merges only
@@ -33,11 +33,19 @@
 #
 # --metrics runs the jobs=N suite sweep with the obs registry enabled
 # (sweep_bench --metrics=FILE) and distils the report into a "metrics"
-# section of BENCH_sched.json: search-health rates (memo hits/probes,
-# nodes per search), locality-cache hit rates (RatioMemo, StreamCache)
-# and pool utilisation. Off by default — the instrumented run is a
-# second sweep pass — and merged like every other section: keys a run
-# does not remeasure survive from the previous record.
+# section of BENCH_sched.json: search-health rates (nodes per search,
+# prunes, backjumps), locality-cache hit rates (RatioMemo,
+# StreamCache) and pool utilisation. Off by default — the
+# instrumented run is a second sweep pass — and merged like every
+# other section: keys a run does not remeasure survive from the
+# previous record.
+#
+# --serve runs the scheduling-service load generator (bench/serve_bench
+# with --check --gate: every reply byte-compared against the offline
+# pipeline, warm/cold throughput gated at 5x) and records a "service"
+# section: schedules/sec cold and warm, the speedup, the cache hit
+# rate, request-latency p50/p99 and the reply fingerprint. Off by
+# default, preserved across re-runs like every other section.
 #
 # Like the suite sweep, the differential fuzz sweep (bench/fuzz_sweep:
 # generated scenarios through schedule validation, exact-II
@@ -77,6 +85,7 @@ JOBS="$(nproc 2>/dev/null || echo 1)"
 SWEEP=auto
 FUZZ=auto
 METRICS=no
+SERVE=no
 ARGS=()
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -118,6 +127,10 @@ while [ $# -gt 0 ]; do
         METRICS=yes
         shift
         ;;
+      --serve)
+        SERVE=yes
+        shift
+        ;;
       *)
         ARGS+=("$1")
         shift
@@ -140,13 +153,16 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 # Always rebuild so the numbers describe the checked-out tree, never a
 # stale binary.
-cmake --build "$BUILD_DIR" -j --target micro_sched sweep_bench fuzz_sweep
+TARGETS=(micro_sched sweep_bench fuzz_sweep)
+[ "$SERVE" = yes ] && TARGETS+=(serve_bench)
+cmake --build "$BUILD_DIR" -j --target "${TARGETS[@]}"
 
 TMP="$(mktemp)"
 SWEEP_TMP="$(mktemp)"
 FUZZ_TMP="$(mktemp)"
 METRICS_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP" "$METRICS_TMP"' EXIT
+SERVE_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP" "$METRICS_TMP" "$SERVE_TMP"' EXIT
 : > "$METRICS_TMP"
 
 "$BUILD_DIR/micro_sched" \
@@ -186,12 +202,21 @@ if [ "$FUZZ" = yes ]; then
     "$BUILD_DIR/fuzz_sweep" "${FUZZ_ARGS[@]}" | tee "$FUZZ_TMP"
 fi
 
-python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" "$METRICS_TMP" <<'EOF'
+# The scheduling service: checked + gated load-generator run; the
+# printed summary line lands in the "service" section.
+if [ "$SERVE" = yes ]; then
+    echo "service load run (jobs=$JOBS, checked against the offline pipeline) ..."
+    "$BUILD_DIR/serve_bench" --jobs "$JOBS" --clients 4 --rounds 3 \
+        --check --gate | tee "$SERVE_TMP"
+fi
+
+python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" "$METRICS_TMP" \
+    "$SERVE_TMP" <<'EOF'
 import json
 import sys
 
 (fresh_path, out_path, sweep_path, jobs, fuzz_path,
- metrics_path) = sys.argv[1:7]
+ metrics_path, serve_path) = sys.argv[1:8]
 # A filter that matches no benchmark leaves the output file empty
 # (google-benchmark writes nothing); treat it as "measured nothing" so
 # sweep-only refreshes still merge.
@@ -296,6 +321,34 @@ for fields in fuzz_lines:
 if fuzz:
     fresh["fuzz_sweep"] = fuzz
 
+# The scheduling-service section: serve_bench's summary line —
+# sustained schedules/sec cold vs warm, the gated speedup, cache hit
+# rate, request-latency percentiles and the reply fingerprint
+# (preserved across runs that skip --serve).
+service = prev.get("service", {})
+try:
+    with open(serve_path) as f:
+        serve_lines = [l.split() for l in f if l.startswith("serve ")]
+except OSError:
+    serve_lines = []
+for fields in serve_lines:
+    kv = dict(field.split("=", 1) for field in fields[1:])
+    service = {
+        "jobs": int(kv["jobs"]),
+        "clients": int(kv["clients"]),
+        "requests": int(kv["requests"]),
+        "rounds": int(kv["rounds"]),
+        "cold_schedules_per_s": float(kv["cold_sps"]),
+        "warm_schedules_per_s": float(kv["warm_sps"]),
+        "warm_speedup": float(kv["speedup"]),
+        "cache_hit_rate": float(kv["hit_rate"]),
+        "latency_p50_us": float(kv["p50_us"]),
+        "latency_p99_us": float(kv["p99_us"]),
+        "fingerprint": kv["fingerprint"],
+    }
+if service:
+    fresh["service"] = service
+
 # The exact-engine section: the BM_ScheduleExact / BM_ScheduleVerify
 # times and node throughput that gate the exact-search overhaul, their
 # speedup against the recorded pre-overhaul reference, and the fuzz
@@ -340,9 +393,10 @@ if exact:
 
 # The observability section (--metrics runs only): distil the
 # obs::Registry report of the instrumented sweep into the health rates
-# worth tracking across PRs — search effort and memo/prune behaviour,
-# locality-cache hit rates, pool utilisation. Preserved across re-runs
-# that skip the instrumented sweep, like every other section.
+# worth tracking across PRs — search effort and prune/backjump
+# behaviour, locality-cache hit rates, pool utilisation. Preserved
+# across re-runs that skip the instrumented sweep, like every other
+# section.
 try:
     with open(metrics_path) as f:
         report = json.load(f)
@@ -354,6 +408,8 @@ if report:
     rtc = rt.get("counters", {})
     rtg = rt.get("gauges", {})
     metrics = prev.get("metrics", {})
+    # The dominance memo is retired; scrub its stat from old records.
+    metrics.pop("exact_memo_hit_rate", None)
 
     def rate(num, den):
         return round(num / den, 4) if den else None
@@ -364,8 +420,6 @@ if report:
         "exact_nodes": det.get("exact.nodes", 0),
         "exact_nodes_per_search": rate(det.get("exact.nodes", 0),
                                        searches),
-        "exact_memo_hit_rate": rate(det.get("exact.memo_hits", 0),
-                                    det.get("exact.memo_probes", 0)),
         "exact_prune_fu": det.get("exact.prune_fu", 0),
         "exact_prune_pressure": det.get("exact.prune_pressure", 0),
         "exact_backjumps": det.get("exact.backjumps", 0),

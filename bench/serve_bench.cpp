@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Load generator and correctness harness for the scheduling service:
+ * sustained schedules/sec, cold vs warm.
+ *
+ * Builds a mixed request stream (builtin suites plus a `gen:` suite,
+ * two machines, rmca plus a few verify-backend requests), partitions
+ * it across N in-process protocol sessions (one per simulated client,
+ * each on its own thread), and drives the same SchedService through
+ * R rounds: round 0 is cold (every key misses), rounds 1+ are warm
+ * (every key hits the content-addressed cache).
+ *
+ * What it asserts, independent of what it measures:
+ *
+ *  - every warm reply is byte-identical to the cold reply of the same
+ *    request — the cache is invisible in the bytes;
+ *  - with --check, every service reply is byte-identical to an
+ *    offline pipeline that parses the same payload and schedules it
+ *    directly (no service, no cache, fresh DDG and locality) — the
+ *    batched path adds nothing and loses nothing;
+ *  - with --gate, warm throughput must be >= 5x cold throughput (the
+ *    CI bar).
+ *
+ * Prints one machine-readable line:
+ *
+ *   serve jobs=J clients=C requests=N rounds=R cold_sps=X warm_sps=Y
+ *         speedup=S hit_rate=H p50_us=A p99_us=B fingerprint=0x...
+ *
+ * The fingerprint folds every cold reply payload in request order, so
+ * a service change that alters any reply byte is visible in
+ * BENCH_sched.json history.
+ *
+ * Usage: serve_bench [--jobs N] [--clients N] [--rounds N] [--check]
+ *                    [--gate] [--dump-requests FILE]
+ *
+ * --dump-requests writes the framed request stream (batches, FLUSH,
+ * QUIT) to FILE and exits — CI pipes it into mvp_served to exercise
+ * the stdio transport and warm-state persistence end to end.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cme/provider.hh"
+#include "common/logging.hh"
+#include "common/strutil.hh"
+#include "ddg/ddg.hh"
+#include "harness/flags.hh"
+#include "machine/presets.hh"
+#include "sched/backend.hh"
+#include "svc/protocol.hh"
+#include "svc/service.hh"
+#include "svc/session.hh"
+#include "text/format.hh"
+#include "workloads/workloads.hh"
+
+using namespace mvp;
+
+namespace
+{
+
+/** One benchmark request: the raw payload plus its frame id. */
+struct BenchRequest
+{
+    std::string id;
+    std::string payload;
+};
+
+/** The mixed workload: every loop of three builtin suites and one
+ * generated suite on two machines under rmca, plus verify-backend
+ * requests for the first tomcatv loops (so the cold round pays real
+ * exact-search time, like a client asking for certificates). */
+std::vector<BenchRequest>
+buildRequests()
+{
+    const char *suites[] = {"tomcatv", "swim", "hydro2d",
+                            "gen:seed=11,loops=4"};
+    const MachineConfig machines[] = {makeTwoCluster(),
+                                      makeFourCluster()};
+
+    std::vector<BenchRequest> out;
+    int next_id = 0;
+    for (const char *suite : suites) {
+        const auto bench = workloads::benchmarkByName(suite);
+        for (const auto &nest : bench.loops) {
+            for (const auto &machine : machines) {
+                text::ScenarioText scenario{nest, machine};
+                BenchRequest req;
+                req.id = "r" + std::to_string(next_id++);
+                req.payload = "# serve_bench request\n"
+                              "config backend rmca\n"
+                              "config threshold 0.25\n\n" +
+                              text::printScenario(scenario);
+                out.push_back(std::move(req));
+            }
+        }
+    }
+
+    const auto tomcatv = workloads::benchmarkByName("tomcatv");
+    const std::size_t n_verify =
+        tomcatv.loops.size() < 2 ? tomcatv.loops.size() : 2;
+    for (std::size_t i = 0; i < n_verify; ++i) {
+        for (const auto &machine : machines) {
+            text::ScenarioText scenario{tomcatv.loops[i], machine};
+            BenchRequest req;
+            req.id = "r" + std::to_string(next_id++);
+            req.payload = "config backend verify\n"
+                          "config threshold 0.25\n\n" +
+                          text::printScenario(scenario);
+            out.push_back(std::move(req));
+        }
+    }
+    return out;
+}
+
+/** Frame a request list into protocol bytes: batches of
+ * @p batch_size, each closed by FLUSH. */
+std::string
+frameRequests(const std::vector<const BenchRequest *> &requests,
+              std::size_t batch_size)
+{
+    std::string out;
+    std::size_t in_batch = 0;
+    for (const BenchRequest *req : requests) {
+        out += "REQ " + req->id + " " +
+               std::to_string(req->payload.size()) + "\n";
+        out += req->payload;
+        out += "\n";
+        if (++in_batch == batch_size) {
+            out += "FLUSH\n";
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0)
+        out += "FLUSH\n";
+    return out;
+}
+
+/** Parse REP frames out of a session's emitted bytes. Exits loudly on
+ * anything that is not a REP — the bench speaks the protocol
+ * correctly, so an ERR here is a real bug. */
+void
+collectReplies(const std::string &emitted,
+               std::map<std::string, std::string> &replies)
+{
+    std::size_t pos = 0;
+    while (pos < emitted.size()) {
+        const std::size_t eol = emitted.find('\n', pos);
+        if (eol == std::string::npos)
+            mvp_fatal("serve_bench: truncated frame header");
+        const std::string head = emitted.substr(pos, eol - pos);
+        std::size_t sp1 = head.find(' ');
+        std::size_t sp2 =
+            sp1 == std::string::npos ? sp1 : head.find(' ', sp1 + 1);
+        if (head.compare(0, 4, "REP ") != 0 ||
+            sp2 == std::string::npos)
+            mvp_fatal("serve_bench: unexpected frame '", head, "'");
+        const std::string id = head.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::strtoll(head.c_str() + sp2 + 1, nullptr, 10));
+        const std::size_t body = eol + 1;
+        if (body + nbytes + 1 > emitted.size())
+            mvp_fatal("serve_bench: truncated REP payload");
+        replies[id] = emitted.substr(body, nbytes);
+        pos = body + nbytes + 1;   // payload newline
+    }
+}
+
+/** The offline pipeline: parse the payload and schedule it directly —
+ * no service, no cache, fresh DDG and locality — rendering the reply
+ * through the same functions. This is what the service's replies must
+ * match byte for byte. */
+std::string
+offlineReply(const std::string &payload)
+{
+    svc::Request req = svc::parseRequest(payload, "<offline>");
+    if (!req.error.empty())
+        return svc::renderErrorReply(req.error);
+    const auto graph =
+        ddg::Ddg::build(req.scenario.loop, req.scenario.machine);
+    const auto locality = cme::LocalityRegistry::instance().bind(
+        req.options.locality, req.scenario.loop);
+    sched::SchedulerOptions opt;
+    opt.missThreshold = req.options.threshold;
+    opt.locality = locality.get();
+    opt.localityProvider = req.options.locality;
+    opt.searchBudget = req.options.nodeBudget;
+    opt.timeBudgetMs = req.options.timeBudgetMs;
+    opt.exactBackend = req.options.exactBackend;
+    opt.searchJobs = 1;
+    const auto result = sched::scheduleWithBackend(
+        req.options.backend, graph, req.scenario.machine, opt);
+    if (!result.ok)
+        return svc::renderErrorReply(result.error);
+    return svc::renderReply(req, result);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::parseObservabilityFlags(argc, argv);
+    const int jobs = harness::parseJobsFlag(argc, argv);
+
+    int clients = 4;
+    int rounds = 3;
+    bool check = false;
+    bool gate = false;
+    const std::string clients_s =
+        harness::stripValueFlag(argc, argv, "--clients", "client count");
+    if (!clients_s.empty())
+        clients = std::atoi(clients_s.c_str());
+    const std::string rounds_s =
+        harness::stripValueFlag(argc, argv, "--rounds", "round count");
+    if (!rounds_s.empty())
+        rounds = std::atoi(rounds_s.c_str());
+    const std::string dump = harness::stripValueFlag(
+        argc, argv, "--dump-requests", "output file");
+    check = harness::stripBoolFlag(argc, argv, "--check");
+    gate = harness::stripBoolFlag(argc, argv, "--gate");
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--clients", "--rounds",
+                                 "--check", "--gate",
+                                 "--dump-requests", "--log-level",
+                                 "--metrics", "--trace"});
+    if (clients < 1 || rounds < 2)
+        mvp_fatal("serve_bench wants --clients >= 1 and --rounds >= 2 "
+                  "(one cold round plus warm rounds)");
+
+    const std::vector<BenchRequest> requests = buildRequests();
+
+    if (!dump.empty()) {
+        std::vector<const BenchRequest *> all;
+        for (const auto &req : requests)
+            all.push_back(&req);
+        std::ofstream out(dump, std::ios::binary | std::ios::trunc);
+        if (!out)
+            mvp_fatal("cannot write '", dump, "'");
+        const std::string stream = frameRequests(all, 8) + "QUIT\n";
+        out.write(stream.data(),
+                  static_cast<std::streamsize>(stream.size()));
+        std::printf("dumped %zu requests to %s\n", requests.size(),
+                    dump.c_str());
+        return 0;
+    }
+
+    svc::SchedService service(jobs);
+
+    // Partition requests across clients once; every round replays the
+    // same per-client streams.
+    std::vector<std::string> client_streams(
+        static_cast<std::size_t>(clients));
+    for (int c = 0; c < clients; ++c) {
+        std::vector<const BenchRequest *> mine;
+        for (std::size_t i = static_cast<std::size_t>(c);
+             i < requests.size();
+             i += static_cast<std::size_t>(clients))
+            mine.push_back(&requests[i]);
+        client_streams[static_cast<std::size_t>(c)] =
+            frameRequests(mine, 8);
+    }
+
+    std::map<std::string, std::string> cold_replies;
+    double cold_sps = 0.0;
+    double warm_seconds = 0.0;
+    std::int64_t warm_requests = 0;
+
+    for (int round = 0; round < rounds; ++round) {
+        std::vector<std::map<std::string, std::string>> replies(
+            static_cast<std::size_t>(clients));
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<std::thread> threads;
+        for (int c = 0; c < clients; ++c)
+            threads.emplace_back([&, c] {
+                svc::ServiceSession session(service);
+                std::string emitted;
+                session.consume(
+                    client_streams[static_cast<std::size_t>(c)],
+                    emitted);
+                collectReplies(
+                    emitted, replies[static_cast<std::size_t>(c)]);
+            });
+        for (auto &t : threads)
+            t.join();
+        const double seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+
+        std::map<std::string, std::string> merged;
+        for (auto &m : replies)
+            merged.insert(m.begin(), m.end());
+        if (merged.size() != requests.size())
+            mvp_fatal("round ", round, " returned ", merged.size(),
+                      " replies for ", requests.size(), " requests");
+
+        if (round == 0) {
+            cold_replies = std::move(merged);
+            cold_sps = static_cast<double>(requests.size()) / seconds;
+        } else {
+            for (const auto &[id, payload] : merged)
+                if (payload != cold_replies.at(id))
+                    mvp_fatal("warm reply for ", id,
+                              " differs from its cold reply — the "
+                              "cache leaked into the bytes");
+            warm_seconds += seconds;
+            warm_requests +=
+                static_cast<std::int64_t>(requests.size());
+        }
+    }
+
+    if (check) {
+        for (const auto &req : requests)
+            if (offlineReply(req.payload) != cold_replies.at(req.id))
+                mvp_fatal("service reply for ", req.id,
+                          " differs from the offline pipeline");
+        std::printf("check: %zu replies match the offline pipeline\n",
+                    requests.size());
+    }
+
+    std::string fold;
+    for (const auto &req : requests)
+        fold += cold_replies.at(req.id);
+    const std::uint64_t fingerprint = fnv1a(fold);
+
+    const double warm_sps =
+        warm_seconds > 0.0
+            ? static_cast<double>(warm_requests) / warm_seconds
+            : 0.0;
+    const double speedup = cold_sps > 0.0 ? warm_sps / cold_sps : 0.0;
+    const auto st = service.stats();
+    const double hit_rate =
+        st.requests > 0 ? static_cast<double>(st.cacheHits) /
+                              static_cast<double>(st.requests)
+                        : 0.0;
+
+    std::printf("serve jobs=%d clients=%d requests=%zu rounds=%d "
+                "cold_sps=%.1f warm_sps=%.1f speedup=%.1f "
+                "hit_rate=%.3f p50_us=%.1f p99_us=%.1f "
+                "fingerprint=0x%016llx\n",
+                service.jobs(), clients, requests.size(), rounds,
+                cold_sps, warm_sps, speedup, hit_rate,
+                st.latencyP50Us, st.latencyP99Us,
+                static_cast<unsigned long long>(fingerprint));
+
+    if (gate && speedup < 5.0) {
+        std::fprintf(stderr,
+                     "serve_bench: warm/cold speedup %.1f is below "
+                     "the 5x gate\n",
+                     speedup);
+        return 1;
+    }
+    return 0;
+}

@@ -68,13 +68,16 @@ main(int argc, char **argv)
         harness::parseExactBackendFlag(argc, argv);
     if (!exact_backend.empty())
         gap_options.exactBackend = exact_backend;
-    bool exact = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--exact"))
-            exact = true;
-        else if (!std::strcmp(argv[i], "--budget") && i + 1 < argc)
-            gap_options.nodeBudget = std::atoll(argv[++i]);
-    }
+    const bool exact = harness::stripBoolFlag(argc, argv, "--exact");
+    const std::string budget =
+        harness::stripValueFlag(argc, argv, "--budget", "node budget");
+    if (!budget.empty())
+        gap_options.nodeBudget = std::atoll(budget.c_str());
+    harness::rejectUnknownFlags(
+        argc, argv,
+        {"--jobs", "--locality", "--workloads", "--time-budget-ms",
+         "--exact-backend", "--exact", "--budget", "--log-level",
+         "--metrics", "--trace"});
 
     harness::Workbench bench(workloads);
     const MachineConfig machines[] = {makeUnified(), makeTwoCluster(),

@@ -43,6 +43,11 @@ main(int argc, char **argv)
         harness::parseExactBackendFlag(argc, argv);
     if (!backend.empty())
         options.exactBackend = backend;
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--locality",
+                                 "--time-budget-ms",
+                                 "--exact-backend", "--log-level",
+                                 "--metrics", "--trace"});
     if (argc > 1)
         options.nodeBudget = std::atoll(argv[1]);
 

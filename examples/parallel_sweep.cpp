@@ -43,6 +43,11 @@ main(int argc, char **argv)
     // workload form resolves here, e.g.
     // --workloads tomcatv,file:my.loops,gen:seed=7+loops=4. ---
     std::vector<std::string> only = harness::parseWorkloadsFlag(argc, argv);
+    harness::rejectUnknownFlags(argc, argv,
+                                {"--jobs", "--locality",
+                                 "--time-budget-ms", "--workloads",
+                                 "--log-level", "--metrics",
+                                 "--trace"});
     if (only.empty())
         only = {"tomcatv", "swim", "hydro2d"};
     harness::Workbench bench(only);

@@ -66,12 +66,19 @@ main(int argc, char **argv)
         harness::parseExactBackendFlag(argc, argv);
     if (!exact_backend.empty())
         options.exactBackend = exact_backend;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--scenarios") && i + 1 < argc)
-            options.scenarios = std::atoi(argv[++i]);
-        else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc)
-            options.seed = std::strtoull(argv[++i], nullptr, 0);
-    }
+    const std::string scenarios = harness::stripValueFlag(
+        argc, argv, "--scenarios", "scenario count");
+    if (!scenarios.empty())
+        options.scenarios = std::atoi(scenarios.c_str());
+    const std::string seed =
+        harness::stripValueFlag(argc, argv, "--seed", "seed");
+    if (!seed.empty())
+        options.seed = std::strtoull(seed.c_str(), nullptr, 0);
+    harness::rejectUnknownFlags(
+        argc, argv,
+        {"--jobs", "--time-budget-ms", "--exact-backend",
+         "--scenarios", "--seed", "--log-level", "--metrics",
+         "--trace"});
 
     // --- 1. The text frontend: loops and machines are data, not code.
     // parseLoop validates the nest; the canonical reprint round-trips. ---

@@ -1,6 +1,7 @@
 #include "cme/oracle.hh"
 
 #include <algorithm>
+#include <tuple>
 
 #include "common/logging.hh"
 
@@ -341,6 +342,84 @@ CacheOracle::missCounts(const std::vector<OpId> &set, const CacheGeom &geom)
     return simulate(detail::canonicalInto(oracleScratch().canonical, set),
                     geom)
         .misses;
+}
+
+std::vector<OracleMemoEntry>
+CacheOracle::exportMemo() const
+{
+    std::vector<OracleMemoEntry> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.reserve(memo_.size());
+        for (const auto &[key, res] : memo_) {
+            OracleMemoEntry entry;
+            entry.geom = key.geom;
+            entry.set = key.set;
+            entry.points = res.points;
+            entry.misses.reserve(key.set.size());
+            for (const OpId op : key.set)
+                entry.misses.push_back(res.misses.at(op));
+            entry.perSetMisses = res.perSetMisses;
+            entry.tags = res.tags;
+            out.push_back(std::move(entry));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const OracleMemoEntry &a, const OracleMemoEntry &b) {
+                  const auto ka =
+                      std::tie(a.geom.capacityBytes, a.geom.lineBytes,
+                               a.geom.assoc, a.set);
+                  const auto kb =
+                      std::tie(b.geom.capacityBytes, b.geom.lineBytes,
+                               b.geom.assoc, b.set);
+                  return ka < kb;
+              });
+    return out;
+}
+
+void
+CacheOracle::importMemo(const std::vector<OracleMemoEntry> &entries)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const OracleMemoEntry &entry : entries) {
+        if (entry.set.empty() ||
+            entry.misses.size() != entry.set.size() || entry.points <= 0)
+            mvp_fatal("malformed oracle warm-state entry (",
+                      entry.set.size(), " ops, ", entry.misses.size(),
+                      " miss totals, ", entry.points, " points)");
+        detail::QueryKey key{
+            detail::queryHash(entry.geom, INVALID_ID, entry.set),
+            entry.geom, INVALID_ID, entry.set};
+        if (memo_.find(key) != memo_.end())
+            continue;
+        SimResult res;
+        res.ops = entry.set;
+        res.points = entry.points;
+        for (std::size_t i = 0; i < entry.set.size(); ++i)
+            res.misses[entry.set[i]] = entry.misses[i];
+        // A checkpoint is only usable when its shape matches the
+        // geometry; anything else (including a cap-trimmed export) is
+        // memoised aggregates-only, which affects extension speed but
+        // never answers.
+        const auto num_sets =
+            static_cast<std::size_t>(entry.geom.numSets());
+        const bool shape_ok =
+            entry.perSetMisses.size() == num_sets * entry.set.size() &&
+            entry.tags.size() ==
+                num_sets * static_cast<std::size_t>(entry.geom.assoc);
+        const std::size_t checkpoint_bytes =
+            (entry.perSetMisses.size() + entry.tags.size()) *
+            sizeof(std::int64_t);
+        const bool keep =
+            shape_ok &&
+            checkpointBytes_ + checkpoint_bytes <= checkpointByteCap_;
+        if (keep) {
+            res.perSetMisses = entry.perSetMisses;
+            res.tags = entry.tags;
+            checkpointBytes_ += checkpoint_bytes;
+        }
+        memo_.emplace(std::move(key), std::move(res));
+    }
 }
 
 } // namespace mvp::cme

@@ -43,6 +43,23 @@
 namespace mvp::cme
 {
 
+/**
+ * One exported oracle simulation: the query key (geometry + canonical
+ * set), the aggregate answer (per-position miss totals + point count),
+ * and the per-cache-set checkpoint when it was retained (empty vectors
+ * otherwise). `misses[i]` is the total for `set[i]`, so the flattened
+ * form is deterministic where the in-memory unordered_map is not.
+ */
+struct OracleMemoEntry
+{
+    CacheGeom geom;
+    std::vector<OpId> set;
+    std::vector<std::int64_t> misses;   ///< aligned with `set`
+    std::int64_t points = 0;
+    std::vector<std::int64_t> perSetMisses;   ///< checkpoint (may be empty)
+    std::vector<std::int64_t> tags;           ///< checkpoint (may be empty)
+};
+
 /** Exact cache-behaviour oracle bound to one loop nest. */
 class CacheOracle : public LocalityAnalysis
 {
@@ -98,6 +115,24 @@ class CacheOracle : public LocalityAnalysis
         return incremental_.load(std::memory_order_relaxed);
     }
     /// @}
+
+    /**
+     * Snapshot every memoised simulation (checkpoints included),
+     * deterministically sorted by (geometry, set) so identical oracle
+     * states export byte-identical warm-state files.
+     */
+    std::vector<OracleMemoEntry> exportMemo() const;
+
+    /**
+     * Publish @p entries into the memo (keep-the-winner: keys already
+     * memoised are dropped). Checkpoints count against the byte cap
+     * exactly as freshly simulated ones do; entries whose checkpoint
+     * shape does not match the geometry are kept aggregates-only.
+     * Entries must come from an exportMemo() of an oracle of the same
+     * nest — the simulation is deterministic, so imported and
+     * recomputed values coincide.
+     */
+    void importMemo(const std::vector<OracleMemoEntry> &entries);
 
   private:
     /**

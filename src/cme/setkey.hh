@@ -191,6 +191,14 @@ class RatioMemo
 
     std::size_t size() const { return entries_.size(); }
 
+    /** Visit every entry in insertion order (persistence export). */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Entry &entry : entries_)
+            fn(entry.key, entry.value);
+    }
+
   private:
     struct Entry
     {
@@ -274,6 +282,20 @@ class ShardedRatioMemo
             n += shard.memo.size();
         }
         return n;
+    }
+
+    /**
+     * Visit every memoised (key, value) pair, shard by shard under the
+     * shard lock (persistence export; not a hot path). @p fn must not
+     * re-enter this memo.
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.memo.forEach(fn);
+        }
     }
 
   private:

@@ -9,7 +9,20 @@ namespace mvp
 namespace
 {
 LogLevel g_level = LogLevel::Normal;
+
+/** Nesting depth of FatalScope guards on this thread. */
+thread_local int t_fatal_scope_depth = 0;
 } // namespace
+
+FatalScope::FatalScope()
+{
+    ++t_fatal_scope_depth;
+}
+
+FatalScope::~FatalScope()
+{
+    --t_fatal_scope_depth;
+}
 
 LogLevel
 logLevel()
@@ -37,6 +50,8 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (t_fatal_scope_depth > 0)
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::fflush(stderr);
     std::exit(1);

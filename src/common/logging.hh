@@ -14,6 +14,7 @@
 #define MVP_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace mvp
@@ -21,6 +22,33 @@ namespace mvp
 
 /** Verbosity levels for inform(); higher is chattier. */
 enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2, Debug = 3 };
+
+/**
+ * What mvp_fatal() throws while a FatalScope is active on the calling
+ * thread. Carries the composed message (without the file:line suffix
+ * the exiting path prints — the catcher reports context its own way).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard turning mvp_fatal() into a throw of FatalError on this
+ * thread for its lifetime. Long-running servers wrap the handling of
+ * one request in a FatalScope so malformed input — which the parsers
+ * and registries report via mvp_fatal() — rejects that request instead
+ * of killing the process. Nests; panic() is unaffected.
+ */
+class FatalScope
+{
+  public:
+    FatalScope();
+    ~FatalScope();
+    FatalScope(const FatalScope &) = delete;
+    FatalScope &operator=(const FatalScope &) = delete;
+};
 
 /** Process-wide log level; default Normal. */
 LogLevel logLevel();

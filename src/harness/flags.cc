@@ -162,4 +162,36 @@ parseObservabilityFlags(int &argc, char **argv)
     }
 }
 
+bool
+stripBoolFlag(int &argc, char **argv, const std::string &flag)
+{
+    bool seen = false;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (flag == argv[i]) {
+            seen = true;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    return seen;
+}
+
+void
+rejectUnknownFlags(int argc, char **argv,
+                   const std::vector<std::string> &known)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            continue;
+        const std::string bare = arg.substr(0, arg.find('='));
+        std::string list;
+        for (const std::string &k : known)
+            list += (list.empty() ? "" : ", ") + k;
+        mvp_fatal("unknown flag '", bare, "' (known: ", list, ")");
+    }
+}
+
 } // namespace mvp::harness

@@ -32,6 +32,12 @@ std::string stripValueFlag(int &argc, char **argv,
                            const char *value_desc);
 
 /**
+ * Strip every occurrence of the valueless flag @p flag from @p argv,
+ * compacting in place. Returns true when it appeared at least once.
+ */
+bool stripBoolFlag(int &argc, char **argv, const std::string &flag);
+
+/**
  * Parse and strip a `--jobs N` / `--jobs=N` flag. Returns 0 when the
  * flag is absent — the ParallelDriver constructor maps 0 to
  * defaultJobs().
@@ -94,6 +100,17 @@ bool parseLogLevelFlag(int &argc, char **argv);
  * obs::traceFinish), so binaries need no explicit teardown call.
  */
 void parseObservabilityFlags(int &argc, char **argv);
+
+/**
+ * Fatal on any `--flag` still left in argv after a binary has run all
+ * of its parsers, listing the flags it does accept (same shape as the
+ * registries' unknown-name errors). Every parse*Flag helper strips the
+ * flags it consumed from argv, so whatever still looks like a flag is
+ * a typo — `--localty=oracle` must not silently run the default
+ * provider. @p known is the binary's full flag list for the message.
+ */
+void rejectUnknownFlags(int argc, char **argv,
+                        const std::vector<std::string> &known);
 
 } // namespace mvp::harness
 

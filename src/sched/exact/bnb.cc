@@ -6,7 +6,6 @@
 
 #include "common/logging.hh"
 #include "obs/trace.hh"
-#include "sched/exact/memo.hh"
 #include "sched/exact/pressure.hh"
 #include "sched/lifetimes.hh"
 #include "sched/mii.hh"
@@ -20,12 +19,6 @@ namespace
 {
 
 constexpr Cycle NO_BOUND = CYCLE_MAX / 4;
-
-/** Attempt nodes before the dominance memo starts hashing states:
- * easy searches never pay the signature cost, hard ones amortise it
- * over millions of avoided nodes. Node counts are deterministic, so
- * activation is too. */
-constexpr std::int64_t MEMO_ACTIVATION_NODES = 4096;
 
 /** Outcome of one DFS subtree. */
 enum class Walk
@@ -67,12 +60,16 @@ struct BookedComm
  *    the machine model, so every solution has a relabelled twin whose
  *    clusters first appear in DFS order).
  *
- * On top of the enumeration sit three search accelerators (see
- * bnb.hh): the incremental pressure bound, conflict-driven
- * backjumping, and dominance memoization. All three are
- * result-preserving — the minimal II, the lifted lower bound and the
- * best (first minimal-pressure) schedule are identical with each
- * toggled on or off; only the node count shrinks.
+ * On top of the enumeration sit two search accelerators (see
+ * bnb.hh): the incremental pressure bound and conflict-driven
+ * backjumping. Both are result-preserving — the minimal II, the
+ * lifted lower bound and the best (first minimal-pressure) schedule
+ * are identical with each toggled on or off; only the node count
+ * shrinks. (A third accelerator, a dominance memo over canonical
+ * partial-schedule signatures, was retired after the PR-7 counters
+ * proved its hit count structurally zero: candidate windows are ≤ II
+ * wide, so same-depth prefixes always differ in some op's modulo slot
+ * and signatures never collided — see docs/observability.md.)
  */
 class Searcher
 {
@@ -136,8 +133,6 @@ class Searcher
     bool resourcesFit() const;
     bool applyPressure(OpId v, ClusterId c, Cycle t,
                        std::size_t comm_mark);
-    void computeSignature(std::size_t k, std::uint64_t &lo,
-                          std::uint64_t &hi) const;
 
     /**
      * Charge one search node against the budgets; false means the
@@ -315,11 +310,8 @@ class Searcher
 
     /** Search accelerators. */
     PressureTracker pressure_;
-    DominanceMemo memo_;
     std::vector<int> order_pos_;     ///< op -> DFS depth
-    std::vector<int> death_depth_;   ///< depth at which an op goes dead
     bool cbj_ = false;
-    bool memo_on_ = false;
     /**
      * Incremental pressure tracking is maintained only when the
      * tiebreak needs its bound; with the tiebreak off (first feasible
@@ -372,8 +364,6 @@ class Searcher
     std::int64_t dead_leaves_ = 0;       ///< register-overflow leaves
     std::int64_t backjumps_ = 0;         ///< jumps skipping > 1 level
     std::int64_t ii_empty_conf_ = 0;     ///< empty-conflict certificates
-    std::int64_t memo_probes_ = 0;
-    std::int64_t memo_hits_ = 0;
     std::int64_t prune_fu_ = 0;          ///< FU slot already taken
     std::int64_t prune_bus_ = 0;         ///< transfers unbookable
     std::int64_t prune_window_ = 0;      ///< empty dependence window
@@ -572,108 +562,6 @@ Searcher::applyPressure(OpId v, ClusterId c, Cycle t,
     return !(found_ && pressure_.sumMax() >= best_pressure_);
 }
 
-/**
- * Canonical partial-schedule signature for the dominance memo. An op
- * whose graph neighbours are all placed is "dead": nothing the future
- * places can consult its absolute cycle (windows only read live
- * neighbours, its lifetime intervals are final, its transfers are
- * never reused), so it is folded by modulo slot and interval
- * footprint instead — which is what lets prefixes that differ only in
- * a dead op's full-II shift collide. Everything the future *can*
- * observe is folded absolutely: live placements, live interval ends,
- * live transfer starts, and the implied MRT/bus occupancy. Transfers
- * fold order-independently (the undo stack's order is path-dependent,
- * the transfer multiset is not).
- *
- * The modulo reduction of dead state is tied to the pressure tracker:
- * the folded (slot, length) footprints are what keep two colliding
- * prefixes register-equivalent. With the tracker off (first-leaf-wins
- * probes) no footprints exist, yet leaf() still refutes register
- * overflow from the full placed lifetimes — which a dead op's
- * whole-II shift lengthens — so dead placements and transfers must
- * then fold absolutely or the memo would prune feasible subtrees.
- */
-void
-Searcher::computeSignature(std::size_t k, std::uint64_t &lo,
-                           std::uint64_t &hi) const
-{
-    const bool fold_dead = pressure_on_;
-    std::uint64_t a = 0x2545f4914f6cdd1dull;
-    std::uint64_t b = 0x9e3779b97f4a7c15ull;
-    const auto fold = [&](std::uint64_t x) {
-        a = (a ^ x) * 0x100000001b3ull;
-        b ^= x + 0x9e3779b97f4a7c15ull + (b << 6) + (b >> 2);
-    };
-    const auto slot_of = [&](Cycle t) {
-        Cycle m = t % ii_;
-        if (m < 0)
-            m += ii_;
-        return static_cast<std::uint64_t>(m);
-    };
-
-    fold(static_cast<std::uint64_t>(ii_));
-    fold(k);
-    const auto dk = static_cast<int>(k);
-    for (std::size_t d = 0; d < k; ++d) {
-        const auto u = order_[d];
-        const auto &pu = sched_.placed(u);
-        const bool dead =
-            fold_dead && death_depth_[static_cast<std::size_t>(u)] <= dk;
-        fold(dead ? 0x51u : 0x1Du);
-        fold(static_cast<std::uint64_t>(pu.cluster));
-        fold(dead ? slot_of(pu.time)
-                  : static_cast<std::uint64_t>(pu.time));
-        // Lifetime intervals shape subtree outcomes only when the
-        // pressure bound is live; without it they are not tracked and
-        // must not (need not) be folded.
-        if (!pressure_on_)
-            continue;
-        if (const auto *iv = pressure_.localOf(u)) {
-            if (dead) {
-                fold(slot_of(iv->from));
-                fold(static_cast<std::uint64_t>(iv->to - iv->from));
-            } else {
-                fold(static_cast<std::uint64_t>(iv->to));
-            }
-        }
-        for (ClusterId c = 0; c < machine_.nClusters; ++c) {
-            if (const auto *iv = pressure_.remoteOf(u, c)) {
-                fold(0x77u + static_cast<std::uint64_t>(c));
-                if (dead) {
-                    fold(slot_of(iv->from));
-                    fold(static_cast<std::uint64_t>(iv->to - iv->from));
-                } else {
-                    fold(static_cast<std::uint64_t>(iv->from));
-                    fold(static_cast<std::uint64_t>(iv->to));
-                }
-            }
-        }
-    }
-
-    std::uint64_t cx = 0;
-    std::uint64_t cs = 0;
-    for (const BookedComm &bc : booked_) {
-        const bool dead =
-            fold_dead &&
-            death_depth_[static_cast<std::size_t>(bc.producer)] <= dk;
-        std::uint64_t h = 0x100000001b3ull;
-        h = (h ^ static_cast<std::uint64_t>(bc.producer)) *
-            0x100000001b3ull;
-        h = (h ^ static_cast<std::uint64_t>(bc.to)) * 0x100000001b3ull;
-        h = (h ^ (dead ? slot_of(bc.xferStart)
-                       : static_cast<std::uint64_t>(bc.xferStart))) *
-            0x100000001b3ull;
-        h = (h ^ static_cast<std::uint64_t>(bc.bus + 2)) *
-            0x100000001b3ull;
-        cx ^= h;
-        cs += h * 0x9e3779b97f4a7c15ull;
-    }
-    fold(cx);
-    fold(cs);
-    lo = a;
-    hi = b;
-}
-
 Walk
 Searcher::leaf()
 {
@@ -811,27 +699,6 @@ Searcher::dfs(std::size_t k)
 {
     if (k == order_.size())
         return leaf();
-
-    // The memo records certified-infeasible subtrees, so it is only
-    // consulted and fed during refutation (before any schedule is
-    // found); the tiebreak phase never pays the signature cost.
-    std::uint64_t sig_lo = 0;
-    std::uint64_t sig_hi = 0;
-    bool have_sig = false;
-    if (memo_on_ && !found_ && k > 0 &&
-        nodes_ - attempt_start_nodes_ >= MEMO_ACTIVATION_NODES) {
-        computeSignature(k, sig_lo, sig_hi);
-        have_sig = true;
-        ++memo_probes_;
-        if (memo_.contains(sig_lo, sig_hi)) {
-            // An equivalent prefix was exhausted under an incumbent no
-            // better than the current one: nothing new below.
-            ++memo_hits_;
-            if (cbj_)
-                setJump(prefixMask(k), k);
-            return Walk::Continue;
-        }
-    }
 
     const OpId v = order_[k];
     const Cycle lrb = machine_.regBusLatency;
@@ -994,17 +861,13 @@ Searcher::dfs(std::size_t k)
             }
         }
     }
-    // Exhausted cleanly: remember the state (nothing new below it) and
-    // hand the conflict set to the deepest implicated decision. The
-    // candidate windows themselves were carved by this op's placed
-    // neighbours (and the booked transfers commStart consulted), so
-    // those decisions are implicated in the exhaustion even when no
-    // individual candidate cited them — moving one shifts the window
-    // to cycles this enumeration never saw. The !found_ re-check keeps
-    // every stored entry a certified-infeasible subtree even when a
-    // leaf turned up inside this one.
-    if (have_sig && !found_)
-        memo_.insert(sig_lo, sig_hi);
+    // Exhausted cleanly: hand the conflict set to the deepest
+    // implicated decision. The candidate windows themselves were
+    // carved by this op's placed neighbours (and the booked transfers
+    // commStart consulted), so those decisions are implicated in the
+    // exhaustion even when no individual candidate cited them —
+    // moving one shifts the window to cycles this enumeration never
+    // saw.
     if (cbj_)
         setJump(conf | nb_mask_[k] | bookedDepthMask(), k);
     return Walk::Continue;
@@ -1037,8 +900,6 @@ Searcher::foldMetrics(const ScheduleResult &result)
     c("dead_leaves") += dead_leaves_;
     c("backjumps") += backjumps_;
     c("ii_certified_infeasible") += ii_empty_conf_;
-    c("memo_probes") += memo_probes_;
-    c("memo_hits") += memo_hits_;
     c("prune_fu") += prune_fu_;
     c("prune_bus") += prune_bus_;
     c("prune_window") += prune_window_;
@@ -1072,29 +933,11 @@ Searcher::run()
 
     const std::size_t n = order_.size();
     cbj_ = options_.conflictLearning && n <= 64;
-    memo_on_ = options_.dominanceMemo;
     pressure_on_ = options_.tiebreakPressure;
     order_pos_.assign(graph_.size(), 0);
     for (std::size_t d = 0; d < n; ++d)
         order_pos_[static_cast<std::size_t>(order_[d])] =
             static_cast<int>(d);
-    if (memo_on_) {
-        // An op is dead once it and every graph neighbour are placed:
-        // no future window, transfer or lifetime can consult it.
-        death_depth_.assign(graph_.size(), 0);
-        for (std::size_t v = 0; v < graph_.size(); ++v)
-            death_depth_[v] = order_pos_[v] + 1;
-        for (const auto &e : graph_.edges()) {
-            if (e.src == e.dst)
-                continue;
-            auto &ds = death_depth_[static_cast<std::size_t>(e.src)];
-            auto &dd = death_depth_[static_cast<std::size_t>(e.dst)];
-            ds = std::max(
-                ds, order_pos_[static_cast<std::size_t>(e.dst)] + 1);
-            dd = std::max(
-                dd, order_pos_[static_cast<std::size_t>(e.src)] + 1);
-        }
-    }
 
     node_cap_ = options_.nodeBudget > 0;
     if (options_.hasDeadline) {
@@ -1154,7 +997,6 @@ Searcher::run()
                                           machine_.nClusters) *
                                       ir::NUM_FU_TYPES,
                                   0);
-        memo_.reset();
         depth1_counter_ = 0;
         jump_active_ = false;
         attempt_start_nodes_ = nodes_;

@@ -38,9 +38,6 @@
  *    between, and an empty union certifies the whole II infeasible on
  *    the spot (lifted into the iiLowerBound that persists across II
  *    probes);
- *  - dominance memoization (exact/memo.hh): canonical signatures of
- *    partial schedules (dead ops reduced to their modulo footprints)
- *    prune prefixes equivalent to one already exhausted;
  *  - MII = max(ResMII, RecMII) floors the II iteration, per-class FU
  *    counts refute IIs whose reservation table cannot seat every op
  *    before an attempt charges its first node, dependence windows cap
@@ -117,9 +114,6 @@ struct ExactOptions
      * a budget failure — budgetExhausted stays false.
      */
     std::int64_t tiebreakBudget = DEFAULT_TIEBREAK_BUDGET;
-
-    /** Dominance/transposition memoization (exact/memo.hh). */
-    bool dominanceMemo = true;
 
     /** Conflict-driven backjumping (loops of <= 64 ops). */
     bool conflictLearning = true;

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Content-addressed schedule cache.
+ *
+ * The scheduling service memoises whole reply payloads under the
+ * canonical printed form of (options, loop, machine) — see
+ * svc/protocol.hh for the key definition. Because the key is the
+ * *canonical* rendering, textual variants of the same request
+ * (whitespace, comments, block order, option order, redundant
+ * defaults) all address one entry, and a hit returns bytes that are
+ * identical to what the cold computation produced — the warm path is
+ * invisible in the replies.
+ *
+ * Sharded exactly like cme::detail::ShardedRatioMemo: 16 shards
+ * selected by the top hash bits, one mutex each, so concurrent pool
+ * workers rarely contend. Publication is keep-the-winner: when two
+ * workers race the same fresh key, the first insert sticks and the
+ * loser adopts the stored bytes — both computed the same deterministic
+ * payload, so which one wins is unobservable.
+ */
+
+#ifndef MVP_SVC_CACHE_HH
+#define MVP_SVC_CACHE_HH
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/strutil.hh"
+
+namespace mvp::svc
+{
+
+/** Canonical-key -> reply-payload store (thread-safe). */
+class ScheduleCache
+{
+  public:
+    /** Copy the payload stored under @p key into @p out. */
+    bool lookup(const std::string &key, std::string *out) const
+    {
+        const Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto it = shard.map.find(key);
+        if (it == shard.map.end())
+            return false;
+        *out = it->second;
+        return true;
+    }
+
+    /**
+     * Publish @p payload under @p key unless the key is already
+     * present (keep-the-winner). Returns the stored bytes either way,
+     * so racing computers converge on one published reply.
+     */
+    std::string tryInsert(const std::string &key, std::string payload)
+    {
+        Shard &shard = shardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mu);
+        const auto [it, inserted] =
+            shard.map.emplace(key, std::move(payload));
+        return it->second;
+    }
+
+    /** Number of cached replies. */
+    std::size_t size() const
+    {
+        std::size_t n = 0;
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            n += shard.map.size();
+        }
+        return n;
+    }
+
+    /**
+     * Visit every (key, payload) pair, one shard lock at a time (the
+     * persistence writer sorts the snapshot afterwards — shard order
+     * is hash order, not canonical order).
+     */
+    template <typename Fn>
+    void forEach(Fn &&fn) const
+    {
+        for (const Shard &shard : shards_) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            for (const auto &[key, payload] : shard.map)
+                fn(key, payload);
+        }
+    }
+
+  private:
+    static constexpr std::size_t N_SHARDS = 16;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::string, std::string> map;
+    };
+
+    const Shard &shardFor(const std::string &key) const
+    {
+        return shards_[fnv1a(key) >> 60];
+    }
+
+    Shard &shardFor(const std::string &key)
+    {
+        return shards_[fnv1a(key) >> 60];
+    }
+
+    std::array<Shard, N_SHARDS> shards_;
+};
+
+} // namespace mvp::svc
+
+#endif // MVP_SVC_CACHE_HH

@@ -1,0 +1,142 @@
+#include "svc/server.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "svc/session.hh"
+
+namespace mvp::svc
+{
+
+void
+runStdioSession(SchedService &service, std::istream &in,
+                std::ostream &out)
+{
+    ServiceSession session(service);
+    std::string emitted;
+    char buf[1 << 16];
+    while (in) {
+        in.read(buf, sizeof buf);
+        const std::streamsize got = in.gcount();
+        if (got <= 0)
+            break;
+        emitted.clear();
+        const bool open = session.consume(
+            buf, static_cast<std::size_t>(got), emitted);
+        out.write(emitted.data(),
+                  static_cast<std::streamsize>(emitted.size()));
+        out.flush();
+        if (!open)
+            return;
+    }
+    emitted.clear();
+    session.finish(emitted);
+    out.write(emitted.data(),
+              static_cast<std::streamsize>(emitted.size()));
+    out.flush();
+}
+
+namespace
+{
+
+/** One connection: read into the session, write what it emits. */
+void
+serveConnection(SchedService &service, int fd)
+{
+    ServiceSession session(service);
+    std::string emitted;
+    char buf[1 << 16];
+    bool open = true;
+    for (;;) {
+        const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+        if (got <= 0)
+            break;
+        emitted.clear();
+        open = session.consume(buf, static_cast<std::size_t>(got),
+                               emitted);
+        std::size_t sent = 0;
+        while (sent < emitted.size()) {
+            const ssize_t n = ::send(fd, emitted.data() + sent,
+                                     emitted.size() - sent, 0);
+            if (n <= 0) {
+                open = false;
+                break;
+            }
+            sent += static_cast<std::size_t>(n);
+        }
+        if (!open)
+            break;
+    }
+    if (open) {
+        emitted.clear();
+        session.finish(emitted);
+        std::size_t sent = 0;
+        while (sent < emitted.size()) {
+            const ssize_t n = ::send(fd, emitted.data() + sent,
+                                     emitted.size() - sent, 0);
+            if (n <= 0)
+                break;
+            sent += static_cast<std::size_t>(n);
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+runTcpServer(SchedService &service, int port)
+{
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) {
+        mvp_warn("svc: socket() failed");
+        return 1;
+    }
+    const int one = 1;
+    ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(listener, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        mvp_warn("svc: cannot bind 127.0.0.1:", port);
+        ::close(listener);
+        return 1;
+    }
+    if (::listen(listener, 16) != 0) {
+        mvp_warn("svc: listen() failed");
+        ::close(listener);
+        return 1;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listener, reinterpret_cast<sockaddr *>(&bound),
+                  &len);
+    // Announced on stdout so scripted clients can scrape the
+    // kernel-assigned port when --listen 0 was asked for.
+    std::printf("listening on %d\n", ntohs(bound.sin_port));
+    std::fflush(stdout);
+
+    for (;;) {
+        const int fd = ::accept(listener, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::thread(serveConnection, std::ref(service), fd).detach();
+    }
+}
+
+} // namespace mvp::svc

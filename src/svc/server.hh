@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Transports for the scheduling service: a stdio session (framed
+ * protocol on stdin/stdout — the piped/batch mode CI drives) and a
+ * loopback TCP listener (one thread and one ServiceSession per
+ * connection; batches from concurrent connections serialise inside
+ * SchedService, whose cache and loop contexts they share).
+ */
+
+#ifndef MVP_SVC_SERVER_HH
+#define MVP_SVC_SERVER_HH
+
+#include <iosfwd>
+
+#include "svc/service.hh"
+
+namespace mvp::svc
+{
+
+/**
+ * Run one protocol session over @p in / @p out until QUIT or EOF
+ * (output is flushed after every input chunk, so a step-lock client
+ * can converse). Queued requests left at EOF are served.
+ */
+void runStdioSession(SchedService &service, std::istream &in,
+                     std::ostream &out);
+
+/**
+ * Listen on 127.0.0.1:@p port (0 = kernel-assigned; the chosen port
+ * is announced on stdout as `listening on <port>`) and serve
+ * connections until the process dies. Returns a nonzero exit code
+ * only when the socket cannot be set up.
+ */
+int runTcpServer(SchedService &service, int port);
+
+} // namespace mvp::svc
+
+#endif // MVP_SVC_SERVER_HH

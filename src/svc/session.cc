@@ -1,0 +1,209 @@
+#include "svc/session.hh"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace mvp::svc
+{
+namespace
+{
+
+std::vector<std::string>
+splitWords(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() && (s[i] == ' ' || s[i] == '\t'))
+            ++i;
+        std::size_t j = i;
+        while (j < s.size() && s[j] != ' ' && s[j] != '\t')
+            ++j;
+        if (j > i)
+            out.push_back(s.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+bool
+parseSize(const std::string &s, std::size_t *out)
+{
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || s.empty() || v < 0)
+        return false;
+    *out = static_cast<std::size_t>(v);
+    return true;
+}
+
+void
+appendFrame(std::string &out, const std::string &head,
+            const std::string &payload)
+{
+    out += head + " " + std::to_string(payload.size()) + "\n";
+    out += payload;
+    out += "\n";
+}
+
+} // namespace
+
+bool
+ServiceSession::consume(const char *data, std::size_t n,
+                        std::string &out)
+{
+    if (closed_)
+        return false;
+    buffer_.append(data, n);
+    for (;;) {
+        if (closed_) {
+            buffer_.clear();
+            return false;
+        }
+        if (mode_ == Mode::Line) {
+            const std::size_t eol = buffer_.find('\n');
+            if (eol == std::string::npos)
+                break;
+            std::string line = buffer_.substr(0, eol);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            buffer_.erase(0, eol + 1);
+            handleLine(line, out);
+        } else {
+            // Payload plus its terminating newline.
+            if (buffer_.size() < pending_bytes_ + 1)
+                break;
+            if (buffer_[pending_bytes_] != '\n') {
+                protocolError("payload not followed by newline", out);
+                continue;
+            }
+            std::string payload = buffer_.substr(0, pending_bytes_);
+            buffer_.erase(0, pending_bytes_ + 1);
+            mode_ = Mode::Line;
+            handlePayload(payload, out);
+        }
+    }
+    return !closed_;
+}
+
+void
+ServiceSession::finish(std::string &out)
+{
+    if (closed_)
+        return;
+    if (!buffer_.empty())
+        protocolError("input ended mid-frame", out);
+    else
+        flushBatch(out);
+    closed_ = true;
+}
+
+void
+ServiceSession::handleLine(const std::string &line, std::string &out)
+{
+    const std::vector<std::string> words = splitWords(line);
+    if (words.empty())
+        return;   // blank lines between frames are tolerated
+    const std::string &cmd = words[0];
+
+    if (cmd == "REQ") {
+        std::size_t nbytes = 0;
+        if (words.size() != 3 || !parseSize(words[2], &nbytes)) {
+            protocolError("REQ wants 'REQ <id> <nbytes>', got '" +
+                              line + "'",
+                          out);
+            return;
+        }
+        if (nbytes > MAX_FRAME_BYTES) {
+            protocolError("REQ payload of " + words[2] +
+                              " bytes exceeds the frame cap",
+                          out);
+            return;
+        }
+        pending_cmd_ = "REQ";
+        pending_id_ = words[1];
+        pending_bytes_ = nbytes;
+        mode_ = Mode::Payload;
+        return;
+    }
+    if (cmd == "SAVE" || cmd == "LOAD") {
+        std::size_t nbytes = 0;
+        if (words.size() != 2 || !parseSize(words[1], &nbytes) ||
+            nbytes > MAX_FRAME_BYTES) {
+            protocolError(cmd + " wants '" + cmd + " <nbytes>', got '" +
+                              line + "'",
+                          out);
+            return;
+        }
+        pending_cmd_ = cmd;
+        pending_id_.clear();
+        pending_bytes_ = nbytes;
+        mode_ = Mode::Payload;
+        return;
+    }
+    if (cmd == "FLUSH") {
+        flushBatch(out);
+        return;
+    }
+    if (cmd == "STATS") {
+        appendFrame(out, "STATS", svc_.renderStats());
+        return;
+    }
+    if (cmd == "QUIT") {
+        flushBatch(out);
+        out += "BYE\n";
+        closed_ = true;
+        return;
+    }
+    protocolError("unknown command '" + cmd +
+                      "' (known: REQ, FLUSH, STATS, SAVE, LOAD, QUIT)",
+                  out);
+}
+
+void
+ServiceSession::handlePayload(const std::string &payload,
+                              std::string &out)
+{
+    if (pending_cmd_ == "REQ") {
+        Request req =
+            parseRequest(payload, "request '" + pending_id_ + "'");
+        req.id = pending_id_;
+        batch_ids_.push_back(pending_id_);
+        batch_.push_back(std::move(req));
+        return;
+    }
+    // SAVE / LOAD: the payload is a file path, acted on immediately.
+    std::string err;
+    const bool ok = pending_cmd_ == "SAVE"
+                        ? svc_.saveStateFile(payload, &err)
+                        : svc_.loadStateFile(payload, &err);
+    if (ok)
+        out += pending_cmd_ == "SAVE" ? "OK save\n" : "OK load\n";
+    else
+        appendFrame(out, "ERR", err);
+}
+
+void
+ServiceSession::flushBatch(std::string &out)
+{
+    if (batch_.empty())
+        return;
+    std::vector<std::string> ids = std::move(batch_ids_);
+    const auto replies = svc_.processBatch(std::move(batch_));
+    batch_.clear();
+    batch_ids_.clear();
+    for (std::size_t i = 0; i < replies.size(); ++i)
+        appendFrame(out, "REP " + ids[i], replies[i].payload);
+}
+
+void
+ServiceSession::protocolError(const std::string &message,
+                              std::string &out)
+{
+    appendFrame(out, "ERR", message);
+    closed_ = true;
+}
+
+} // namespace mvp::svc

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The service's wire protocol: line-framed commands with length-framed
+ * payloads, transport-agnostic.
+ *
+ * Client -> server, one command per line:
+ *
+ *     REQ <id> <nbytes>\n<payload>\n   queue one request (payload:
+ *                                      svc/protocol.hh grammar)
+ *     FLUSH\n                          serve the queued batch
+ *     STATS\n                          service counters snapshot
+ *     SAVE <nbytes>\n<path>\n          persist warm state to <path>
+ *     LOAD <nbytes>\n<path>\n          load warm state from <path>
+ *     QUIT\n                           flush, say BYE, end the session
+ *
+ * Server -> client:
+ *
+ *     REP <id> <nbytes>\n<payload>\n   one per REQ, in submission
+ *                                      order, after FLUSH
+ *     STATS <nbytes>\n<payload>\n
+ *     OK save\n / OK load\n
+ *     ERR <nbytes>\n<message>\n        SAVE/LOAD failure (session
+ *                                      continues) or a framing error
+ *                                      (session closes — the stream
+ *                                      is desynchronised)
+ *     BYE\n
+ *
+ * A malformed *payload* is not a framing error: it produces a normal
+ * REP whose body is `status error` — ids stay aligned and the server
+ * survives (svc/service.hh error containment). Only an unparseable
+ * frame header closes the session.
+ *
+ * ServiceSession is a pure byte transformer — feed it input chunks of
+ * any size, collect output bytes — so the stdio server, the TCP
+ * server and in-process tests/benches all drive the identical state
+ * machine.
+ */
+
+#ifndef MVP_SVC_SESSION_HH
+#define MVP_SVC_SESSION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "svc/protocol.hh"
+#include "svc/service.hh"
+
+namespace mvp::svc
+{
+
+/** Refuse absurd frames before allocating for them. */
+constexpr std::size_t MAX_FRAME_BYTES = std::size_t(1) << 26;
+
+class ServiceSession
+{
+  public:
+    explicit ServiceSession(SchedService &service) : svc_(service) {}
+
+    /**
+     * Feed @p n input bytes; append whatever the session emits to
+     * @p out. Returns false once the session has closed (QUIT or a
+     * framing error) — further input is ignored.
+     */
+    bool consume(const char *data, std::size_t n, std::string &out);
+
+    /** consume() for strings (tests, benches). */
+    bool consume(const std::string &data, std::string &out)
+    {
+        return consume(data.data(), data.size(), out);
+    }
+
+    /**
+     * End of input without QUIT: serve any queued requests (their
+     * REPs land in @p out) so a piped client that forgot the final
+     * FLUSH still gets its replies.
+     */
+    void finish(std::string &out);
+
+    bool closed() const { return closed_; }
+
+  private:
+    enum class Mode { Line, Payload };
+
+    void handleLine(const std::string &line, std::string &out);
+    void handlePayload(const std::string &payload, std::string &out);
+    void flushBatch(std::string &out);
+    void protocolError(const std::string &message, std::string &out);
+
+    SchedService &svc_;
+    std::string buffer_;
+    Mode mode_ = Mode::Line;
+    bool closed_ = false;
+
+    std::string pending_cmd_;   ///< REQ / SAVE / LOAD awaiting payload
+    std::string pending_id_;
+    std::size_t pending_bytes_ = 0;
+
+    std::vector<Request> batch_;
+    std::vector<std::string> batch_ids_;
+};
+
+} // namespace mvp::svc
+
+#endif // MVP_SVC_SESSION_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Warm-state persistence format of the scheduling service.
+ *
+ * encodeState()/decodeState() live on SchedService (svc/service.hh);
+ * this header only documents the format and pins its version.
+ *
+ * The snapshot is line-oriented text with length-framed raw sections
+ * (no escaping anywhere):
+ *
+ *     mvp-warm-state 1
+ *     cache <count>
+ *     entry <key-bytes> <payload-bytes>
+ *     <key bytes>
+ *     <payload bytes>
+ *     ...
+ *     loops <count>
+ *     loop <text-bytes>
+ *     <canonical loop text>
+ *     providers <count>
+ *     provider <name> cme <entries>
+ *     geom <capacity> <line> <assoc> op <id> set <n> <ids...> \
+ *         value <ratio> <ci>
+ *     ...
+ *     provider <name> oracle <entries>
+ *     geom <capacity> <line> <assoc> set <n> <ids...> points <p> \
+ *         misses <n values> psm <n> <values...> tags <n> <values...>
+ *     ...
+ *     end
+ *
+ * Cache entries are sorted by key, loops by canonical text, providers
+ * by name, memo entries by the export APIs' canonical order — so
+ * identical service states encode byte-identically, and a
+ * save/load/save round trip of the cache section is the identity.
+ * Doubles travel as %.17g (lossless for IEEE doubles).
+ *
+ * Versioning: the leading `mvp-warm-state <version>` line is checked
+ * on load; any mismatch is a hard error rather than a guess — warm
+ * state is a cache, so the recovery from an old snapshot is simply a
+ * cold start. Bump the version whenever a section's shape, order or
+ * meaning changes.
+ */
+
+#ifndef MVP_SVC_STATE_HH
+#define MVP_SVC_STATE_HH
+
+namespace mvp::svc
+{
+
+/** Snapshot format version written and accepted by this build. */
+constexpr int WARM_STATE_VERSION = 1;
+
+} // namespace mvp::svc
+
+#endif // MVP_SVC_STATE_HH

@@ -774,4 +774,45 @@ saveMachineFile(const MachineConfig &cfg, const std::string &path)
     writeFileOrFatal(path, printMachine(cfg));
 }
 
+// -------------------------------------------------------- scenarios
+
+std::string
+printScenario(const ScenarioText &scenario)
+{
+    return printLoop(scenario.loop) + "\n" + printMachine(scenario.machine);
+}
+
+ScenarioText
+parseScenario(const std::string &text, const std::string &origin)
+{
+    Parser parser(text, origin);
+    ScenarioText out;
+    bool have_loop = false;
+    bool have_machine = false;
+    while (!parser.atEnd()) {
+        if (parser.atIdent("loop")) {
+            if (have_loop)
+                parser.fail("a scenario holds exactly one loop block");
+            out.loop = parser.parseLoopBlock();
+            have_loop = true;
+        } else if (parser.atIdent("machine")) {
+            if (have_machine)
+                parser.fail("a scenario holds exactly one machine block");
+            out.machine = parser.parseMachineBlock();
+            have_machine = true;
+        } else if (parser.acceptIdent("suite")) {
+            // Tolerated so loop-file text pastes in unchanged; the
+            // suite name plays no part in scheduling one scenario.
+            (void)parser.expectString("suite name");
+        } else {
+            parser.fail("expected a 'loop' or 'machine' block");
+        }
+    }
+    if (!have_loop)
+        mvp_fatal(origin, ": scenario has no loop block");
+    if (!have_machine)
+        mvp_fatal(origin, ": scenario has no machine block");
+    return out;
+}
+
 } // namespace mvp::text

@@ -95,6 +95,37 @@ void saveMachineFile(const MachineConfig &cfg, const std::string &path);
 
 /// @}
 
+/** @name Scenarios (one loop + one machine in a single text) */
+/// @{
+
+/**
+ * A self-contained scheduling scenario: exactly one loop nest and one
+ * machine configuration. This is the wire payload of the scheduling
+ * service (src/svc/) — the unit a single request describes.
+ */
+struct ScenarioText
+{
+    ir::LoopNest loop;
+    MachineConfig machine;
+};
+
+/**
+ * Canonical rendering: the loop block, a blank line, the machine
+ * block. parseScenario(printScenario(s)) reprints byte-identically —
+ * the service's content-addressed cache keys on this form.
+ */
+std::string printScenario(const ScenarioText &scenario);
+
+/**
+ * Parse one scenario: a `loop` block and a `machine` block in either
+ * order (a `suite` directive is tolerated and ignored). fatal() unless
+ * exactly one of each is present.
+ */
+ScenarioText parseScenario(const std::string &text,
+                           const std::string &origin = "<string>");
+
+/// @}
+
 } // namespace mvp::text
 
 #endif // MVP_TEXT_FORMAT_HH

@@ -100,11 +100,7 @@ TEST_F(ObsTest, DeterministicSectionByteIdenticalAcrossJobCounts)
     }
 
     // The report that was byte-compared must also be substantive:
-    // search, prune, heuristic and pool counters all nonzero. (Not
-    // every counter — exact.memo_hits is legitimately zero: the
-    // fixed placement order and the <= II-wide candidate windows
-    // make two prefixes with equal signatures unreachable, which
-    // this very layer was the first to make visible.)
+    // search, prune, heuristic and pool counters all nonzero.
     const auto counter = [&](const char *name) {
         const std::string needle = std::string("counter ") + name + " = ";
         const std::size_t at = reference.find(needle);

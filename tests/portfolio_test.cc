@@ -30,7 +30,6 @@
 #include "machine/presets.hh"
 #include "sched/backend.hh"
 #include "sched/exact/bnb.hh"
-#include "sched/exact/memo.hh"
 #include "sched/exact/portfolio.hh"
 #include "workloads/workloads.hh"
 
@@ -169,9 +168,11 @@ TEST(ExactEngine, RefutedProbesLiftTheLowerBound)
     EXPECT_GT(lifted, 0);
 }
 
-/** Pruning is invisible in the answer: conflict learning and the
- * dominance memo may only change node counts, never the II, the
- * bound, the certificate or the placements. */
+/** Pruning is invisible in the answer: conflict learning may only
+ * change node counts, never the II, the bound, the certificate or the
+ * placements. (The dominance memo used to ride in this toggle sweep;
+ * it was retired after the PR-7 counters proved its hit count
+ * structurally zero.) */
 TEST(ExactEngine, PruningTogglesNeverChangeTheAnswer)
 {
     const char *names[] = {"tomcatv", "hydro2d", "mgrid"};
@@ -188,37 +189,31 @@ TEST(ExactEngine, PruningTogglesNeverChangeTheAnswer)
                 const auto ref =
                     exact::scheduleExact(graph, machine, base);
                 ASSERT_TRUE(ref.ok) << label;
-                for (int mask = 0; mask < 3; ++mask) {
+                for (const bool learning : {false, true}) {
                     exact::ExactOptions opt;
-                    opt.dominanceMemo = mask & 1;
-                    opt.conflictLearning = mask & 2;
+                    opt.conflictLearning = learning;
                     const auto r =
                         exact::scheduleExact(graph, machine, opt);
                     ASSERT_TRUE(r.ok) << label;
                     EXPECT_EQ(r.schedule.ii(), ref.schedule.ii())
-                        << label << " mask " << mask;
+                        << label << " learning " << learning;
                     EXPECT_EQ(r.stats.iiLowerBound,
                               ref.stats.iiLowerBound)
-                        << label << " mask " << mask;
+                        << label << " learning " << learning;
                     EXPECT_EQ(r.stats.provenOptimal,
                               ref.stats.provenOptimal)
-                        << label << " mask " << mask;
+                        << label << " learning " << learning;
                 }
             }
         }
     }
 }
 
-/** Regression: the memo must stay sound in the portfolio's probe
- * configuration — tiebreakPressure off (first leaf wins), memo on.
- * Without the pressure tracker the signature has no lifetime
- * footprints to fold, yet leaf() still refutes register overflow from
- * the full placed lifetimes, which a dead op's whole-II shift
- * lengthens; folding dead ops by modulo slot there once let a
- * register-starved subtree memo-prune an aliased feasible one,
- * falsely refuting a feasible II. Probe-mode answers must match the
- * memo-off search leaf for leaf. */
-TEST(ExactEngine, DominanceMemoSoundWithoutPressureTiebreak)
+/** Probe configuration (tiebreakPressure off, first feasible leaf
+ * wins) must agree with itself with conflict learning toggled: the
+ * first feasible leaf — not just the II — is identical, which is what
+ * the portfolio's byte-identity contract rides on. */
+TEST(ExactEngine, ProbeModeAnswersAreAcceleratorIndependent)
 {
     for (const auto &wl : workloads::allLoops()) {
         for (int nc : {1, 2, 4}) {
@@ -230,50 +225,12 @@ TEST(ExactEngine, DominanceMemoSoundWithoutPressureTiebreak)
             exact::ExactOptions probe;
             probe.tiebreakPressure = false;
             exact::ExactOptions plain = probe;
-            plain.dominanceMemo = false;
+            plain.conflictLearning = false;
             const auto a = exact::scheduleExact(graph, machine, probe);
             const auto b = exact::scheduleExact(graph, machine, plain);
-            // A sound memo only skips certified-infeasible subtrees,
-            // so the first feasible leaf — not just the II — is
-            // identical with the memo on or off.
             expectSameSchedule(a, b, graph, label);
         }
     }
-}
-
-TEST(DominanceMemo, InsertContainsResetAndGrowth)
-{
-    exact::DominanceMemo memo;
-    EXPECT_EQ(memo.size(), 0u);
-    EXPECT_EQ(memo.capacity(), 0u);
-    EXPECT_FALSE(memo.contains(1, 2));
-
-    memo.insert(1, 2);
-    EXPECT_TRUE(memo.contains(1, 2));
-    EXPECT_FALSE(memo.contains(2, 1));
-    EXPECT_EQ(memo.size(), 1u);
-
-    // Duplicates are no-ops.
-    memo.insert(1, 2);
-    EXPECT_EQ(memo.size(), 1u);
-
-    // The all-zero signature collides with the empty-slot sentinel
-    // and must be remapped, not lost.
-    memo.insert(0, 0);
-    EXPECT_TRUE(memo.contains(0, 0));
-
-    // Push past the initial table to force at least one growth.
-    for (std::uint64_t i = 0; i < 8192; ++i)
-        memo.insert(i * 0x9e3779b97f4a7c15ull, i + 1);
-    for (std::uint64_t i = 0; i < 8192; ++i)
-        EXPECT_TRUE(memo.contains(i * 0x9e3779b97f4a7c15ull, i + 1));
-    EXPECT_GE(memo.capacity(), 8192u);
-
-    memo.reset();
-    EXPECT_EQ(memo.size(), 0u);
-    EXPECT_FALSE(memo.contains(1, 2));
-    // reset() keeps the capacity (it is per-II scratch).
-    EXPECT_GE(memo.capacity(), 8192u);
 }
 
 /** The tiebreak allowance is node-based so its outcome is a pure

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * The scheduling service: cache-key canonicalization, cold/warm byte
+ * identity, warm-state persistence, batch determinism and the framed
+ * protocol session.
+ *
+ *  - Textual request variants (whitespace, comments, block order,
+ *    option order, redundant defaults) produce one canonical key and
+ *    hit one cache entry, with byte-identical replies.
+ *  - A warm service replays cold replies byte for byte, and a service
+ *    rebuilt from encodeState() does the same — including the
+ *    encode(decode(s)) == s round trip of the snapshot itself.
+ *  - Batches are deterministic across --jobs and arrival order.
+ *  - The session survives malformed payloads (error REP, not a dead
+ *    server), keeps REP ids aligned with submission order, and the
+ *    CME/oracle memo export/import APIs round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/flags.hh"
+#include "machine/presets.hh"
+#include "svc/protocol.hh"
+#include "svc/service.hh"
+#include "svc/session.hh"
+#include "text/format.hh"
+#include "workloads/workloads.hh"
+
+namespace mvp::svc
+{
+namespace
+{
+
+/** A small mixed request set: two suites, two machines, rmca. */
+std::vector<std::string>
+samplePayloads()
+{
+    std::vector<std::string> out;
+    for (const char *suite : {"tomcatv", "swim"}) {
+        const auto bench = workloads::benchmarkByName(suite);
+        for (const auto &nest : bench.loops) {
+            for (const auto &machine :
+                 {makeTwoCluster(), makeFourCluster()}) {
+                const text::ScenarioText scenario{nest, machine};
+                out.push_back("config backend rmca\n"
+                              "config threshold 0.25\n\n" +
+                              text::printScenario(scenario));
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<Request>
+parseAll(const std::vector<std::string> &payloads)
+{
+    std::vector<Request> out;
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+        Request req = parseRequest(payloads[i]);
+        req.id = "r" + std::to_string(i);
+        EXPECT_EQ(req.error, "");
+        out.push_back(std::move(req));
+    }
+    return out;
+}
+
+TEST(SvcProtocol, ScenarioPrintParseRoundTrips)
+{
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    const std::string printed = text::printScenario(scenario);
+    const auto reparsed = text::parseScenario(printed, "round-trip");
+    EXPECT_EQ(text::printScenario(reparsed), printed);
+}
+
+/** The canonicalization contract: every textual variant of one
+ * request — comments, whitespace, block order, option order,
+ * redundant defaults, equivalent number spellings — is one key. */
+TEST(SvcProtocol, TextualVariantsShareOneCacheKey)
+{
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    const std::string loop_text = text::printLoop(scenario.loop);
+    const std::string machine_text =
+        text::printMachine(scenario.machine);
+
+    const std::string plain = "config backend rmca\n"
+                              "config threshold 0.25\n\n" +
+                              loop_text + "\n" + machine_text;
+
+    // Comments, blank lines, option order, explicit defaults, the
+    // machine block before the loop block, a trailing-zero threshold.
+    const std::string variant = "# a comment\n"
+                                "\n"
+                                "config threshold 0.250\n"
+                                "config locality cme\n"
+                                "config backend rmca\n"
+                                "config exact-backend exact\n"
+                                "# another comment\n" +
+                                machine_text + "\n# between blocks\n" +
+                                loop_text + "\n";
+
+    const Request a = parseRequest(plain);
+    const Request b = parseRequest(variant);
+    ASSERT_EQ(a.error, "");
+    ASSERT_EQ(b.error, "");
+    EXPECT_EQ(a.key, b.key);
+
+    // And a semantically different request must not collide.
+    const std::string other = "config backend rmca\n"
+                              "config threshold 0.75\n\n" +
+                              loop_text + "\n" + machine_text;
+    const Request c = parseRequest(other);
+    ASSERT_EQ(c.error, "");
+    EXPECT_NE(a.key, c.key);
+}
+
+TEST(SvcProtocol, MalformedPayloadsReportInsteadOfExiting)
+{
+    const Request bad = parseRequest("loop garbage {", "test");
+    EXPECT_NE(bad.error, "");
+    const Request empty = parseRequest("config backend rmca\n");
+    EXPECT_NE(empty.error, "");
+    const Request unknown =
+        parseRequest("config frobnicate 3\nloop \"x\" {\n}\n");
+    EXPECT_NE(unknown.error.find("unknown config key"),
+              std::string::npos);
+}
+
+/** One service, same batch twice: the warm pass is all cache hits and
+ * byte-identical; a canonical variant of a request also hits. */
+TEST(SvcService, WarmRepliesAreByteIdenticalToCold)
+{
+    const auto payloads = samplePayloads();
+    SchedService service(2);
+
+    auto cold = service.processBatch(parseAll(payloads));
+    auto warm = service.processBatch(parseAll(payloads));
+    ASSERT_EQ(cold.size(), warm.size());
+    for (std::size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_FALSE(cold[i].cacheHit) << i;
+        EXPECT_TRUE(warm[i].cacheHit) << i;
+        EXPECT_EQ(cold[i].payload, warm[i].payload) << i;
+    }
+
+    const auto st = service.stats();
+    EXPECT_EQ(st.requests,
+              static_cast<std::int64_t>(2 * payloads.size()));
+    EXPECT_EQ(st.cacheHits,
+              static_cast<std::int64_t>(payloads.size()));
+    EXPECT_EQ(st.cacheEntries,
+              static_cast<std::int64_t>(payloads.size()));
+
+    // A reordered textual variant of request 0 is a hit too.
+    const Request plain = parseRequest(payloads[0]);
+    std::string variant_payload =
+        "# variant\nconfig threshold 0.250\nconfig backend rmca\n" +
+        payloads[0].substr(payloads[0].find("\n\n") + 2);
+    Request variant = parseRequest(variant_payload);
+    ASSERT_EQ(variant.key, plain.key);
+    const auto hit = service.processOne(std::move(variant));
+    EXPECT_TRUE(hit.cacheHit);
+    EXPECT_EQ(hit.payload, cold[0].payload);
+}
+
+/** Replies are a pure function of the request: job counts and arrival
+ * order are invisible in the bytes. */
+TEST(SvcService, BatchesAreDeterministicAcrossJobsAndOrder)
+{
+    const auto payloads = samplePayloads();
+
+    SchedService serial(1);
+    const auto a = serial.processBatch(parseAll(payloads));
+
+    // Same requests, more workers, reversed arrival order.
+    std::vector<std::string> reversed(payloads.rbegin(),
+                                      payloads.rend());
+    SchedService pooled(8);
+    const auto b = pooled.processBatch(parseAll(reversed));
+
+    ASSERT_EQ(a.size(), b.size());
+    const std::size_t n = a.size();
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_EQ(a[i].payload, b[n - 1 - i].payload) << i;
+}
+
+/** Warm-state persistence: a service rebuilt from a snapshot replays
+ * every reply byte-identically from its cache, and the snapshot
+ * itself round-trips (encode(decode(s)) == s). */
+TEST(SvcService, WarmStateRoundTripsAcrossServices)
+{
+    auto payloads = samplePayloads();
+    // Add an oracle-provider request so the snapshot carries oracle
+    // checkpoints alongside the CME memo.
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    payloads.push_back("config backend rmca\n"
+                       "config locality oracle\n"
+                       "config threshold 0.25\n\n" +
+                       text::printScenario(scenario));
+
+    SchedService first(2);
+    const auto cold = first.processBatch(parseAll(payloads));
+    const std::string snapshot = first.encodeState();
+
+    // Deterministic encoding: same state, same bytes.
+    EXPECT_EQ(first.encodeState(), snapshot);
+
+    SchedService second(2);
+    second.decodeState(snapshot, "test-snapshot");
+    EXPECT_EQ(second.encodeState(), snapshot);
+
+    const auto warm = second.processBatch(parseAll(payloads));
+    ASSERT_EQ(warm.size(), cold.size());
+    for (std::size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_TRUE(warm[i].cacheHit) << i;
+        EXPECT_EQ(warm[i].payload, cold[i].payload) << i;
+    }
+}
+
+TEST(SvcService, DecodeRejectsVersionSkewInsideFatalScope)
+{
+    SchedService service(1);
+    FatalScope guard;
+    EXPECT_THROW(
+        service.decodeState("mvp-warm-state 999\ncache 0\nloops 0\nend\n",
+                            "skewed"),
+        FatalError);
+    EXPECT_THROW(service.decodeState("not a snapshot", "garbage"),
+                 FatalError);
+}
+
+/** The framed protocol: byte-at-a-time feeding, malformed payloads
+ * answered with error REPs (ids aligned, session alive), STATS, QUIT. */
+TEST(SvcSession, ChunkedFramesMalformedPayloadsAndQuit)
+{
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    const std::string good = "config backend rmca\n"
+                             "config threshold 0.25\n\n" +
+                             text::printScenario(scenario);
+    const std::string bad = "loop garbage {";
+
+    std::string stream;
+    stream += "REQ good " + std::to_string(good.size()) + "\n" + good +
+              "\n";
+    stream += "REQ bad " + std::to_string(bad.size()) + "\n" + bad +
+              "\n";
+    stream += "FLUSH\n";
+    stream += "STATS\n";
+    stream += "QUIT\n";
+
+    SchedService service(2);
+    ServiceSession session(service);
+    std::string out;
+    bool open = true;
+    for (const char c : stream)
+        open = session.consume(&c, 1, out);
+    EXPECT_FALSE(open);
+    EXPECT_TRUE(session.closed());
+
+    // Two REPs in submission order, then STATS, then BYE.
+    ASSERT_EQ(out.compare(0, 9, "REP good "), 0) << out.substr(0, 40);
+    const std::size_t bad_at = out.find("REP bad ");
+    ASSERT_NE(bad_at, std::string::npos);
+    const std::size_t err_at = out.find("status error", bad_at);
+    EXPECT_NE(err_at, std::string::npos);
+    EXPECT_NE(out.find("\nSTATS "), std::string::npos);
+    EXPECT_EQ(out.compare(out.size() - 4, 4, "BYE\n"), 0);
+
+    // The good reply matches a direct computation of the same
+    // request.
+    const auto direct = SchedService(1).processOne(parseRequest(good));
+    const std::size_t head_end = out.find('\n');
+    const std::size_t nbytes = static_cast<std::size_t>(
+        std::atoll(out.c_str() + 9));
+    EXPECT_EQ(out.substr(head_end + 1, nbytes), direct.payload);
+}
+
+TEST(SvcSession, FramingErrorsCloseTheSession)
+{
+    SchedService service(1);
+    ServiceSession session(service);
+    std::string out;
+    EXPECT_FALSE(session.consume(std::string("NONSENSE 3\n"), out));
+    EXPECT_NE(out.find("unknown command"), std::string::npos);
+    // Input after close is ignored.
+    out.clear();
+    EXPECT_FALSE(session.consume(std::string("STATS\n"), out));
+    EXPECT_EQ(out, "");
+}
+
+TEST(SvcFlags, UnknownFlagsAreFatalWithTheKnownList)
+{
+    const char *argv_c[] = {"prog", "--localty=oracle"};
+    char **argv = const_cast<char **>(argv_c);
+    EXPECT_EXIT(harness::rejectUnknownFlags(2, argv,
+                                            {"--jobs", "--locality"}),
+                testing::ExitedWithCode(1),
+                "unknown flag '--localty'");
+}
+
+} // namespace
+} // namespace mvp::svc
