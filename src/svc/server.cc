@@ -1,5 +1,6 @@
 #include "svc/server.hh"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -50,6 +51,30 @@ runStdioSession(SchedService &service, std::istream &in,
 namespace
 {
 
+/**
+ * Write all of @p data to @p fd, restarting on EINTR and looping on
+ * short writes (a blocking send may still transfer fewer bytes than
+ * asked when a signal lands mid-copy). Returns false once the peer is
+ * gone.
+ */
+bool
+sendAll(int fd, const char *data, std::size_t n)
+{
+    std::size_t sent = 0;
+    while (sent < n) {
+        const ssize_t got = ::send(fd, data + sent, n - sent, 0);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false;
+        sent += static_cast<std::size_t>(got);
+    }
+    return true;
+}
+
 /** One connection: read into the session, write what it emits. */
 void
 serveConnection(SchedService &service, int fd)
@@ -60,35 +85,22 @@ serveConnection(SchedService &service, int fd)
     bool open = true;
     for (;;) {
         const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+        if (got < 0 && errno == EINTR)
+            continue;
         if (got <= 0)
             break;
         emitted.clear();
         open = session.consume(buf, static_cast<std::size_t>(got),
                                emitted);
-        std::size_t sent = 0;
-        while (sent < emitted.size()) {
-            const ssize_t n = ::send(fd, emitted.data() + sent,
-                                     emitted.size() - sent, 0);
-            if (n <= 0) {
-                open = false;
-                break;
-            }
-            sent += static_cast<std::size_t>(n);
-        }
+        if (!sendAll(fd, emitted.data(), emitted.size()))
+            open = false;
         if (!open)
             break;
     }
     if (open) {
         emitted.clear();
         session.finish(emitted);
-        std::size_t sent = 0;
-        while (sent < emitted.size()) {
-            const ssize_t n = ::send(fd, emitted.data() + sent,
-                                     emitted.size() - sent, 0);
-            if (n <= 0)
-                break;
-            sent += static_cast<std::size_t>(n);
-        }
+        sendAll(fd, emitted.data(), emitted.size());
     }
     ::close(fd);
 }
