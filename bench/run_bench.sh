@@ -207,7 +207,7 @@ fi
 if [ "$SERVE" = yes ]; then
     echo "service load run (jobs=$JOBS, checked against the offline pipeline) ..."
     "$BUILD_DIR/serve_bench" --jobs "$JOBS" --clients 4 --rounds 3 \
-        --check --gate | tee "$SERVE_TMP"
+        --check --gate --sessions 1,2,4,8 | tee "$SERVE_TMP"
 fi
 
 python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" "$METRICS_TMP" \
@@ -322,17 +322,21 @@ if fuzz:
     fresh["fuzz_sweep"] = fuzz
 
 # The scheduling-service section: serve_bench's summary line —
-# sustained schedules/sec cold vs warm, the gated speedup, cache hit
-# rate, request-latency percentiles and the reply fingerprint
-# (preserved across runs that skip --serve).
+# sustained schedules/sec cold vs warm, the gated speedup, canonical
+# and raw-lane hit rates, warm-only request-latency percentiles, the
+# per-round/per-phase latency split, the --sessions scaling sweep and
+# the reply fingerprint (preserved across runs that skip --serve).
 service = prev.get("service", {})
 try:
     with open(serve_path) as f:
-        serve_lines = [l.split() for l in f if l.startswith("serve ")]
+        raw_serve = [l.split() for l in f if l.startswith("serve")]
 except OSError:
-    serve_lines = []
+    raw_serve = []
+serve_lines = [l[1:] for l in raw_serve if l and l[0] == "serve"]
+phase_lines = [l[1:] for l in raw_serve if l and l[0] == "serve_phase"]
+scale_lines = [l[1:] for l in raw_serve if l and l[0] == "serve_scale"]
 for fields in serve_lines:
-    kv = dict(field.split("=", 1) for field in fields[1:])
+    kv = dict(field.split("=", 1) for field in fields)
     service = {
         "jobs": int(kv["jobs"]),
         "clients": int(kv["clients"]),
@@ -342,10 +346,33 @@ for fields in serve_lines:
         "warm_schedules_per_s": float(kv["warm_sps"]),
         "warm_speedup": float(kv["speedup"]),
         "cache_hit_rate": float(kv["hit_rate"]),
+        "raw_lane_hit_rate": float(kv["raw_hit_rate"]),
         "latency_p50_us": float(kv["p50_us"]),
         "latency_p99_us": float(kv["p99_us"]),
+        "warm_latency_p50_us": float(kv["warm_p50_us"]),
+        "warm_latency_p99_us": float(kv["warm_p99_us"]),
         "fingerprint": kv["fingerprint"],
     }
+if serve_lines:
+    phases = {}
+    for fields in phase_lines:
+        kv = dict(field.split("=", 1) for field in fields)
+        phases["%s_%s" % (kv["round"], kv["phase"])] = {
+            "p50_us": float(kv["p50_us"]),
+            "p99_us": float(kv["p99_us"]),
+            "mean_us": float(kv["mean_us"]),
+        }
+    if phases:
+        service["phases"] = phases
+    scaling = {}
+    for fields in scale_lines:
+        kv = dict(field.split("=", 1) for field in fields)
+        scaling["sessions_%s" % kv["sessions"]] = {
+            "warm_schedules_per_s": float(kv["warm_sps"]),
+            "p99_us": float(kv["p99_us"]),
+        }
+    if scaling:
+        service["scaling"] = scaling
 if service:
     fresh["service"] = service
 

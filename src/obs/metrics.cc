@@ -166,6 +166,37 @@ Registry::reset()
 }
 
 void
+foldRtCounter(const std::string &name, std::int64_t delta)
+{
+    if (!metricsOn())
+        return;
+    MetricShard shard;
+    shard.rt(name) += delta;
+    Registry::instance().fold(shard);
+}
+
+void
+foldRtMax(const std::string &name, std::int64_t v)
+{
+    if (!metricsOn())
+        return;
+    MetricShard shard;
+    shard.rtMax(name, v);
+    Registry::instance().fold(shard);
+}
+
+void
+foldRtHist(const std::string &name, double lo, double hi,
+           std::size_t buckets, double sample)
+{
+    if (!metricsOn())
+        return;
+    MetricShard shard;
+    shard.rtHist(name, lo, hi, buckets).add(sample);
+    Registry::instance().fold(shard);
+}
+
+void
 Registry::fold(MetricShard &shard)
 {
     if (shard.empty())

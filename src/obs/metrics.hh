@@ -188,6 +188,29 @@ class Registry
     MetricShard total_;
 };
 
+/** @name One-shot folds
+ * For code that records a metric outside any SchedContext — the
+ * service's session/reactor layers, snapshot SAVE/LOAD — where
+ * building and folding a whole MetricShard per event is noise. All
+ * are no-ops (one relaxed load) when the registry is disabled, and
+ * take the registry mutex once when it is on; hot loops that fire
+ * many times per item should still batch into a MetricShard.
+ */
+/// @{
+
+/** Add @p delta to the runtime counter @p name. */
+void foldRtCounter(const std::string &name, std::int64_t delta);
+
+/** Max-merge @p v into the runtime gauge @p name. */
+void foldRtMax(const std::string &name, std::int64_t v);
+
+/** Record @p sample into the runtime histogram @p name (created with
+ * the given binning on first use; later binnings must match). */
+void foldRtHist(const std::string &name, double lo, double hi,
+                std::size_t buckets, double sample);
+
+/// @}
+
 /**
  * Flag-level session: remember where `--metrics[=<file>]` wants the
  * report and enable the registry. Empty @p path = text report on

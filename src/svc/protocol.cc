@@ -184,6 +184,7 @@ parseRequest(const std::string &payload, const std::string &origin)
         }
     }
 
+    req.raw = payload;
     req.loopKey = text::printLoop(req.scenario.loop);
     req.machineKey = text::printMachine(req.scenario.machine);
     req.key = canonicalOptionsText(req.options) + "\n" + req.loopKey +

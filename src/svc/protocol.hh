@@ -69,6 +69,14 @@ struct Request
     RequestOptions options;
     text::ScenarioText scenario;
 
+    /**
+     * The verbatim payload bytes as they arrived (empty on parse
+     * error). After the reply is published under the canonical key,
+     * the service also publishes raw -> reply in the zero-parse lane
+     * so the next byte-identical payload skips parsing entirely.
+     */
+    std::string raw;
+
     /** Canonical cache key (empty on parse error). */
     std::string key;
 

@@ -62,7 +62,8 @@ SchedService::LoopContext::localityFor(const std::string &name)
 }
 
 SchedService::SchedService(int jobs)
-    : driver_(jobs), latency_us_(LAT_LO, LAT_HI, LAT_BUCKETS)
+    : driver_(jobs), latency_us_(LAT_LO, LAT_HI, LAT_BUCKETS),
+      flush_us_(LAT_LO, LAT_HI, LAT_BUCKETS)
 {
 }
 
@@ -79,6 +80,34 @@ SchedService::contextFor(const std::string &loopKey,
                  .emplace(loopKey, std::make_unique<LoopContext>(nest))
                  .first;
     return *it->second;
+}
+
+ReplyBytes
+SchedService::rawProbe(const std::string &rawPayload)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ReplyBytes stored = raw_.lookup(rawPayload);
+    if (stored == nullptr) {
+        obs::foldRtCounter("svc.rawlane.misses", 1);
+        return nullptr;
+    }
+    const double us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        requests_ += 1;
+        hits_ += 1;
+        raw_hits_ += 1;
+        latency_us_.add(us);
+    }
+    if (obs::metricsOn()) {
+        obs::foldRtCounter("svc.rawlane.hits", 1);
+        obs::foldRtHist("svc.rawlane.probe_us", LAT_LO, LAT_HI, 500,
+                        us);
+    }
+    return stored;
 }
 
 std::vector<SchedService::Reply>
@@ -98,6 +127,8 @@ SchedService::processBatch(std::vector<Request> &&requests)
         obs::MetricShard shard;
         shard.rtMax("svc.cache_entries",
                     static_cast<std::int64_t>(cache_.size()));
+        shard.rtMax("svc.rawlane.entries",
+                    static_cast<std::int64_t>(raw_.size()));
         {
             std::lock_guard<std::mutex> lock(ctx_mu_);
             shard.rtMax("svc.loop_contexts",
@@ -123,13 +154,24 @@ SchedService::serveOne(Request &request, sched::SchedContext &ctx)
     Reply out;
 
     if (!request.error.empty()) {
-        out.payload = renderErrorReply(request.error);
+        // Parse-error replies quote the frame id (the parse origin),
+        // so they are not pure functions of the payload bytes — they
+        // stay out of both cache lanes.
+        out.payload =
+            std::make_shared<const std::string>(renderErrorReply(
+                request.error));
         noteRequest(start, false, true, ctx);
         return out;
     }
 
-    if (cache_.lookup(request.key, &out.payload)) {
+    if (ReplyBytes stored = cache_.lookup(request.key)) {
+        out.payload = std::move(stored);
         out.cacheHit = true;
+        // The canonical entry existed but this raw spelling missed:
+        // teach the zero-parse lane so the next byte-identical
+        // payload skips the parser too.
+        if (!request.raw.empty())
+            raw_.publish(request.raw, out.payload);
         noteRequest(start, true, false, ctx);
         return out;
     }
@@ -195,11 +237,38 @@ SchedService::serveOne(Request &request, sched::SchedContext &ctx)
         }
     }
 
-    if (cacheable)
-        payload = cache_.tryInsert(request.key, std::move(payload));
-    out.payload = std::move(payload);
+    if (cacheable) {
+        out.payload = cache_.tryInsert(request.key, std::move(payload));
+        // Alias the *published* entry (ours or the racing winner's)
+        // under the verbatim bytes: raw hits are byte-identical to
+        // canonical hits by construction.
+        if (!request.raw.empty())
+            raw_.publish(request.raw, out.payload);
+    } else {
+        out.payload =
+            std::make_shared<const std::string>(std::move(payload));
+    }
     noteRequest(start, false, is_error, ctx);
     return out;
+}
+
+void
+SchedService::noteFlush(std::size_t frames, std::size_t bytes,
+                        double us)
+{
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        flush_us_.add(us);
+    }
+    if (obs::metricsOn()) {
+        obs::MetricShard shard;
+        shard.rt("svc.flush.bursts") += 1;
+        shard.rt("svc.flush.frames") +=
+            static_cast<std::int64_t>(frames);
+        shard.rt("svc.flush.bytes") += static_cast<std::int64_t>(bytes);
+        shard.rtHist("svc.flush.us", LAT_LO, LAT_HI, 500).add(us);
+        obs::Registry::instance().fold(shard);
+    }
 }
 
 void
@@ -241,6 +310,7 @@ SchedService::stats() const
         out.requests = requests_;
         out.cacheHits = hits_;
         out.cacheMisses = misses_;
+        out.rawHits = raw_hits_;
         out.errors = errors_;
         out.batches = batches_;
         out.latencyP50Us = latency_us_.percentile(50.0);
@@ -248,6 +318,7 @@ SchedService::stats() const
         out.latencyMeanUs = latency_us_.mean();
     }
     out.cacheEntries = static_cast<std::int64_t>(cache_.size());
+    out.rawEntries = static_cast<std::int64_t>(raw_.size());
     {
         std::lock_guard<std::mutex> lock(ctx_mu_);
         out.loopContexts = static_cast<std::int64_t>(contexts_.size());
@@ -263,9 +334,11 @@ SchedService::renderStats() const
     out += "requests " + std::to_string(st.requests) + "\n";
     out += "cache-hits " + std::to_string(st.cacheHits) + "\n";
     out += "cache-misses " + std::to_string(st.cacheMisses) + "\n";
+    out += "raw-hits " + std::to_string(st.rawHits) + "\n";
     out += "errors " + std::to_string(st.errors) + "\n";
     out += "batches " + std::to_string(st.batches) + "\n";
     out += "cache-entries " + std::to_string(st.cacheEntries) + "\n";
+    out += "raw-entries " + std::to_string(st.rawEntries) + "\n";
     out += "loop-contexts " + std::to_string(st.loopContexts) + "\n";
     out += "latency-p50-us " + strprintf("%.1f", st.latencyP50Us) +
            "\n";

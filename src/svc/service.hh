@@ -1,7 +1,8 @@
 /**
  * @file
  * The scheduling service: batched requests on the persistent worker
- * pool, fronted by the content-addressed schedule cache.
+ * pool, fronted by the content-addressed schedule cache and the
+ * zero-parse raw-bytes lane.
  *
  * One SchedService owns
  *
@@ -9,7 +10,10 @@
  *    across its pool exactly like sweep items, one SchedContext per
  *    worker (warm scratch across batches);
  *  - a ScheduleCache of reply payloads keyed on the canonical request
- *    form (svc/protocol.hh);
+ *    form (svc/protocol.hh), and a RawReplyLane mapping verbatim
+ *    request payload bytes to the same published reply pointers
+ *    (svc/cache.hh) — a raw hit answers without parsing, printing or
+ *    touching the pool at all;
  *  - per-loop contexts keyed on the canonical loop text: the owned
  *    nest, one StreamCache shared by every analysis of that loop,
  *    lazily-bound locality analyses per provider name, and per-machine
@@ -21,13 +25,21 @@
  * pool's --jobs never show in the bytes — the same guarantees the
  * sweep fingerprints rely on (key-derived sampling seeds,
  * keep-the-winner publication, backends that are deterministic within
- * their budgets). A cache hit replays the stored bytes verbatim, so
- * warm replies are byte-identical to cold ones.
+ * their budgets). A cache hit replays the stored bytes verbatim, and
+ * a raw-lane hit *aliases* the canonical entry's bytes (one shared
+ * pointer, not a copy), so warm replies are byte-identical to cold
+ * ones by construction. Raw entries are published only for replies
+ * that live in the canonical cache; parse errors quote the frame id
+ * and therefore never enter either lane.
  *
  * Warm-state persistence (svc/state.cc): encodeState() snapshots the
  * schedule cache plus every loop's CME/oracle memo through their
- * export APIs; decodeState() republishes them into a fresh service,
- * so a restarted server answers with hot caches from the first batch.
+ * export APIs into the binary v2 format (svc/state.hh); decodeState()
+ * republishes them into a fresh service — it also still accepts the
+ * v1 text format, so old snapshots migrate on first LOAD/SAVE. The
+ * raw lane is not persisted: it repopulates on first
+ * canonicalization, and raw bytes are client-specific spellings with
+ * unbounded variety — the canonical cache is the durable state.
  *
  * Error containment: request payloads are user input, and the repo's
  * registries and parsers fatal on bad input. Every worker wraps the
@@ -66,9 +78,11 @@ struct ServiceStats
     std::int64_t requests = 0;
     std::int64_t cacheHits = 0;
     std::int64_t cacheMisses = 0;
+    std::int64_t rawHits = 0;
     std::int64_t errors = 0;
     std::int64_t batches = 0;
     std::int64_t cacheEntries = 0;
+    std::int64_t rawEntries = 0;
     std::int64_t loopContexts = 0;
     double latencyP50Us = 0.0;
     double latencyP99Us = 0.0;
@@ -90,9 +104,22 @@ class SchedService
     /** One served request. */
     struct Reply
     {
-        std::string payload;
+        /** The reply bytes (shared with the cache lanes on warm
+         * paths — never copied per request). */
+        ReplyBytes payload;
         bool cacheHit = false;
+        bool rawHit = false;
+
+        const std::string &bytes() const { return *payload; }
     };
+
+    /**
+     * The zero-parse warm lane: answer @p rawPayload from the
+     * raw-bytes cache without parsing it. Returns nullptr on a miss
+     * (the caller then parses and batches as usual). A hit is counted
+     * as a request + cache hit in the service stats.
+     */
+    ReplyBytes rawProbe(const std::string &rawPayload);
 
     /**
      * Serve a batch: replies land in request order, one per request.
@@ -105,6 +132,13 @@ class SchedService
     /** processBatch of size one. */
     Reply processOne(Request &&request);
 
+    /**
+     * Account one flushed reply burst (frames framed + bytes emitted
+     * + wall time): feeds the svc.flush.* counters and histogram the
+     * sessions/reactor report against.
+     */
+    void noteFlush(std::size_t frames, std::size_t bytes, double us);
+
     ServiceStats stats() const;
 
     /** The STATS payload: `FIELD VALUE` lines, stable order. */
@@ -115,16 +149,26 @@ class SchedService
 
     /**
      * Serialise the schedule cache and every loop context's CME /
-     * oracle memos. Deterministic: identical service state encodes to
-     * identical bytes (all sections sorted canonically).
+     * oracle memos as a binary v2 snapshot (svc/state.hh).
+     * Deterministic: identical service state encodes to identical
+     * bytes (all sections sorted canonically), and
+     * encode(decode(s)) == s.
      */
     std::string encodeState() const;
+
+    /** The legacy v1 text encoding (svc/state.hh). Kept for the
+     * text -> binary migration tests and for producing snapshots old
+     * builds can read; new snapshots should be encodeState(). */
+    std::string encodeStateTextV1() const;
 
     /**
      * Republish a previous encodeState() snapshot into this service
      * (keep-the-winner everywhere, so loading into a non-empty
-     * service is safe). fatal() on a malformed or version-mismatched
-     * snapshot — callers serving user input wrap this in FatalScope.
+     * service is safe). Accepts the binary v2 format and the v1 text
+     * format; any other version is rejected whole — v2 decoding
+     * stages the entire snapshot in memory before publishing a single
+     * entry. fatal() on a malformed or version-mismatched snapshot —
+     * callers serving user input wrap this in FatalScope.
      */
     void decodeState(const std::string &bytes,
                      const std::string &origin = "<state>");
@@ -179,6 +223,7 @@ class SchedService
 
     harness::ParallelDriver driver_;
     ScheduleCache cache_;
+    RawReplyLane raw_;
 
     mutable std::mutex ctx_mu_;   ///< guards contexts_
     std::map<std::string, std::unique_ptr<LoopContext>> contexts_;
@@ -189,9 +234,11 @@ class SchedService
     std::int64_t requests_ = 0;
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
+    std::int64_t raw_hits_ = 0;
     std::int64_t errors_ = 0;
     std::int64_t batches_ = 0;
     Histogram latency_us_;
+    Histogram flush_us_;
 };
 
 } // namespace mvp::svc

@@ -1,5 +1,6 @@
 #include "svc/session.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <utility>
 
@@ -82,7 +83,7 @@ ServiceSession::consume(const char *data, std::size_t n,
             std::string payload = buffer_.substr(0, pending_bytes_);
             buffer_.erase(0, pending_bytes_ + 1);
             mode_ = Mode::Line;
-            handlePayload(payload, out);
+            handlePayload(std::move(payload), out);
         }
     }
     return !closed_;
@@ -163,15 +164,19 @@ ServiceSession::handleLine(const std::string &line, std::string &out)
 }
 
 void
-ServiceSession::handlePayload(const std::string &payload,
-                              std::string &out)
+ServiceSession::handlePayload(std::string &&payload, std::string &out)
 {
     if (pending_cmd_ == "REQ") {
-        Request req =
-            parseRequest(payload, "request '" + pending_id_ + "'");
-        req.id = pending_id_;
-        batch_ids_.push_back(pending_id_);
-        batch_.push_back(std::move(req));
+        PendingReq p;
+        p.id = std::move(pending_id_);
+        // The zero-parse lane: byte-identical repeats resolve here,
+        // before the parser ever sees the payload.
+        p.resolved = svc_.rawProbe(payload);
+        if (p.resolved == nullptr) {
+            p.parsed = parseRequest(payload, "request '" + p.id + "'");
+            p.parsed.id = p.id;
+        }
+        pending_.push_back(std::move(p));
         return;
     }
     // SAVE / LOAD: the payload is a file path, acted on immediately.
@@ -188,14 +193,49 @@ ServiceSession::handlePayload(const std::string &payload,
 void
 ServiceSession::flushBatch(std::string &out)
 {
-    if (batch_.empty())
+    if (pending_.empty())
         return;
-    std::vector<std::string> ids = std::move(batch_ids_);
-    const auto replies = svc_.processBatch(std::move(batch_));
-    batch_.clear();
-    batch_ids_.clear();
-    for (std::size_t i = 0; i < replies.size(); ++i)
-        appendFrame(out, "REP " + ids[i], replies[i].payload);
+
+    // Serve only the frames the raw lane didn't already resolve; the
+    // replies land back into their submission slots.
+    std::vector<Request> todo;
+    std::vector<std::size_t> slots;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+        if (pending_[i].resolved != nullptr)
+            continue;
+        slots.push_back(i);
+        todo.push_back(std::move(pending_[i].parsed));
+    }
+    if (!todo.empty()) {
+        auto replies = svc_.processBatch(std::move(todo));
+        for (std::size_t j = 0; j < replies.size(); ++j)
+            pending_[slots[j]].resolved =
+                std::move(replies[j].payload);
+    }
+
+    // Emit every REP in submission order. One reserve covers the
+    // whole burst; the frame heads are appended piecewise so no
+    // per-frame temporaries are allocated.
+    const auto emit_start = std::chrono::steady_clock::now();
+    const std::size_t before = out.size();
+    std::size_t want = 0;
+    for (const PendingReq &p : pending_)
+        want += p.id.size() + p.resolved->size() + 32;
+    out.reserve(before + want);
+    for (const PendingReq &p : pending_) {
+        out += "REP ";
+        out += p.id;
+        out += ' ';
+        out += std::to_string(p.resolved->size());
+        out += '\n';
+        out += *p.resolved;
+        out += '\n';
+    }
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - emit_start)
+                          .count();
+    svc_.noteFlush(pending_.size(), out.size() - before, us);
+    pending_.clear();
 }
 
 void

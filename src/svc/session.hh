@@ -32,8 +32,16 @@
  *
  * ServiceSession is a pure byte transformer — feed it input chunks of
  * any size, collect output bytes — so the stdio server, the TCP
- * server and in-process tests/benches all drive the identical state
+ * reactor and in-process tests/benches all drive the identical state
  * machine.
+ *
+ * Zero-parse warm lane: a REQ payload is first probed byte-for-byte
+ * against the service's raw reply lane (svc/cache.hh). A hit resolves
+ * the frame immediately — no parsing, no canonical printing, no trip
+ * through the worker pool — and its REP is emitted at the next FLUSH
+ * in submission order, interleaved correctly with cold frames from
+ * the same batch. Because raw entries alias the canonical cache's
+ * reply bytes, the warm reply is byte-identical to the cold one.
  */
 
 #ifndef MVP_SVC_SESSION_HH
@@ -82,8 +90,17 @@ class ServiceSession
   private:
     enum class Mode { Line, Payload };
 
+    /** One queued REQ frame: either already resolved from the raw
+     * lane (no parse happened) or parsed and awaiting the batch. */
+    struct PendingReq
+    {
+        std::string id;
+        ReplyBytes resolved;   ///< nullptr until served
+        Request parsed;        ///< meaningful only while !resolved
+    };
+
     void handleLine(const std::string &line, std::string &out);
-    void handlePayload(const std::string &payload, std::string &out);
+    void handlePayload(std::string &&payload, std::string &out);
     void flushBatch(std::string &out);
     void protocolError(const std::string &message, std::string &out);
 
@@ -96,8 +113,7 @@ class ServiceSession
     std::string pending_id_;
     std::size_t pending_bytes_ = 0;
 
-    std::vector<Request> batch_;
-    std::vector<std::string> batch_ids_;
+    std::vector<PendingReq> pending_;
 };
 
 } // namespace mvp::svc

@@ -1,43 +1,58 @@
 /**
  * @file
- * Warm-state persistence format of the scheduling service.
+ * Warm-state persistence formats of the scheduling service.
  *
  * encodeState()/decodeState() live on SchedService (svc/service.hh);
- * this header only documents the format and pins its version.
+ * this header documents the formats and pins their versions.
  *
- * The snapshot is line-oriented text with length-framed raw sections
- * (no escaping anywhere):
+ * ## Binary v2 (written by encodeState(), the current format)
  *
- *     mvp-warm-state 1
- *     cache <count>
- *     entry <key-bytes> <payload-bytes>
- *     <key bytes>
- *     <payload bytes>
- *     ...
- *     loops <count>
- *     loop <text-bytes>
- *     <canonical loop text>
- *     providers <count>
- *     provider <name> cme <entries>
- *     geom <capacity> <line> <assoc> op <id> set <n> <ids...> \
- *         value <ratio> <ci>
- *     ...
- *     provider <name> oracle <entries>
- *     geom <capacity> <line> <assoc> set <n> <ids...> points <p> \
- *         misses <n values> psm <n> <values...> tags <n> <values...>
- *     ...
- *     end
+ * Fixed-width little-endian throughout; doubles travel as their IEEE
+ * bit pattern (lossless by construction), byte strings as a u64
+ * length followed by the raw bytes (no escaping). Layout:
+ *
+ *     magic      8 bytes  "mvpwarmb"
+ *     version    u32      2
+ *     nsections  u32
+ *     table      nsections x { tag u32, len u64 }
+ *     bodies     the section bodies, in table order
+ *
+ * Section tags:
+ *
+ *     1  cache   u64 count, then count x { key blob, payload blob }
+ *                — the schedule cache, sorted by key
+ *     2  loops   u64 count, then per loop:
+ *                  text blob                 canonical loop text
+ *                  u64 nproviders, each:
+ *                    kind u32                1 = cme ratio memo,
+ *                                            2 = oracle checkpoints
+ *                    name blob               registry provider name
+ *                    u64 nentries, then the fixed-width entry
+ *                    records (svc/state.cc)
  *
  * Cache entries are sorted by key, loops by canonical text, providers
  * by name, memo entries by the export APIs' canonical order — so
- * identical service states encode byte-identically, and a
- * save/load/save round trip of the cache section is the identity.
- * Doubles travel as %.17g (lossless for IEEE doubles).
+ * identical service states encode byte-identically and
+ * encode(decode(s)) == s. Decoding stages the *entire* snapshot in
+ * memory before publishing a single entry: a version mismatch, an
+ * unknown section/provider tag or any truncation rejects the whole
+ * snapshot and leaves the service untouched. Publication itself is
+ * keep-the-winner everywhere, so LOAD into a non-empty service merges.
  *
- * Versioning: the leading `mvp-warm-state <version>` line is checked
- * on load; any mismatch is a hard error rather than a guess — warm
- * state is a cache, so the recovery from an old snapshot is simply a
- * cold start. Bump the version whenever a section's shape, order or
+ * ## Text v1 (legacy, still accepted by decodeState())
+ *
+ * Line-oriented text with length-framed raw sections, starting
+ * `mvp-warm-state 1`; the shape is kept in svc/state.cc
+ * (encodeStateTextV1). Old snapshots load transparently and become
+ * binary on their next SAVE — that is the whole migration path. SAVE
+ * and LOAD of v2 are O(bytes) instead of O(parse): no number
+ * formatting, no tokenising, one length-checked memcpy per field.
+ *
+ * Versioning: the magic + version (binary) or leading version line
+ * (text) is checked before anything else; any mismatch is a hard
+ * error rather than a guess — warm state is a cache, so the recovery
+ * from an unreadable snapshot is simply a cold start. Bump
+ * WARM_STATE_VERSION_BINARY whenever a section's shape, order or
  * meaning changes.
  */
 
@@ -47,8 +62,15 @@
 namespace mvp::svc
 {
 
-/** Snapshot format version written and accepted by this build. */
+/** Text (v1) snapshot version still accepted on load. */
 constexpr int WARM_STATE_VERSION = 1;
+
+/** Binary snapshot version written and accepted by this build. */
+constexpr int WARM_STATE_VERSION_BINARY = 2;
+
+/** The 8-byte magic that opens a binary snapshot. */
+inline constexpr char WARM_STATE_MAGIC[8] = {'m', 'v', 'p', 'w',
+                                             'a', 'r', 'm', 'b'};
 
 } // namespace mvp::svc
 

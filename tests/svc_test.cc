@@ -7,29 +7,48 @@
  *  - Textual request variants (whitespace, comments, block order,
  *    option order, redundant defaults) produce one canonical key and
  *    hit one cache entry, with byte-identical replies.
+ *  - The zero-parse raw lane aliases canonical entries: byte-repeat
+ *    payloads resolve without parsing, textual variants fall through
+ *    to the canonical key and then prime their own raw entry, error
+ *    replies never enter either lane, and a raw hit after FLUSH is
+ *    byte-identical to the cold reply.
  *  - A warm service replays cold replies byte for byte, and a service
  *    rebuilt from encodeState() does the same — including the
- *    encode(decode(s)) == s round trip of the snapshot itself.
+ *    encode(decode(s)) == s round trip of the binary v2 snapshot,
+ *    whole-snapshot rejection of version skew and truncation, the
+ *    text-v1 -> binary-v2 migration path and merge-on-LOAD.
  *  - Batches are deterministic across --jobs and arrival order.
  *  - The session survives malformed payloads (error REP, not a dead
  *    server), keeps REP ids aligned with submission order, and the
  *    CME/oracle memo export/import APIs round-trip.
+ *  - The TCP reactor serves interleaved connections whose frames
+ *    arrive in tiny chunks split across reads (run under TSan in CI).
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include "common/logging.hh"
 #include "harness/flags.hh"
 #include "machine/presets.hh"
 #include "svc/protocol.hh"
+#include "svc/server.hh"
 #include "svc/service.hh"
 #include "svc/session.hh"
+#include "svc/state.hh"
 #include "text/format.hh"
 #include "workloads/workloads.hh"
 
@@ -149,7 +168,7 @@ TEST(SvcService, WarmRepliesAreByteIdenticalToCold)
     for (std::size_t i = 0; i < cold.size(); ++i) {
         EXPECT_FALSE(cold[i].cacheHit) << i;
         EXPECT_TRUE(warm[i].cacheHit) << i;
-        EXPECT_EQ(cold[i].payload, warm[i].payload) << i;
+        EXPECT_EQ(cold[i].bytes(), warm[i].bytes()) << i;
     }
 
     const auto st = service.stats();
@@ -169,7 +188,100 @@ TEST(SvcService, WarmRepliesAreByteIdenticalToCold)
     ASSERT_EQ(variant.key, plain.key);
     const auto hit = service.processOne(std::move(variant));
     EXPECT_TRUE(hit.cacheHit);
-    EXPECT_EQ(hit.payload, cold[0].payload);
+    EXPECT_EQ(hit.bytes(), cold[0].bytes());
+}
+
+/** The zero-parse lane: a byte-identical repeat resolves via
+ * rawProbe() with the *same* stored bytes as the canonical entry; a
+ * textual variant misses the raw lane, falls through to the canonical
+ * key, and then primes its own raw entry; parse errors never enter
+ * either lane. */
+TEST(SvcService, RawLaneAliasesCanonicalEntries)
+{
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    const std::string payload = "config backend rmca\n"
+                                "config threshold 0.25\n\n" +
+                                text::printScenario(scenario);
+    const std::string variant =
+        "# variant spelling\nconfig threshold 0.250\n"
+        "config backend rmca\n\n" +
+        text::printScenario(scenario);
+
+    SchedService service(1);
+    EXPECT_EQ(service.rawProbe(payload), nullptr);
+
+    const auto cold = service.processOne(parseRequest(payload));
+    ASSERT_FALSE(cold.cacheHit);
+
+    // The exact bytes now resolve without parsing — and alias the
+    // canonical entry (same shared payload, not a copy).
+    const ReplyBytes raw_hit = service.rawProbe(payload);
+    ASSERT_NE(raw_hit, nullptr);
+    EXPECT_EQ(raw_hit.get(), cold.payload.get());
+
+    // A different spelling is a raw miss but a canonical hit; the
+    // serve publishes its raw entry for next time.
+    EXPECT_EQ(service.rawProbe(variant), nullptr);
+    const auto via_key = service.processOne(parseRequest(variant));
+    EXPECT_TRUE(via_key.cacheHit);
+    EXPECT_EQ(via_key.bytes(), cold.bytes());
+    const ReplyBytes variant_hit = service.rawProbe(variant);
+    ASSERT_NE(variant_hit, nullptr);
+    EXPECT_EQ(variant_hit.get(), cold.payload.get());
+
+    // Parse errors quote the frame id: never cached, never raw.
+    const std::string bad = "loop garbage {";
+    const auto err = service.processOne(parseRequest(bad, "test"));
+    EXPECT_FALSE(err.cacheHit);
+    EXPECT_EQ(service.rawProbe(bad), nullptr);
+
+    const auto st = service.stats();
+    EXPECT_EQ(st.rawHits, 2);
+    EXPECT_EQ(st.rawEntries, 2);
+    EXPECT_EQ(st.cacheEntries, 1);
+}
+
+/** Through the session: the second identical REQ is answered from the
+ * raw lane (no parse), across a FLUSH boundary, byte-identically. */
+TEST(SvcSession, RawLaneHitsAcrossFlushesStayByteIdentical)
+{
+    const auto bench = workloads::benchmarkByName("swim");
+    const text::ScenarioText scenario{bench.loops[0],
+                                      makeTwoCluster()};
+    const std::string payload = "config backend rmca\n\n" +
+                                text::printScenario(scenario);
+
+    std::string stream;
+    for (int round = 0; round < 3; ++round)
+        stream += "REQ r" + std::to_string(round) + " " +
+                  std::to_string(payload.size()) + "\n" + payload +
+                  "\nFLUSH\n";
+    stream += "QUIT\n";
+
+    SchedService service(1);
+    ServiceSession session(service);
+    std::string out;
+    session.consume(stream, out);
+
+    // Three byte-identical REP payloads.
+    std::vector<std::string> reps;
+    std::size_t pos = 0;
+    while ((pos = out.find("REP r", pos)) != std::string::npos) {
+        const std::size_t head_end = out.find('\n', pos);
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::atoll(out.c_str() + pos + 7));
+        reps.push_back(out.substr(head_end + 1, nbytes));
+        pos = head_end + 1 + nbytes;
+    }
+    ASSERT_EQ(reps.size(), 3u);
+    EXPECT_EQ(reps[0], reps[1]);
+    EXPECT_EQ(reps[0], reps[2]);
+    EXPECT_NE(reps[0].find("status ok"), std::string::npos);
+
+    // Rounds 2 and 3 were raw-lane resolutions.
+    EXPECT_EQ(service.stats().rawHits, 2);
 }
 
 /** Replies are a pure function of the request: job counts and arrival
@@ -190,7 +302,7 @@ TEST(SvcService, BatchesAreDeterministicAcrossJobsAndOrder)
     ASSERT_EQ(a.size(), b.size());
     const std::size_t n = a.size();
     for (std::size_t i = 0; i < n; ++i)
-        EXPECT_EQ(a[i].payload, b[n - 1 - i].payload) << i;
+        EXPECT_EQ(a[i].bytes(), b[n - 1 - i].bytes()) << i;
 }
 
 /** Warm-state persistence: a service rebuilt from a snapshot replays
@@ -224,8 +336,90 @@ TEST(SvcService, WarmStateRoundTripsAcrossServices)
     ASSERT_EQ(warm.size(), cold.size());
     for (std::size_t i = 0; i < warm.size(); ++i) {
         EXPECT_TRUE(warm[i].cacheHit) << i;
-        EXPECT_EQ(warm[i].payload, cold[i].payload) << i;
+        EXPECT_EQ(warm[i].bytes(), cold[i].bytes()) << i;
     }
+
+    // The snapshot is the binary v2 format, not text.
+    ASSERT_GE(snapshot.size(), sizeof WARM_STATE_MAGIC);
+    EXPECT_EQ(std::memcmp(snapshot.data(), WARM_STATE_MAGIC,
+                          sizeof WARM_STATE_MAGIC),
+              0);
+}
+
+/** The migration path: a legacy text-v1 snapshot loads into a fresh
+ * service and re-encodes as the byte-identical binary v2 snapshot —
+ * old warm state survives the format change with nothing lost. */
+TEST(SvcService, TextV1SnapshotsMigrateToBinaryV2)
+{
+    const auto payloads = samplePayloads();
+    SchedService first(2);
+    first.processBatch(parseAll(payloads));
+
+    const std::string text_v1 = first.encodeStateTextV1();
+    EXPECT_EQ(text_v1.compare(0, 14, "mvp-warm-state"), 0);
+
+    SchedService from_text(1);
+    from_text.decodeState(text_v1, "text-v1");
+    SchedService from_binary(1);
+    from_binary.decodeState(first.encodeState(), "binary-v2");
+
+    // Both load paths reconstruct the same state.
+    EXPECT_EQ(from_text.encodeState(), first.encodeState());
+    EXPECT_EQ(from_text.encodeState(), from_binary.encodeState());
+}
+
+/** LOAD merges: two half-snapshots loaded into one service equal one
+ * service that computed everything itself. */
+TEST(SvcService, LoadingTwoSnapshotsMergesKeepTheWinner)
+{
+    const auto payloads = samplePayloads();
+    const std::size_t half = payloads.size() / 2;
+    const std::vector<std::string> lo(payloads.begin(),
+                                      payloads.begin() + half);
+    const std::vector<std::string> hi(payloads.begin() + half,
+                                      payloads.end());
+
+    SchedService a(1), b(1), all(1);
+    a.processBatch(parseAll(lo));
+    b.processBatch(parseAll(hi));
+    all.processBatch(parseAll(payloads));
+
+    SchedService merged(1);
+    merged.decodeState(a.encodeState(), "half-a");
+    merged.decodeState(b.encodeState(), "half-b");
+    EXPECT_EQ(merged.encodeState(), all.encodeState());
+
+    // Re-loading what's already present changes nothing.
+    merged.decodeState(a.encodeState(), "half-a-again");
+    EXPECT_EQ(merged.encodeState(), all.encodeState());
+}
+
+/** Version skew and truncation reject the *whole* snapshot: the
+ * service is untouched, not half-loaded. */
+TEST(SvcService, CorruptSnapshotsAreRejectedWhole)
+{
+    const auto payloads = samplePayloads();
+    SchedService donor(2);
+    donor.processBatch(parseAll(payloads));
+    const std::string good = donor.encodeState();
+
+    // Binary with a skewed version word.
+    std::string skewed(WARM_STATE_MAGIC, sizeof WARM_STATE_MAGIC);
+    skewed += std::string("\xe7\x03\x00\x00", 4);   // version 999
+    skewed += good.substr(sizeof WARM_STATE_MAGIC + 4);
+
+    // Truncated mid-payload.
+    const std::string truncated = good.substr(0, good.size() / 2);
+
+    SchedService victim(1);
+    FatalScope guard;
+    EXPECT_THROW(victim.decodeState(skewed, "skewed"), FatalError);
+    EXPECT_THROW(victim.decodeState(truncated, "truncated"),
+                 FatalError);
+    const auto st = victim.stats();
+    EXPECT_EQ(st.cacheEntries, 0);
+    EXPECT_EQ(st.loopContexts, 0);
+    EXPECT_EQ(victim.encodeState(), SchedService(1).encodeState());
 }
 
 TEST(SvcService, DecodeRejectsVersionSkewInsideFatalScope)
@@ -285,7 +479,7 @@ TEST(SvcSession, ChunkedFramesMalformedPayloadsAndQuit)
     const std::size_t head_end = out.find('\n');
     const std::size_t nbytes = static_cast<std::size_t>(
         std::atoll(out.c_str() + 9));
-    EXPECT_EQ(out.substr(head_end + 1, nbytes), direct.payload);
+    EXPECT_EQ(out.substr(head_end + 1, nbytes), direct.bytes());
 }
 
 TEST(SvcSession, FramingErrorsCloseTheSession)
@@ -299,6 +493,123 @@ TEST(SvcSession, FramingErrorsCloseTheSession)
     out.clear();
     EXPECT_FALSE(session.consume(std::string("STATS\n"), out));
     EXPECT_EQ(out, "");
+}
+
+/** The poll() reactor: two concurrent connections whose frames arrive
+ * in tiny chunks, interleaved byte-for-byte, still produce replies
+ * byte-identical to direct computation. Run under TSan in CI — the
+ * reactor thread and the main thread share the service. */
+TEST(SvcServer, ReactorServesChunkedInterleavedConnections)
+{
+    const auto bench = workloads::benchmarkByName("tomcatv");
+    const text::ScenarioText s1{bench.loops[0], makeTwoCluster()};
+    const text::ScenarioText s2{bench.loops[0], makeFourCluster()};
+    const std::string p1 = "config backend rmca\n\n" +
+                           text::printScenario(s1);
+    const std::string p2 = "config backend rmca\n\n" +
+                           text::printScenario(s2);
+    const std::string bad = "loop garbage {";
+
+    std::string stream1 = "REQ a " + std::to_string(p1.size()) + "\n" +
+                          p1 + "\nFLUSH\n" + "REQ a2 " +
+                          std::to_string(p1.size()) + "\n" + p1 +
+                          "\nQUIT\n";
+    std::string stream2 = "REQ b " + std::to_string(p2.size()) + "\n" +
+                          p2 + "\n" + "REQ oops " +
+                          std::to_string(bad.size()) + "\n" + bad +
+                          "\nQUIT\n";
+
+    SchedService service(2);
+    TcpReactor reactor(service, 0);
+    ASSERT_TRUE(reactor.ok()) << reactor.error();
+    std::thread loop([&] { reactor.run(); });
+
+    const auto connect = [&]() {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<std::uint16_t>(reactor.port()));
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<const sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        return fd;
+    };
+    const int c1 = connect();
+    const int c2 = connect();
+
+    // Drip the two streams alternately, 7 bytes at a time, so every
+    // frame is split across many reads and the two sessions
+    // interleave on the loop thread.
+    std::size_t o1 = 0, o2 = 0;
+    while (o1 < stream1.size() || o2 < stream2.size()) {
+        if (o1 < stream1.size()) {
+            const std::size_t n = std::min<std::size_t>(
+                7, stream1.size() - o1);
+            ASSERT_EQ(::send(c1, stream1.data() + o1, n, 0),
+                      static_cast<ssize_t>(n));
+            o1 += n;
+        }
+        if (o2 < stream2.size()) {
+            const std::size_t n = std::min<std::size_t>(
+                7, stream2.size() - o2);
+            ASSERT_EQ(::send(c2, stream2.data() + o2, n, 0),
+                      static_cast<ssize_t>(n));
+            o2 += n;
+        }
+    }
+
+    const auto drain = [](int fd) {
+        std::string out;
+        char buf[4096];
+        for (;;) {
+            const ssize_t got = ::recv(fd, buf, sizeof buf, 0);
+            if (got <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(got));
+            if (out.size() >= 4 &&
+                out.compare(out.size() - 4, 4, "BYE\n") == 0)
+                break;
+        }
+        return out;
+    };
+    const std::string out1 = drain(c1);
+    const std::string out2 = drain(c2);
+    ::close(c1);
+    ::close(c2);
+    reactor.stop();
+    loop.join();
+
+    // Extract one REP payload by id from a session's output.
+    const auto rep = [](const std::string &out, const std::string &id) {
+        const std::string head = "REP " + id + " ";
+        const std::size_t at = out.find(head);
+        if (at == std::string::npos)
+            return std::string();
+        const std::size_t nbytes = static_cast<std::size_t>(
+            std::atoll(out.c_str() + at + head.size()));
+        const std::size_t body = out.find('\n', at) + 1;
+        return out.substr(body, nbytes);
+    };
+
+    SchedService direct(1);
+    const std::string want1 =
+        direct.processOne(parseRequest(p1)).bytes();
+    const std::string want2 =
+        direct.processOne(parseRequest(p2)).bytes();
+    EXPECT_EQ(rep(out1, "a"), want1);
+    // The repeat on connection 1 went through the raw lane (the FLUSH
+    // published the entry) — still byte-identical.
+    EXPECT_EQ(rep(out1, "a2"), want1);
+    EXPECT_EQ(rep(out2, "b"), want2);
+    EXPECT_NE(rep(out2, "oops").find("status error"),
+              std::string::npos);
+    EXPECT_EQ(out1.compare(out1.size() - 4, 4, "BYE\n"), 0);
+    EXPECT_EQ(out2.compare(out2.size() - 4, 4, "BYE\n"), 0);
+    EXPECT_GE(service.stats().rawHits, 1);
 }
 
 TEST(SvcFlags, UnknownFlagsAreFatalWithTheKnownList)
