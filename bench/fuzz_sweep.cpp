@@ -60,14 +60,16 @@ main(int argc, char **argv)
         options.exactBudget = std::atoll(budget.c_str());
     if (harness::stripBoolFlag(argc, argv, "--no-exact"))
         options.checkExact = false;
+    if (harness::stripBoolFlag(argc, argv, "--no-sat"))
+        options.checkSat = false;
     const bool verbose =
         harness::stripBoolFlag(argc, argv, "--verbose");
     harness::rejectUnknownFlags(
         argc, argv,
         {"--jobs", "--locality", "--time-budget-ms",
          "--exact-backend", "--scenarios", "--seed", "--budget",
-         "--no-exact", "--verbose", "--log-level", "--metrics",
-         "--trace"});
+         "--no-exact", "--no-sat", "--verbose", "--log-level",
+         "--metrics", "--trace"});
     if (options.scenarios < 1) {
         std::fprintf(stderr, "--scenarios wants a positive count\n");
         return 2;

@@ -30,6 +30,11 @@
 #   FUZZ_SCENARIOS  differential fuzz-sweep scenario count (default 200)
 #   FUZZ_SEED       differential fuzz-sweep base seed (default: the
 #                   library's fixed seed)
+#   SAT_LOOPS       engine-comparison corpus size (default 200): the
+#                   generated loops the bnb/sat/portfolio certifying
+#                   engines are compared on; the per-engine
+#                   certified/unknown counts and wall clocks land
+#                   under "sat" in BENCH_sched.json
 #
 # --metrics runs the jobs=N suite sweep with the obs registry enabled
 # (sweep_bench --metrics=FILE) and distils the report into a "metrics"
@@ -153,7 +158,7 @@ if [ ! -f "$BUILD_DIR/CMakeCache.txt" ]; then
 fi
 # Always rebuild so the numbers describe the checked-out tree, never a
 # stale binary.
-TARGETS=(micro_sched sweep_bench fuzz_sweep)
+TARGETS=(micro_sched sweep_bench fuzz_sweep table_gap)
 [ "$SERVE" = yes ] && TARGETS+=(serve_bench)
 cmake --build "$BUILD_DIR" -j --target "${TARGETS[@]}"
 
@@ -162,7 +167,8 @@ SWEEP_TMP="$(mktemp)"
 FUZZ_TMP="$(mktemp)"
 METRICS_TMP="$(mktemp)"
 SERVE_TMP="$(mktemp)"
-trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP" "$METRICS_TMP" "$SERVE_TMP"' EXIT
+SAT_TMP="$(mktemp)"
+trap 'rm -f "$TMP" "$SWEEP_TMP" "$FUZZ_TMP" "$METRICS_TMP" "$SERVE_TMP" "$SAT_TMP"' EXIT
 : > "$METRICS_TMP"
 
 "$BUILD_DIR/micro_sched" \
@@ -202,6 +208,18 @@ if [ "$FUZZ" = yes ]; then
     "$BUILD_DIR/fuzz_sweep" "${FUZZ_ARGS[@]}" | tee "$FUZZ_TMP"
 fi
 
+# Certifying-engine comparison: the branch and bound, the CDCL engine
+# and the portfolio racing both, over a generated corpus at the fuzz
+# sweep's fixed seed — certified/unknown counts, charged work and wall
+# clock per engine. Runs on full passes like the fuzz sweep; the
+# engine= lines land under "sat" in BENCH_sched.json.
+if [ "$FUZZ" = yes ]; then
+    echo "certifying-engine comparison over ${SAT_LOOPS:-200} generated loops (jobs=$JOBS) ..."
+    "$BUILD_DIR/table_gap" --jobs "$JOBS" --engines bnb,sat,portfolio \
+        --workloads "gen:seed=0xd1ff+loops=${SAT_LOOPS:-200}" \
+        | tee "$SAT_TMP"
+fi
+
 # The scheduling service: checked + gated load-generator run; the
 # printed summary line lands in the "service" section.
 if [ "$SERVE" = yes ]; then
@@ -211,12 +229,12 @@ if [ "$SERVE" = yes ]; then
 fi
 
 python3 - "$TMP" "$OUT" "$SWEEP_TMP" "$JOBS" "$FUZZ_TMP" "$METRICS_TMP" \
-    "$SERVE_TMP" <<'EOF'
+    "$SERVE_TMP" "$SAT_TMP" <<'EOF'
 import json
 import sys
 
 (fresh_path, out_path, sweep_path, jobs, fuzz_path,
- metrics_path, serve_path) = sys.argv[1:8]
+ metrics_path, serve_path, sat_path) = sys.argv[1:9]
 # A filter that matches no benchmark leaves the output file empty
 # (google-benchmark writes nothing); treat it as "measured nothing" so
 # sweep-only refreshes still merge.
@@ -320,6 +338,36 @@ for fields in fuzz_lines:
     }
 if fuzz:
     fresh["fuzz_sweep"] = fuzz
+
+# The certifying-engine comparison: per engine (bnb, sat, portfolio),
+# certified/unknown counts, charged work and wall clock, summed over
+# the two clustered machines of the comparison run.
+sat_section = prev.get("sat", {})
+try:
+    with open(sat_path) as f:
+        engine_lines = [l.split() for l in f if l.startswith("engine=")]
+except OSError:
+    engine_lines = []
+if engine_lines:
+    engines = {}
+    for fields in engine_lines:
+        kv = dict(field.split("=", 1) for field in fields)
+        e = engines.setdefault(kv["engine"], {
+            "loops": 0, "certified": 0, "unknown": 0,
+            "total_gap": 0, "work": 0, "wall_ms": 0.0,
+        })
+        e["loops"] += int(kv["loops"])
+        e["certified"] += int(kv["certified"])
+        e["unknown"] += int(kv["unknown"])
+        e["total_gap"] += int(kv["gap"])
+        e["work"] += int(kv["nodes"])
+        e["wall_ms"] = round(e["wall_ms"] + float(kv["wall_ms"]), 1)
+    sat_section = {"jobs": int(jobs), "engines": engines}
+    for name, e in engines.items():
+        if e["loops"]:
+            e["certified_rate"] = round(e["certified"] / e["loops"], 4)
+if sat_section:
+    fresh["sat"] = sat_section
 
 # The scheduling-service section: serve_bench's summary line —
 # sustained schedules/sec cold vs warm, the gated speedup, canonical

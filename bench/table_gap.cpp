@@ -1,12 +1,19 @@
 /**
  * @file
  * Optimality-gap table: for every workload loop, the II of the RMCA
- * heuristic vs. the exact branch-and-bound backend, per clustered
- * machine — the repo's analogue of the heuristic-vs-exact comparisons
- * in the exact-modulo-scheduling literature (Roorda's SMT scheduler,
- * Tirelli et al.'s SAT mapper). Loops the exact search cannot settle
- * within its budget show as "gap unknown", and each table states the
- * unknown count and the budget in force.
+ * heuristic vs. a certifying exact backend, per clustered machine —
+ * the repo's analogue of the heuristic-vs-exact comparisons in the
+ * exact-modulo-scheduling literature (Roorda's SMT scheduler, Tirelli
+ * et al.'s SAT mapper). Loops the exact search cannot settle within
+ * its budget show as "gap unknown", and each table states the unknown
+ * count and the budget in force.
+ *
+ * With --engines the binary instead compares certifying engines — the
+ * branch and bound ("bnb"/"exact"), the CDCL engine ("sat") and the
+ * portfolio racing both — over the same corpus: certified/unknown
+ * counts, charged work and wall clock per engine. Pair it with a
+ * generated corpus (e.g. --workloads gen:seed=0xd1ff+loops=200) for
+ * the refutation-throughput comparison run_bench.sh records.
  *
  * The study shards loops across a --jobs-sized pool (default: all
  * cores); the exact searches dominate its runtime and are mutually
@@ -14,7 +21,13 @@
  * at any job count.
  *
  * Usage: table_gap [--jobs N] [--locality NAME] [--time-budget-ms MS]
- *                  [--exact-backend NAME] [node_budget]
+ *                  [--exact-backend NAME] [--engines A,B,...]
+ *                  [--workloads A,B,...] [--sat-conflicts N]
+ *                  [node_budget]
+ *
+ * --sat-conflicts (the deterministic CDCL conflict cap) is only
+ * accepted when a SAT-based engine is selected; on a pure-B&B run the
+ * flag is refused like any other unknown flag.
  *
  * The positional node_budget is the deprecated deterministic cap (0 =
  * uncapped); the wall clock is the primary budget.
@@ -22,12 +35,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "harness/flags.hh"
 #include "harness/gapstudy.hh"
 #include "machine/presets.hh"
 
 using namespace mvp;
+
+namespace
+{
+
+/** A SAT-based engine can consume the --sat-conflicts cap. */
+bool
+usesSatEngine(const std::string &backend,
+              const std::vector<std::string> &engines)
+{
+    if (backend == "sat" || backend == "portfolio")
+        return true;
+    for (const std::string &e : engines)
+        if (e == "sat" || e == "portfolio")
+            return true;
+    return false;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -43,18 +76,48 @@ main(int argc, char **argv)
         harness::parseExactBackendFlag(argc, argv);
     if (!backend.empty())
         options.exactBackend = backend;
-    harness::rejectUnknownFlags(argc, argv,
-                                {"--jobs", "--locality",
-                                 "--time-budget-ms",
-                                 "--exact-backend", "--log-level",
-                                 "--metrics", "--trace"});
+    const std::string engine_list = harness::stripValueFlag(
+        argc, argv, "--engines", "a comma-separated engine list");
+    std::vector<std::string> engines;
+    for (std::size_t pos = 0; pos < engine_list.size();) {
+        std::size_t end = engine_list.find(',', pos);
+        if (end == std::string::npos)
+            end = engine_list.size();
+        if (end > pos)
+            engines.push_back(engine_list.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    const std::vector<std::string> only =
+        harness::parseWorkloadsFlag(argc, argv);
+    // Gate the SAT knob on a SAT-capable engine: when none is
+    // selected the flag stays in argv and rejectUnknownFlags refuses
+    // it (and the known-flag list omits it), instead of a pure-B&B
+    // run silently ignoring it.
+    std::vector<std::string> known = {
+        "--jobs",      "--locality",  "--time-budget-ms",
+        "--exact-backend", "--engines", "--workloads",
+        "--log-level", "--metrics",   "--trace"};
+    if (usesSatEngine(options.exactBackend, engines)) {
+        options.satConflictBudget =
+            harness::parseSatConflictsFlag(argc, argv);
+        known.push_back("--sat-conflicts");
+    }
+    harness::rejectUnknownFlags(argc, argv, known);
     if (argc > 1)
         options.nodeBudget = std::atoll(argv[1]);
 
-    harness::Workbench bench;
+    harness::Workbench bench(only);
     for (int clusters : {2, 4}) {
         const MachineConfig machine = makeConfig(clusters);
         std::printf("=== %s ===\n\n", machine.summary().c_str());
+        if (!engines.empty()) {
+            const auto outcomes = harness::runEngineComparison(
+                bench, machine, options, engines, driver);
+            std::printf(
+                "%s\n",
+                harness::formatEngineComparison(outcomes).c_str());
+            continue;
+        }
         const auto study =
             harness::runGapStudy(bench, machine, options, driver);
         std::printf("%s\n", harness::formatGapTable(study).c_str());

@@ -114,6 +114,57 @@ runScenario(std::uint64_t seed, const DiffOptions &options,
                 return out;
             }
         }
+
+        // --- 3b. engine cross-check: the CDCL backend and the branch
+        // and bound search entirely different spaces (learned clauses
+        // vs. enumeration with pruning), so agreement is strong
+        // evidence both certify the true minimum. Wherever both settle
+        // they must report the same II; a certificate on one side and
+        // an infeasibility verdict on the other is the worst possible
+        // divergence. Budget-starved runs on either side are skipped,
+        // not failed — absence of an answer is not a wrong answer. ---
+        if (options.checkSat) {
+            const auto satr = sched::scheduleWithBackend(
+                "sat", graph, sc.machine, eopt, ctx);
+            const bool bnb_cert = exact.ok && exact.stats.provenOptimal;
+            const bool sat_cert = satr.ok && satr.stats.provenOptimal;
+            const bool bnb_infeas =
+                !exact.ok && !exact.stats.budgetExhausted;
+            const bool sat_infeas =
+                !satr.ok && !satr.stats.budgetExhausted;
+            std::string diverged;
+            if (bnb_cert && sat_infeas)
+                diverged = strprintf(
+                    "exact certified II %lld but sat proved "
+                    "infeasibility",
+                    static_cast<long long>(exact.schedule.ii()));
+            else if (bnb_infeas && sat_cert)
+                diverged = strprintf(
+                    "exact proved infeasibility but sat certified "
+                    "II %lld",
+                    static_cast<long long>(satr.schedule.ii()));
+            else if (bnb_cert && sat_cert &&
+                     satr.schedule.ii() != exact.schedule.ii())
+                diverged = strprintf(
+                    "sat II %lld != exact II %lld",
+                    static_cast<long long>(satr.schedule.ii()),
+                    static_cast<long long>(exact.schedule.ii()));
+            else if (sat_cert) {
+                const std::string sat_err =
+                    satr.schedule.validate(graph, sc.machine);
+                if (!sat_err.empty())
+                    diverged = "invalid sat schedule: " + sat_err;
+            }
+            if (!diverged.empty()) {
+                // Dump the scenario verbatim: the text round-trip of
+                // stage 1 guarantees these strings reproduce the
+                // instance exactly, independent of the generator.
+                out.failure = "sat/exact divergence: " + diverged +
+                              "\n--- loop ---\n" + loop_text +
+                              "--- machine ---\n" + mach_text;
+                return out;
+            }
+        }
     }
 
     // --- 4. kernel image: II body, (SC-1)*II ramps ---

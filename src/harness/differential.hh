@@ -92,6 +92,16 @@ struct DiffOptions
 
     /** Skip the exact cross-check entirely (pure heuristic sweeps). */
     bool checkExact = true;
+
+    /**
+     * Engine cross-check: also run the CDCL `sat` backend on every
+     * scenario and require it to certify the same minimal II as the
+     * branch and bound (and the same infeasibility verdicts) wherever
+     * both engines settle within budget. A divergence is a hard
+     * failure that dumps the scenario's loop and machine text for
+     * standalone reproduction. Requires checkExact.
+     */
+    bool checkSat = true;
 };
 
 /** One scenario's outcome. */

@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sched/backend.hh"
 #include "sched/scheduler.hh"
 
 namespace mvp::harness
@@ -96,8 +97,34 @@ parseTimeBudgetFlag(int &argc, char **argv)
 std::string
 parseExactBackendFlag(int &argc, char **argv)
 {
-    return stripValueFlag(argc, argv, "--exact-backend",
-                          "a scheduler backend name");
+    const std::string value = stripValueFlag(
+        argc, argv, "--exact-backend", "a scheduler backend name");
+    if (!value.empty() &&
+        !sched::BackendRegistry::instance().has(value)) {
+        std::string list;
+        for (const std::string &n :
+             sched::BackendRegistry::instance().names())
+            list += (list.empty() ? "" : ", ") + n;
+        mvp_fatal("--exact-backend '", value,
+                  "' is not a registered scheduler backend (known: ",
+                  list, ")");
+    }
+    return value;
+}
+
+std::int64_t
+parseSatConflictsFlag(int &argc, char **argv)
+{
+    const std::string value = stripValueFlag(
+        argc, argv, "--sat-conflicts", "a conflict count");
+    if (value.empty())
+        return 0;
+    char *end = nullptr;
+    const long long cap = std::strtoll(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || cap < 0)
+        mvp_fatal("--sat-conflicts wants an integer >= 0, got '", value,
+                  "'");
+    return cap;
 }
 
 bool

@@ -1,5 +1,6 @@
 #include "harness/gapstudy.hh"
 
+#include <chrono>
 #include <map>
 
 #include "common/logging.hh"
@@ -73,6 +74,7 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
                                ? "exact"
                                : options.exactBackend;
         opt.searchJobs = options.searchJobs;
+        opt.satConflictBudget = options.satConflictBudget;
         const auto res =
             verify->schedule(*entry.ddg, machine, opt, ctx);
         if (!res.ok) {
@@ -119,6 +121,63 @@ runGapStudy(Workbench &bench, const MachineConfig &machine,
     ParallelDriver driver;
     return runGapStudy(bench, machine, threshold, search_budget, driver,
                        locality);
+}
+
+std::vector<EngineOutcome>
+runEngineComparison(Workbench &bench, const MachineConfig &machine,
+                    const GapOptions &options,
+                    const std::vector<std::string> &engines,
+                    ParallelDriver &driver)
+{
+    std::vector<EngineOutcome> outcomes;
+    for (const std::string &engine : engines) {
+        // Unknown names fail here, on the main thread, with the
+        // registry's own name-listing diagnostic.
+        (void)sched::BackendRegistry::instance().create(engine);
+        GapOptions opt = options;
+        opt.exactBackend = engine;
+        const auto start = std::chrono::steady_clock::now();
+        const GapStudy study =
+            runGapStudy(bench, machine, opt, driver);
+        EngineOutcome out;
+        out.engine = engine;
+        out.loops = static_cast<int>(study.rows.size());
+        out.certified = study.known();
+        out.unknown = study.unknown();
+        out.totalGap = study.totalGap();
+        for (const GapRow &r : study.rows)
+            out.searchNodes += r.searchNodes;
+        out.wallMs = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+        outcomes.push_back(out);
+    }
+    return outcomes;
+}
+
+std::string
+formatEngineComparison(const std::vector<EngineOutcome> &outcomes)
+{
+    TextTable table({"engine", "loops", "certified", "unknown",
+                     "total gap", "work (nodes/conflicts)",
+                     "wall (ms)"});
+    table.setTitle("Certifying-engine comparison");
+    for (const EngineOutcome &o : outcomes)
+        table.addRow({o.engine, std::to_string(o.loops),
+                      std::to_string(o.certified),
+                      std::to_string(o.unknown),
+                      std::to_string(o.totalGap),
+                      std::to_string(o.searchNodes),
+                      strprintf("%.1f", o.wallMs)});
+    std::string out = table.render() + "\n";
+    for (const EngineOutcome &o : outcomes)
+        out += strprintf(
+            "engine=%s loops=%d certified=%d unknown=%d gap=%lld "
+            "nodes=%lld wall_ms=%.1f\n",
+            o.engine.c_str(), o.loops, o.certified, o.unknown,
+            static_cast<long long>(o.totalGap),
+            static_cast<long long>(o.searchNodes), o.wallMs);
+    return out;
 }
 
 std::string

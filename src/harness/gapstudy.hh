@@ -47,13 +47,21 @@ struct GapOptions
     std::string locality = "cme";
 
     /**
-     * Certifying engine: "exact" (serial) or "portfolio" (raced on
-     * the worker pool). Empty is read as "exact".
+     * Certifying engine: "exact"/"bnb" (serial branch and bound),
+     * "sat" (CDCL), or "portfolio" (racing both on the worker pool).
+     * Empty is read as "exact".
      */
     std::string exactBackend = "exact";
 
     /** Worker count of the portfolio backend (0 = default). */
     int searchJobs = 0;
+
+    /**
+     * Deterministic per-II conflict cap of the sat engine (0 =
+     * uncapped); the CDCL analogue of nodeBudget. Ignored by the
+     * branch and bound.
+     */
+    std::int64_t satConflictBudget = 0;
 };
 
 /** Per-loop outcome of the gap study. */
@@ -124,6 +132,46 @@ GapStudy runGapStudy(Workbench &bench, const MachineConfig &machine,
  * block (loops, gaps known, heuristic-optimal count, total gap).
  */
 std::string formatGapTable(const GapStudy &study);
+
+/**
+ * One certifying engine's aggregate over a corpus — the
+ * refutation-throughput comparison of the exact-engine families
+ * (branch and bound vs. CDCL vs. the portfolio racing both).
+ */
+struct EngineOutcome
+{
+    std::string engine;          ///< registry name ("bnb", "sat", ...)
+    int loops = 0;               ///< corpus size
+    int certified = 0;           ///< loops settled within budget
+    int unknown = 0;             ///< loops the engine could not settle
+    Cycle totalGap = 0;          ///< summed known heuristic gap
+    /** Work charged: B&B candidate placements, or CDCL conflicts. */
+    std::int64_t searchNodes = 0;
+    double wallMs = 0.0;         ///< whole-corpus wall clock
+};
+
+/**
+ * Run the gap study once per engine in @p engines (each a registered
+ * backend name) over the same corpus and report each engine's
+ * certified/unknown split and wall clock. The per-loop gap *tables*
+ * of the engines are required to agree wherever both certify (the
+ * differential pipeline enforces this); what differs — and what this
+ * comparison measures — is how much of the corpus each engine settles
+ * within the budget and at what cost.
+ */
+std::vector<EngineOutcome> runEngineComparison(
+    Workbench &bench, const MachineConfig &machine,
+    const GapOptions &options, const std::vector<std::string> &engines,
+    ParallelDriver &driver);
+
+/**
+ * Render the comparison: a table plus one machine-readable line per
+ * engine (`engine=sat loops=... certified=... unknown=... gap=...
+ * nodes=... wall_ms=...`) that run_bench.sh scrapes into the "sat"
+ * section of BENCH_sched.json.
+ */
+std::string formatEngineComparison(
+    const std::vector<EngineOutcome> &outcomes);
 
 } // namespace mvp::harness
 

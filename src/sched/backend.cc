@@ -8,6 +8,7 @@
 #include "harness/driver.hh"
 #include "sched/exact/bnb.hh"
 #include "sched/exact/portfolio.hh"
+#include "sched/sat/sat.hh"
 
 namespace mvp::sched
 {
@@ -46,6 +47,17 @@ exactOptionsFrom(const SchedulerOptions &options)
     return bnb;
 }
 
+/** Map the generic scheduler options onto the SAT engine's knobs. */
+SatOptions
+satOptionsFrom(const SchedulerOptions &options)
+{
+    SatOptions sat;
+    sat.maxII = options.maxII;
+    sat.conflictBudget = options.satConflictBudget;
+    sat.timeBudgetMs = options.timeBudgetMs;
+    return sat;
+}
+
 /** The two heuristic engines share one wrapper; only memoryAware
  * differs. */
 class HeuristicBackend : public SchedulerBackend
@@ -74,10 +86,15 @@ class HeuristicBackend : public SchedulerBackend
     bool memory_aware_;
 };
 
+/** The serial branch and bound, registered as "exact" and its
+ * engine-explicit alias "bnb" (the gap-study engine sweep addresses
+ * the two exact families as bnb vs sat). */
 class ExactBackend : public SchedulerBackend
 {
   public:
-    std::string_view name() const override { return "exact"; }
+    explicit ExactBackend(std::string_view name) : name_(name) {}
+
+    std::string_view name() const override { return name_; }
 
     ScheduleResult schedule(const ddg::Ddg &graph,
                             const MachineConfig &machine,
@@ -86,6 +103,30 @@ class ExactBackend : public SchedulerBackend
     {
         return exact::scheduleExact(graph, machine,
                                     exactOptionsFrom(options), ctx);
+    }
+
+  private:
+    std::string_view name_;
+};
+
+/**
+ * The SAT exact engine (sched/sat/): CDCL over the placement encoding,
+ * certifying the same IIs as the branch and bound — the schedule
+ * itself may differ (no register-pressure tiebreak), the II, lower
+ * bound and certificate agree.
+ */
+class SatBackend : public SchedulerBackend
+{
+  public:
+    std::string_view name() const override { return "sat"; }
+
+    ScheduleResult schedule(const ddg::Ddg &graph,
+                            const MachineConfig &machine,
+                            const SchedulerOptions &options,
+                            SchedContext &ctx) const override
+    {
+        return scheduleSatExact(graph, machine, satOptionsFrom(options),
+                                ctx);
     }
 };
 
@@ -181,7 +222,10 @@ BackendRegistry::BackendRegistry()
     add("rmca", [] {
         return std::make_unique<HeuristicBackend>("rmca", true);
     });
-    add("exact", [] { return std::make_unique<ExactBackend>(); });
+    add("exact",
+        [] { return std::make_unique<ExactBackend>("exact"); });
+    add("bnb", [] { return std::make_unique<ExactBackend>("bnb"); });
+    add("sat", [] { return std::make_unique<SatBackend>(); });
     add("portfolio",
         [] { return std::make_unique<PortfolioBackend>(); });
     add("verify", [] { return std::make_unique<VerifyBackend>(); });

@@ -147,6 +147,15 @@ struct ExactOptions
     /** Deadline shared across shards; overrides timeBudgetMs. */
     std::chrono::steady_clock::time_point deadline{};
     bool hasDeadline = false;
+
+    /**
+     * Portfolio only: race one CDCL probe (sched/sat/) next to the
+     * B&B shards of every II — first certifier (model or UNSAT proof)
+     * wins the probe. The settled II is engine-independent (both
+     * engines certify the same IIs), so reports stay byte-identical
+     * to the serial engine's; disable to time the pure-B&B portfolio.
+     */
+    bool satProbe = true;
     /// @}
 };
 

@@ -9,6 +9,7 @@
 #include "harness/driver.hh"
 #include "obs/trace.hh"
 #include "sched/mii.hh"
+#include "sched/sat/sat.hh"
 
 namespace mvp::sched::exact
 {
@@ -24,21 +25,32 @@ enum class Probe
     Aborted     ///< a shard hit a budget: the II stays unresolved
 };
 
-/** Merge one II's shard results (all shards of one II, in order). */
+/**
+ * Merge one II's slot results: @p shards B&B subtree shards followed by
+ * the optional SAT probe (count > shards). Two independent refutation
+ * certificates exist — every B&B shard exhausting its subtree, or the
+ * SAT probe's UNSAT proof — and either alone settles the II.
+ */
 Probe
-mergeShards(const ScheduleResult *shard, int count)
+mergeShards(const ScheduleResult *slot, int shards, int count)
 {
     bool feasible = false;
-    bool refuted = true;
+    bool bnb_refuted = true;
+    bool sat_refuted = false;
     for (int s = 0; s < count; ++s) {
-        if (shard[s].ok)
+        if (slot[s].ok) {
             feasible = true;
-        else if (shard[s].stats.budgetExhausted)
-            refuted = false;   // aborted or cancelled, not exhausted
+        } else if (s < shards) {
+            if (slot[s].stats.budgetExhausted)
+                bnb_refuted = false;   // aborted or cancelled
+        } else if (!slot[s].stats.budgetExhausted) {
+            sat_refuted = true;        // a full UNSAT proof
+        }
     }
     if (feasible)
         return Probe::Feasible;
-    return refuted ? Probe::Refuted : Probe::Aborted;
+    return (bnb_refuted || sat_refuted) ? Probe::Refuted
+                                        : Probe::Aborted;
 }
 
 } // namespace
@@ -60,6 +72,8 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
     const int jobs = std::max(1, pool.jobs());
     const int probes = std::min(jobs, 2);           // concurrent IIs
     const int shards = std::max(1, jobs / probes);  // splits per II
+    // Slots per II: the B&B shards plus one CDCL probe racing them.
+    const int stride = shards + (options.satProbe ? 1 : 0);
 
     // One deadline across every wave (the serial engine's whole-search
     // budget); the final re-derivation below gets a fresh window.
@@ -117,22 +131,38 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
         const int wave_iis = static_cast<int>(wave_last - next + 1);
         const std::size_t n =
             static_cast<std::size_t>(wave_iis) *
-            static_cast<std::size_t>(shards);
+            static_cast<std::size_t>(stride);
         slots.assign(n, ScheduleResult{});
         pool.run(n, [&](std::size_t idx, SchedContext &wctx) {
             const Cycle ii =
-                next + static_cast<Cycle>(idx) / shards;
-            ExactOptions o = options;
-            o.onlyII = ii;
-            o.shardIndex = static_cast<int>(idx) % shards;
-            o.shardCount = shards;
-            o.tiebreakPressure = false;   // probes settle feasibility
-            o.sharedBestII = &shared_best;
-            o.hasDeadline = deadline_on;
-            o.deadline = deadline;
-            if (!deadline_on)
-                o.timeBudgetMs = -1;
-            ScheduleResult r = scheduleExact(graph, machine, o, wctx);
+                next + static_cast<Cycle>(idx) / stride;
+            const int pos = static_cast<int>(idx) % stride;
+            ScheduleResult r;
+            if (pos < shards) {
+                ExactOptions o = options;
+                o.onlyII = ii;
+                o.shardIndex = pos;
+                o.shardCount = shards;
+                o.tiebreakPressure = false; // probes settle feasibility
+                o.sharedBestII = &shared_best;
+                o.hasDeadline = deadline_on;
+                o.deadline = deadline;
+                if (!deadline_on)
+                    o.timeBudgetMs = -1;
+                r = scheduleExact(graph, machine, o, wctx);
+            } else {
+                // The CDCL probe of this II: first certifier wins;
+                // the shared incumbent cancels whichever engine loses.
+                SatOptions so;
+                so.maxII = options.maxII;
+                so.onlyII = ii;
+                so.sharedBestII = &shared_best;
+                so.hasDeadline = deadline_on;
+                so.deadline = deadline;
+                if (!deadline_on)
+                    so.timeBudgetMs = -1;
+                r = scheduleSatExact(graph, machine, so, wctx);
+            }
             if (r.ok) {
                 Cycle cur =
                     shared_best.load(std::memory_order_relaxed);
@@ -153,12 +183,13 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
         for (int w = 0; w < wave_iis; ++w) {
             const Cycle ii = next + w;
             ++ii_attempts;
-            for (int s = 0; s < shards; ++s)
+            for (int s = 0; s < stride; ++s)
                 total_nodes +=
-                    slots[static_cast<std::size_t>(w) * shards + s]
+                    slots[static_cast<std::size_t>(w) * stride + s]
                         .stats.searchNodes;
             const Probe probe = mergeShards(
-                &slots[static_cast<std::size_t>(w) * shards], shards);
+                &slots[static_cast<std::size_t>(w) * stride], shards,
+                stride);
             if (mets) {
                 const char *outcome =
                     probe == Probe::Feasible ? "portfolio.probe_feasible"
@@ -171,9 +202,9 @@ scheduleExactPortfolio(const ddg::Ddg &graph,
             case Probe::Feasible:
                 if (ii < best) {
                     best = ii;
-                    for (int s = 0; s < shards; ++s) {
+                    for (int s = 0; s < stride; ++s) {
                         auto &r = slots[static_cast<std::size_t>(w) *
-                                            shards +
+                                            stride +
                                         s];
                         if (r.ok) {
                             shard_best = std::move(r);

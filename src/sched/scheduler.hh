@@ -144,6 +144,14 @@ struct SchedulerOptions
      * Ignored by every other backend.
      */
     int searchJobs = 0;
+
+    /**
+     * Deterministic conflict cap of the sat backend, per II attempt;
+     * 0 = uncapped, the default, leaving timeBudgetMs in charge (the
+     * CDCL analogue of searchBudget, and the same "gap unknown"
+     * degradation). Ignored by every other backend.
+     */
+    std::int64_t satConflictBudget = 0;
 };
 
 /** Static quantities the scheduler reports alongside the schedule. */
